@@ -1,0 +1,167 @@
+// Command sabactl runs the Saba controller as a network service, or acts
+// as a client against a running controller — the control-plane path an
+// application's Saba library uses (paper §6, Fig. 7).
+//
+// Server:
+//
+//	sabactl serve -listen :7700 -table table.json -hosts 32
+//
+// Client:
+//
+//	sabactl register -addr localhost:7700 -app LR
+//	sabactl conn -addr localhost:7700 -app-id 1 -src 1 -dst 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/rpc"
+	"saba/internal/sabalib"
+	"saba/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "register":
+		err = register(os.Args[2:])
+	case "conn":
+		err = conn(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sabactl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sabactl serve    -listen ADDR -table FILE [-hosts N] [-queues Q] [-pls P]
+  sabactl register -addr ADDR -app NAME
+  sabactl conn     -addr ADDR -app NAME -src HOST -dst HOST`)
+}
+
+// serve starts a centralized controller over a single-switch topology of
+// the given size (path detection and enforcement operate on its
+// forwarding tables; the data plane is the in-process WFQ model).
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7700", "RPC listen address")
+	tablePath := fs.String("table", "", "sensitivity table JSON (from sabaprof)")
+	hosts := fs.Int("hosts", 32, "testbed host count")
+	queues := fs.Int("queues", 8, "per-port queues")
+	pls := fs.Int("pls", 16, "priority levels")
+	fs.Parse(args)
+
+	table := profiler.NewTable()
+	if *tablePath != "" {
+		t, err := profiler.LoadTable(*tablePath)
+		if err != nil {
+			return err
+		}
+		table = t
+	}
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: *hosts, Queues: *queues})
+	if err != nil {
+		return err
+	}
+	net := netsim.NewNetwork(top)
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top,
+		Table:    table,
+		Enforcer: netsim.NewWFQ(net),
+		PLs:      *pls,
+	})
+	if err != nil {
+		return err
+	}
+	srv := rpc.NewServer()
+	if err := controller.Serve(srv, ctrl); err != nil {
+		return err
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saba controller listening on %s (%d hosts, %d queues, table entries: %d)\n",
+		addr, *hosts, *queues, table.Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+// register performs the Fig. 7 registration round-trip.
+func register(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "controller address")
+	app := fs.String("app", "", "application name (sensitivity table key)")
+	fs.Parse(args)
+	if *app == "" {
+		return fmt.Errorf("-app is required")
+	}
+	tr, err := sabalib.DialController(*addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	lib := sabalib.New(tr)
+	defer lib.Close()
+	if err := lib.Register(*app); err != nil {
+		return err
+	}
+	id, _ := lib.App()
+	pl, _ := lib.PL()
+	fmt.Printf("registered %s: app_id=%d priority_level=%d\n", *app, id, pl)
+	return lib.Deregister()
+}
+
+// conn registers, creates a connection, reports its Service Level, and
+// tears everything down — the full lifecycle against a live controller.
+func conn(args []string) error {
+	fs := flag.NewFlagSet("conn", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7700", "controller address")
+	app := fs.String("app", "", "application name")
+	src := fs.Int("src", 1, "source host node ID")
+	dst := fs.Int("dst", 2, "destination host node ID")
+	fs.Parse(args)
+	if *app == "" {
+		return fmt.Errorf("-app is required")
+	}
+	tr, err := sabalib.DialController(*addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	lib := sabalib.New(tr)
+	defer lib.Close()
+	if err := lib.Register(*app); err != nil {
+		return err
+	}
+	c, err := lib.ConnCreate(topology.NodeID(*src), topology.NodeID(*dst))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connection %d: %d→%d service_level=%d\n", c.ID, *src, *dst, c.SL)
+	if err := c.Destroy(); err != nil {
+		return err
+	}
+	return lib.Deregister()
+}

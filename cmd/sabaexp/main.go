@@ -1,0 +1,119 @@
+// Command sabaexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sabaexp -fig all            # every study at reduced scale
+//	sabaexp -fig 8 -setups 500  # the paper-sized testbed study
+//	sabaexp -fig 10 -full       # the 1,944-server simulation
+//	sabaexp -fig 2 -out dir     # write the Fig. 2 timelines as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"saba/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,all")
+	setups := flag.Int("setups", 25, "cluster setups for fig 8 (paper: 500)")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
+	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
+	out := flag.String("out", "", "directory for CSV outputs (fig 2)")
+	flag.Parse()
+
+	if err := run(*fig, *setups, *seed, *full, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sabaexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, setups int, seed int64, full bool, out string) error {
+	scale := experiments.ScaleConfig{Seed: seed, Full: full}
+	type study struct {
+		name string
+		fn   func() error
+	}
+	show := func(v fmt.Stringer, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(v.String())
+		return nil
+	}
+	studies := []study{
+		{"1a", func() error { r, err := experiments.Fig1a(); return show(r, err) }},
+		{"1b", func() error { r, err := experiments.Fig1b(); return show(r, err) }},
+		{"2", func() error { return fig2(out) }},
+		{"5", func() error { r, err := experiments.Fig5(); return show(r, err) }},
+		{"6a", func() error { r, err := experiments.Fig6a(); return show(r, err) }},
+		{"6b", func() error { r, err := experiments.Fig6b(); return show(r, err) }},
+		{"6c", func() error { r, err := experiments.Fig6c(); return show(r, err) }},
+		{"8", func() error { r, err := experiments.Fig8(setups, seed); return show(r, err) }},
+		{"9a", func() error { r, err := experiments.Fig9(experiments.Fig9Dataset, seed); return show(r, err) }},
+		{"9b", func() error { r, err := experiments.Fig9(experiments.Fig9Nodes, seed); return show(r, err) }},
+		{"9c", func() error { r, err := experiments.Fig9(experiments.Fig9Degree, seed); return show(r, err) }},
+		{"10", func() error { r, err := experiments.Fig10(scale); return show(r, err) }},
+		{"11a", func() error { r, err := experiments.Fig11a(scale); return show(r, err) }},
+		{"11b", func() error { r, err := experiments.Fig11b(scale); return show(r, err) }},
+		{"12", func() error {
+			cfg := experiments.Fig12Config{Seed: seed}
+			if !full {
+				cfg.AppCounts = []int{50, 250}
+				cfg.Scenarios = 5
+			}
+			r, err := experiments.Fig12(cfg)
+			return show(r, err)
+		}},
+	}
+	ran := false
+	for _, s := range studies {
+		if fig == "all" || fig == s.name {
+			if err := s.fn(); err != nil {
+				return fmt.Errorf("fig %s: %w", s.name, err)
+			}
+			ran = true
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// fig2 renders the four utilization timelines; with -out they are also
+// written as CSV files.
+func fig2(out string) error {
+	for _, name := range []string{"LR", "PR"} {
+		for _, bw := range []float64{0.75, 0.25} {
+			r, err := experiments.Fig2(name, bw)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.String())
+			if out == "" {
+				continue
+			}
+			if err := os.MkdirAll(out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(out, fmt.Sprintf("fig2_%s_%.0f.csv", name, bw*100))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "time_s,cpu_pct,net_pct")
+			for _, p := range r.Series {
+				fmt.Fprintf(f, "%.2f,%.2f,%.2f\n", p.Time, p.CPU, p.Net)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}

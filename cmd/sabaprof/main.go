@@ -1,0 +1,75 @@
+// Command sabaprof runs Saba's offline profiler over the workload
+// catalog (or one workload) and writes the sensitivity table the
+// controller consumes (paper §4, §7.1).
+//
+//	sabaprof -all -save table.json
+//	sabaprof -workload LR -degree 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"saba/internal/profiler"
+	"saba/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "profile one catalog workload")
+	all := flag.Bool("all", false, "profile the whole Table-1 catalog")
+	degree := flag.Int("degree", 3, "polynomial degree recorded in the table")
+	nodes := flag.Int("nodes", 0, "profiling node count (default 8)")
+	scale := flag.Float64("dataset", 1, "dataset scale relative to Table 1")
+	save := flag.String("save", "", "write the sensitivity table JSON here")
+	flag.Parse()
+
+	if err := run(*name, *all, *degree, *nodes, *scale, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "sabaprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, all bool, degree, nodes int, scale float64, save string) error {
+	var specs []workload.Spec
+	switch {
+	case all:
+		specs = workload.Catalog()
+	case name != "":
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (have %s)", name, strings.Join(workload.Names(), ", "))
+		}
+		specs = []workload.Spec{spec}
+	default:
+		return fmt.Errorf("pass -workload NAME or -all")
+	}
+
+	table := profiler.NewTable()
+	for _, spec := range specs {
+		runner := &profiler.SimRunner{Spec: spec, Nodes: nodes, DatasetScale: scale}
+		res, err := profiler.Profile(spec.Name, runner, nil, []int{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%s, %s)\n", spec.Name, spec.Class, spec.DatasetDesc)
+		fmt.Println("  BW%   slowdown")
+		for _, s := range res.Samples {
+			fmt.Printf("  %3.0f%%  %6.2fx\n", s.Bandwidth*100, s.Slowdown)
+		}
+		for k := 1; k <= 3; k++ {
+			fmt.Printf("  k=%d: R²=%.3f  D(b) = %s\n", k, res.R2[k], res.Models[k])
+		}
+		if err := table.PutResult(res, degree); err != nil {
+			return err
+		}
+	}
+	if save != "" {
+		if err := table.Save(save); err != nil {
+			return err
+		}
+		fmt.Printf("sensitivity table (%d entries, degree %d) written to %s\n", table.Len(), degree, save)
+	}
+	return nil
+}

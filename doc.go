@@ -1,0 +1,19 @@
+// Package saba is a from-scratch Go reproduction of "Saba: Rethinking
+// Datacenter Network Allocation from Application's Perspective"
+// (Katebzadeh, Costa, Grot — EuroSys '23): an application-aware bandwidth
+// allocation framework that profiles applications' sensitivity to network
+// bandwidth and skews per-port switch-queue weights in favor of the
+// applications that benefit most.
+//
+// The implementation lives under internal/: the offline profiler,
+// polynomial sensitivity models, the Eq. 2 weight optimizer, k-means and
+// hierarchical PL/queue clustering, centralized and distributed
+// controllers, the Saba library with its RPC control plane, and the
+// fluid network simulator (topologies, WFQ, InfiniBand-style baseline,
+// Homa, Sincronia) the evaluation runs on. See README.md for the layout
+// and EXPERIMENTS.md for the paper-versus-measured record.
+//
+// The benchmarks in this directory (bench_test.go) regenerate every
+// table and figure of the paper at reduced scale; cmd/sabaexp runs the
+// full-size versions.
+package saba

@@ -1,0 +1,142 @@
+// Colocation reproduces the paper's motivating experiment (§2.2,
+// Fig. 1b) through the public pieces directly — no experiment harness:
+// LR (bandwidth-hungry) and PR (overlap-protected) share an 8-server
+// cluster under three regimes:
+//
+//   - per-flow max-min fairness (the InfiniBand baseline),
+//   - a hand-configured 75/25 WFQ skew in LR's favor,
+//   - Saba's controller deriving the skew from profiled sensitivity.
+//
+// Run with: go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/sabalib"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+func main() {
+	lr, _ := workload.ByName("LR")
+	pr, _ := workload.ByName("PR")
+
+	lrAlone := standalone(lr)
+	prAlone := standalone(pr)
+	fmt.Printf("standalone: LR %.0fs, PR %.0fs\n\n", lrAlone, prAlone)
+
+	fmt.Printf("%-22s %12s %12s\n", "scheme", "LR slowdown", "PR slowdown")
+	for _, scheme := range []string{"max-min (baseline)", "manual 75/25 skew", "saba controller"} {
+		lrT, prT := corun(scheme, lr, pr)
+		fmt.Printf("%-22s %11.2fx %11.2fx\n", scheme, lrT/lrAlone, prT/prAlone)
+	}
+}
+
+// standalone runs one job alone at full bandwidth.
+func standalone(spec workload.Spec) float64 {
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+	j := &workload.Job{ID: 1, Spec: spec, Nodes: top.Hosts(), App: 1}
+	if err := j.Start(e); err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		log.Fatal(err)
+	}
+	return j.CompletionTime()
+}
+
+// corun runs LR and PR together under the named scheme and returns their
+// completion times.
+func corun(scheme string, lr, pr workload.Spec) (lrT, prT float64) {
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+
+	jLR := &workload.Job{ID: 1, Spec: lr, Nodes: top.Hosts(), App: 1, PL: 0}
+	jPR := &workload.Job{ID: 2, Spec: pr, Nodes: top.Hosts(), App: 2, PL: 1}
+
+	var alloc netsim.Allocator
+	switch scheme {
+	case "max-min (baseline)":
+		alloc = netsim.NewFECN(net, 0)
+
+	case "manual 75/25 skew":
+		wfq := netsim.NewWFQ(net)
+		for _, l := range top.Links() {
+			if err := wfq.Configure(l.ID, netsim.PortConfig{
+				Weights: []float64{0.75, 0.25},
+				PLQueue: map[int]int{0: 0, 1: 1},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		alloc = wfq
+
+	case "saba controller":
+		// The full control plane: profile, register through the Saba
+		// library, let the controller derive weights from Eq. 2 and
+		// program the switch.
+		table := profiler.NewTable()
+		for _, spec := range []workload.Spec{lr, pr} {
+			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := table.PutResult(res, 3); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wfq := netsim.NewWFQ(net)
+		ctrl, err := controller.NewCentralized(controller.Config{
+			Topology: top, Table: table, Enforcer: wfq,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, j := range []*workload.Job{jLR, jPR} {
+			lib := sabalib.New(&sabalib.DirectTransport{API: ctrl})
+			if err := lib.Register(j.Spec.Name); err != nil {
+				log.Fatal(err)
+			}
+			app, _ := lib.App()
+			j.App = app
+			hosts := top.Hosts()
+			for i := range hosts {
+				if _, err := lib.ConnCreate(hosts[i], hosts[(i+1)%len(hosts)]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			pl, err := lib.RefreshPL()
+			if err != nil {
+				log.Fatal(err)
+			}
+			j.PL = pl
+		}
+		alloc = wfq
+	}
+
+	e := netsim.NewEngine(net, alloc)
+	if err := jLR.Start(e); err != nil {
+		log.Fatal(err)
+	}
+	if err := jPR.Start(e); err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		log.Fatal(err)
+	}
+	return jLR.CompletionTime(), jPR.CompletionTime()
+}

@@ -1,0 +1,87 @@
+// Datacenter runs the large-scale comparison on a three-tier spine-leaf
+// fabric: 20 synthetic workloads spread one-instance-per-server, under
+// the baseline, ideal max-min, Saba (centralized and distributed), Homa
+// and Sincronia — the §8.4 study at laptop scale.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"saba/internal/core"
+	"saba/internal/metrics"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+func main() {
+	// A scaled-down fabric with the paper's oversubscription profile.
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 3, ToRsPerPod: 3, LeavesPerPod: 7, Spines: 7,
+		HostsPerToR: 8, Queues: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fabric: %d hosts, %d switches, %d directed links\n",
+		len(top.Hosts()), len(top.Switches()), len(top.Links()))
+
+	// 20 synthetic workloads (§8.1), profiled offline.
+	rng := rand.New(rand.NewSource(42))
+	specs := workload.Synthetic(workload.SynthConfig{}, rng)
+	table := profiler.NewTable()
+	for _, spec := range specs {
+		res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := table.PutResult(res, 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One workload instance per server, randomly spread.
+	hosts := append([]topology.NodeID(nil), top.Hosts()...)
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	jobs := make([]core.JobSpec, len(specs))
+	for i, spec := range specs {
+		var nodes []topology.NodeID
+		for h := i; h < len(hosts); h += len(specs) {
+			nodes = append(nodes, hosts[h])
+		}
+		jobs[i] = core.JobSpec{Spec: spec, Nodes: nodes}
+	}
+
+	run := func(p core.Policy) core.Result {
+		res, err := core.RunJobs(top, jobs, core.RunConfig{
+			Policy: p, Table: table, SimBaseline: true, Seed: 42,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", p, err)
+		}
+		return res
+	}
+
+	base := run(core.PolicyBaseline)
+	fmt.Printf("\n%-18s %10s %12s\n", "policy", "makespan", "avg speedup")
+	fmt.Printf("%-18s %9.0fs %12s\n", core.PolicyBaseline, base.Makespan, "1.00x")
+	for _, p := range []core.Policy{
+		core.PolicyIdealMaxMin, core.PolicySaba,
+		core.PolicySabaDistributed, core.PolicyHoma, core.PolicySincronia,
+	} {
+		res := run(p)
+		var sp []float64
+		for i := range jobs {
+			sp = append(sp, base.Completions[i]/res.Completions[i])
+		}
+		g, err := metrics.GeoMean(sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %9.0fs %11.2fx\n", p, res.Makespan, g)
+	}
+}

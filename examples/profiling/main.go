@@ -1,0 +1,64 @@
+// Profiling walks the offline-profiler workflow (paper §4): sweep the
+// bandwidth throttle, fit sensitivity models at several degrees, inspect
+// goodness of fit, and persist the sensitivity table the controller
+// loads at startup.
+//
+// Run with: go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"saba/internal/profiler"
+	"saba/internal/workload"
+)
+
+func main() {
+	table := profiler.NewTable()
+
+	fmt.Println("offline profiling sweep (5%..100% of 56 Gb/s):")
+	for _, spec := range workload.Catalog() {
+		res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{1, 2, 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The degree the paper recommends: 3 (cubic captures the kinked
+		// curves of overlap-protected workloads like SQL).
+		if err := table.PutResult(res, 3); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s slowdown@25%%=%.2fx  R²: k=1 %.2f | k=2 %.2f | k=3 %.2f\n",
+			spec.Name, at(res, 0.25), res.R2[1], res.R2[2], res.R2[3])
+	}
+
+	dir, err := os.MkdirTemp("", "saba-profiles")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "sensitivity.json")
+	if err := table.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsensitivity table (%d entries) written to %s\n", table.Len(), path)
+
+	// Round-trip: this is what a controller does at boot.
+	loaded, err := profiler.LoadTable(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry, _ := loaded.Get("LR")
+	fmt.Printf("reloaded LR model (degree %d, R²=%.2f): coefficients %v\n",
+		entry.Degree, entry.R2, entry.Coeffs)
+}
+
+func at(res profiler.Result, bw float64) float64 {
+	for _, s := range res.Samples {
+		if s.Bandwidth == bw {
+			return s.Slowdown
+		}
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module saba
+
+go 1.22

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hierarchy is the dendrogram Saba precomputes over priority levels
+// (paper §5.3.2). Level 0 keeps every PL in its own cluster; each
+// subsequent level merges the two closest clusters of the previous level,
+// replacing them by their Euclidean midpoint, until the number of clusters
+// equals the minimum queue count in the network. At runtime the controller
+// walks the levels top-down to find, for any subset of PLs present at a
+// switch port, the shallowest level that fits in the port's queue count.
+type Hierarchy struct {
+	levels []level
+}
+
+// level is one slice of the dendrogram: a partition of the original PLs.
+type level struct {
+	clusters []Cluster
+}
+
+// Cluster is a group of priority levels with a representative centroid.
+type Cluster struct {
+	Members  []int // original PL indices, sorted ascending
+	Centroid Point
+}
+
+// ErrNoQueues is returned when a mapping is requested for zero queues.
+var ErrNoQueues = errors.New("cluster: queue count must be >= 1")
+
+// BuildHierarchy constructs the dendrogram from per-PL centroids (the
+// k-means centroids of the application→PL step). minQueues is the minimum
+// number of per-port queues across all switches; the hierarchy stops
+// merging once that many clusters remain (or one, if minQueues < 1).
+func BuildHierarchy(plCentroids []Point, minQueues int) (*Hierarchy, error) {
+	if err := checkDims(plCentroids); err != nil {
+		return nil, err
+	}
+	if minQueues < 1 {
+		minQueues = 1
+	}
+
+	cur := make([]Cluster, len(plCentroids))
+	for i, c := range plCentroids {
+		cur[i] = Cluster{Members: []int{i}, Centroid: c.clone()}
+	}
+	h := &Hierarchy{}
+	h.levels = append(h.levels, level{clusters: cloneClusters(cur)})
+
+	for len(cur) > minQueues && len(cur) > 1 {
+		// Find the closest pair of clusters by centroid distance.
+		bi, bj, bd := -1, -1, -1.0
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				d := Distance(cur[i].Centroid, cur[j].Centroid)
+				if bi == -1 || d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		merged := Cluster{
+			Members:  mergeSorted(cur[bi].Members, cur[bj].Members),
+			Centroid: Midpoint(cur[bi].Centroid, cur[bj].Centroid),
+		}
+		next := make([]Cluster, 0, len(cur)-1)
+		for i, c := range cur {
+			if i != bi && i != bj {
+				next = append(next, c)
+			}
+		}
+		next = append(next, merged)
+		cur = next
+		h.levels = append(h.levels, level{clusters: cloneClusters(cur)})
+	}
+	return h, nil
+}
+
+func cloneClusters(cs []Cluster) []Cluster {
+	out := make([]Cluster, len(cs))
+	for i, c := range cs {
+		out[i] = Cluster{
+			Members:  append([]int(nil), c.Members...),
+			Centroid: c.Centroid.clone(),
+		}
+	}
+	return out
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Levels returns the number of levels in the hierarchy.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// ClustersAt returns a copy of the partition at the given level
+// (0 = finest).
+func (h *Hierarchy) ClustersAt(lvl int) ([]Cluster, error) {
+	if lvl < 0 || lvl >= len(h.levels) {
+		return nil, fmt.Errorf("cluster: level %d out of range [0,%d)", lvl, len(h.levels))
+	}
+	return cloneClusters(h.levels[lvl].clusters), nil
+}
+
+// MapToQueues implements the paper's runtime search (§5.3.2 step 2): given
+// the set of PLs whose flows traverse a switch output port and the port's
+// queue count Q, it walks the hierarchy from the finest level and returns
+// the first partition that groups the present PLs into at most Q clusters.
+// Only clusters containing at least one present PL are returned, and their
+// Members are filtered to the present PLs.
+func (h *Hierarchy) MapToQueues(presentPLs []int, queues int) ([]Cluster, error) {
+	if queues < 1 {
+		return nil, ErrNoQueues
+	}
+	if len(presentPLs) == 0 {
+		return nil, nil
+	}
+	present := make(map[int]bool, len(presentPLs))
+	for _, pl := range presentPLs {
+		present[pl] = true
+	}
+	for lvl := range h.levels {
+		sel := selectPresent(h.levels[lvl].clusters, present)
+		if len(sel) <= queues {
+			return sel, nil
+		}
+	}
+	// The deepest level has the fewest clusters; if even that does not fit
+	// (port has fewer queues than the global minimum assumed at build
+	// time), collapse the tail clusters into the last queue.
+	sel := selectPresent(h.levels[len(h.levels)-1].clusters, present)
+	return collapseTo(sel, queues), nil
+}
+
+func selectPresent(cs []Cluster, present map[int]bool) []Cluster {
+	var out []Cluster
+	for _, c := range cs {
+		var members []int
+		for _, pl := range c.Members {
+			if present[pl] {
+				members = append(members, pl)
+			}
+		}
+		if len(members) > 0 {
+			out = append(out, Cluster{Members: members, Centroid: c.Centroid.clone()})
+		}
+	}
+	return out
+}
+
+// collapseTo folds the clusters beyond index queues-1 into the final
+// cluster, merging centroids pairwise by midpoint.
+func collapseTo(cs []Cluster, queues int) []Cluster {
+	if len(cs) <= queues {
+		return cs
+	}
+	out := cloneClusters(cs[:queues])
+	last := &out[queues-1]
+	for _, c := range cs[queues:] {
+		last.Members = mergeSorted(last.Members, c.Members)
+		last.Centroid = Midpoint(last.Centroid, c.Centroid)
+	}
+	return out
+}

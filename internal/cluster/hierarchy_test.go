@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func plPoints() []Point {
+	// 8 PL centroids along a sensitivity axis: two obvious super-groups.
+	return []Point{
+		{1.0}, {1.1}, {1.2}, {1.3},
+		{5.0}, {5.1}, {5.2}, {5.3},
+	}
+}
+
+func TestBuildHierarchyLevels(t *testing.T) {
+	h, err := BuildHierarchy(plPoints(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 clusters merge down to 2: levels with 8,7,6,5,4,3,2 clusters.
+	if h.Levels() != 7 {
+		t.Errorf("Levels = %d, want 7", h.Levels())
+	}
+	first, err := h.ClustersAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 8 {
+		t.Errorf("level 0 has %d clusters, want 8", len(first))
+	}
+	last, err := h.ClustersAt(h.Levels() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 2 {
+		t.Errorf("deepest level has %d clusters, want 2", len(last))
+	}
+	if _, err := h.ClustersAt(99); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+func TestHierarchyMergesNearestFirst(t *testing.T) {
+	// With the two super-groups far apart, no level below the last mixes
+	// low PLs (0-3) with high PLs (4-7).
+	h, err := BuildHierarchy(plPoints(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := 0; lvl < h.Levels()-1; lvl++ {
+		cs, err := h.ClustersAt(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) == 2 {
+			break // deepest partition may be the two super-groups
+		}
+		for _, c := range cs {
+			hasLow, hasHigh := false, false
+			for _, m := range c.Members {
+				if m < 4 {
+					hasLow = true
+				} else {
+					hasHigh = true
+				}
+			}
+			if hasLow && hasHigh && len(cs) > 2 {
+				t.Fatalf("level %d mixed super-groups: %+v", lvl, cs)
+			}
+		}
+	}
+}
+
+func TestHierarchyEachLevelIsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		h, err := BuildHierarchy(pts, 1)
+		if err != nil {
+			return false
+		}
+		for lvl := 0; lvl < h.Levels(); lvl++ {
+			cs, err := h.ClustersAt(lvl)
+			if err != nil {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, c := range cs {
+				for _, m := range c.Members {
+					if seen[m] {
+						return false // duplicate membership
+					}
+					seen[m] = true
+				}
+			}
+			if len(seen) != n {
+				return false // lost a PL
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapToQueuesFinePartitionWhenFits(t *testing.T) {
+	h, err := BuildHierarchy(plPoints(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 PLs present, 8 queues: finest level fits, so each PL gets its own
+	// queue.
+	cs, err := h.MapToQueues([]int{0, 4, 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("got %d clusters, want 3 (one per present PL)", len(cs))
+	}
+}
+
+func TestMapToQueuesCoarsensUnderPressure(t *testing.T) {
+	h, err := BuildHierarchy(plPoints(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 PLs present but only 3 queues: must coarsen to <= 3 clusters
+	// and still cover every present PL exactly once.
+	cs, err := h.MapToQueues([]int{0, 1, 2, 3, 4, 5, 6, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) == 0 || len(cs) > 3 {
+		t.Fatalf("got %d clusters, want 1..3", len(cs))
+	}
+	seen := map[int]bool{}
+	for _, c := range cs {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("PL %d mapped twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("covered %d PLs, want 8", len(seen))
+	}
+}
+
+func TestMapToQueuesFewerThanHierarchyMinimum(t *testing.T) {
+	// Hierarchy built for min 4 queues, but one port has just 2: the
+	// mapping must still collapse to 2.
+	h, err := BuildHierarchy(plPoints(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := h.MapToQueues([]int{0, 1, 2, 3, 4, 5, 6, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) > 2 {
+		t.Fatalf("got %d clusters for a 2-queue port", len(cs))
+	}
+	total := 0
+	for _, c := range cs {
+		total += len(c.Members)
+	}
+	if total != 8 {
+		t.Fatalf("covered %d PLs, want 8", total)
+	}
+}
+
+func TestMapToQueuesEdgeCases(t *testing.T) {
+	h, err := BuildHierarchy(plPoints(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.MapToQueues([]int{1}, 0); err != ErrNoQueues {
+		t.Errorf("err = %v, want ErrNoQueues", err)
+	}
+	cs, err := h.MapToQueues(nil, 4)
+	if err != nil || cs != nil {
+		t.Errorf("empty PL set: cs=%v err=%v, want nil,nil", cs, err)
+	}
+	// Single PL always maps to a single queue.
+	cs, err = h.MapToQueues([]int{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || len(cs[0].Members) != 1 || cs[0].Members[0] != 5 {
+		t.Errorf("single PL mapping = %+v", cs)
+	}
+}
+
+func TestMapToQueuesProperty(t *testing.T) {
+	// Any subset of PLs and any queue count >= 1 yields a partition of the
+	// subset into at most Q groups.
+	pts := plPoints()
+	h, err := BuildHierarchy(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var present []int
+		for pl := range pts {
+			if rng.Intn(2) == 0 {
+				present = append(present, pl)
+			}
+		}
+		q := 1 + rng.Intn(8)
+		cs, err := h.MapToQueues(present, q)
+		if err != nil {
+			return false
+		}
+		if len(present) == 0 {
+			return cs == nil
+		}
+		if len(cs) > q {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range cs {
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		return len(seen) == len(present)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildHierarchyErrors(t *testing.T) {
+	if _, err := BuildHierarchy(nil, 2); err != ErrNoPoints {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+	if _, err := BuildHierarchy([]Point{{1}, {1, 2}}, 2); err != ErrDimMix {
+		t.Errorf("err = %v, want ErrDimMix", err)
+	}
+	// Single point builds a trivial one-level hierarchy.
+	h, err := BuildHierarchy([]Point{{1}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 1 {
+		t.Errorf("single-point Levels = %d, want 1", h.Levels())
+	}
+}

@@ -1,0 +1,205 @@
+// Package cluster implements the two clustering algorithms Saba uses to
+// map applications onto the limited number of priority levels and switch
+// queues (paper §5.3): k-means for application→PL grouping and fast
+// agglomerative hierarchical clustering for PL→queue mapping.
+//
+// Points are sensitivity-model coefficient vectors; distance is Euclidean.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a coefficient vector in coefficient space.
+type Point []float64
+
+func (p Point) clone() Point { return append(Point(nil), p...) }
+
+// Distance returns the Euclidean distance between two points of equal
+// dimension.
+func Distance(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Midpoint returns the Euclidean midpoint of two points (the paper merges
+// hierarchical clusters by taking "the coordinates of the euclidean
+// midpoint of the corresponding coefficients", §5.3.2).
+func Midpoint(a, b Point) Point {
+	m := make(Point, len(a))
+	for i := range a {
+		m[i] = (a[i] + b[i]) / 2
+	}
+	return m
+}
+
+// KMeansResult holds a k-means clustering outcome.
+type KMeansResult struct {
+	Centroids  []Point // len k
+	Assignment []int   // Assignment[i] = centroid index of points[i]
+	Iterations int
+}
+
+// Errors returned by the clustering routines.
+var (
+	ErrNoPoints = errors.New("cluster: no points")
+	ErrBadK     = errors.New("cluster: k must be >= 1")
+	ErrDimMix   = errors.New("cluster: points have mixed dimensions")
+)
+
+func checkDims(points []Point) error {
+	if len(points) == 0 {
+		return ErrNoPoints
+	}
+	d := len(points[0])
+	for _, p := range points[1:] {
+		if len(p) != d {
+			return ErrDimMix
+		}
+	}
+	return nil
+}
+
+// KMeans clusters points into at most k groups using Lloyd's algorithm
+// with k-means++ seeding (paper §5.3.1). The rng makes seeding
+// deterministic for a fixed seed. If k >= len(points), every point gets
+// its own cluster.
+func KMeans(points []Point, k int, rng *rand.Rand) (KMeansResult, error) {
+	if err := checkDims(points); err != nil {
+		return KMeansResult{}, err
+	}
+	if k < 1 {
+		return KMeansResult{}, ErrBadK
+	}
+	if k >= len(points) {
+		res := KMeansResult{Assignment: make([]int, len(points))}
+		for i, p := range points {
+			res.Centroids = append(res.Centroids, p.clone())
+			res.Assignment[i] = i
+		}
+		return res, nil
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	const maxIters = 200
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := Distance(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make(Point, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j := range p {
+				sums[c][j] += p[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point from its
+				// centroid — keeps k clusters in play.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := Distance(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = points[far].clone()
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return KMeansResult{Centroids: centroids, Assignment: assign, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ heuristic.
+func seedPlusPlus(points []Point, k int, rng *rand.Rand) []Point {
+	centroids := make([]Point, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].clone())
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		sum := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := Distance(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All remaining points coincide with a centroid; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))].clone())
+			continue
+		}
+		r := rng.Float64() * sum
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].clone())
+	}
+	return centroids
+}
+
+// Inertia returns the sum of squared distances of points to their assigned
+// centroids — the k-means objective value.
+func Inertia(points []Point, res KMeansResult) float64 {
+	s := 0.0
+	for i, p := range points {
+		d := Distance(p, res.Centroids[res.Assignment[i]])
+		s += d * d
+	}
+	return s
+}
+
+// validateResult sanity-checks a result against its inputs.
+func validateResult(points []Point, res KMeansResult) error {
+	if len(res.Assignment) != len(points) {
+		return fmt.Errorf("cluster: assignment length %d != points %d", len(res.Assignment), len(points))
+	}
+	for i, a := range res.Assignment {
+		if a < 0 || a >= len(res.Centroids) {
+			return fmt.Errorf("cluster: point %d assigned to invalid centroid %d", i, a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	if d := Distance(Point{0, 0}, Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Distance = %g, want 5", d)
+	}
+	if d := Distance(Point{1}, Point{1}); d != 0 {
+		t.Errorf("Distance to self = %g, want 0", d)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(Point{0, 2}, Point{4, 6})
+	if m[0] != 2 || m[1] != 4 {
+		t.Errorf("Midpoint = %v, want [2 4]", m)
+	}
+}
+
+func TestKMeansTwoObviousClusters(t *testing.T) {
+	points := []Point{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	res, err := KMeans(points, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateResult(points, res); err != nil {
+		t.Fatal(err)
+	}
+	// First three must share a cluster, last three another.
+	if res.Assignment[0] != res.Assignment[1] || res.Assignment[1] != res.Assignment[2] {
+		t.Errorf("low points split: %v", res.Assignment)
+	}
+	if res.Assignment[3] != res.Assignment[4] || res.Assignment[4] != res.Assignment[5] {
+		t.Errorf("high points split: %v", res.Assignment)
+	}
+	if res.Assignment[0] == res.Assignment[3] {
+		t.Errorf("clusters merged: %v", res.Assignment)
+	}
+}
+
+func TestKMeansKGreaterThanPoints(t *testing.T) {
+	points := []Point{{1}, {2}}
+	res, err := KMeans(points, 16, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Errorf("centroids = %d, want 2 (one per point)", len(res.Centroids))
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("distinct points should get distinct clusters when k >= n")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, rand.New(rand.NewSource(1))); err != ErrNoPoints {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+	if _, err := KMeans([]Point{{1}, {2}}, 0, rand.New(rand.NewSource(1))); err != ErrBadK {
+		t.Errorf("err = %v, want ErrBadK", err)
+	}
+	if _, err := KMeans([]Point{{1}, {1, 2}}, 1, rand.New(rand.NewSource(1))); err != ErrDimMix {
+		t.Errorf("err = %v, want ErrDimMix", err)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := []Point{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(points, 2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Inertia(points, res); in != 0 {
+		t.Errorf("inertia of identical points = %g, want 0", in)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	points := make([]Point, 40)
+	for i := range points {
+		points[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	a, err := KMeans(points, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestKMeansInertiaNotWorseThanSingleCluster(t *testing.T) {
+	// Property: k=2 inertia <= k=1 inertia for any point set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5}
+		}
+		r1, err := KMeans(points, 1, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		r2, err := KMeans(points, 2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return Inertia(points, r2) <= Inertia(points, r1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansAssignmentIsNearest(t *testing.T) {
+	// Invariant at convergence: each point is assigned to its nearest
+	// centroid.
+	rng := rand.New(rand.NewSource(5))
+	points := make([]Point, 60)
+	for i := range points {
+		points[i] = Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	res, err := KMeans(points, 5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		dAssigned := Distance(p, res.Centroids[res.Assignment[i]])
+		for c := range res.Centroids {
+			if Distance(p, res.Centroids[c]) < dAssigned-1e-9 {
+				t.Fatalf("point %d not assigned to nearest centroid", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,639 @@
+// Package controller implements Saba's bandwidth controller (paper §5):
+// it tracks registered applications and their connections, detects each
+// connection's switch path from the forwarding tables, assigns
+// applications to Priority Levels with k-means over their sensitivity
+// coefficients, maps PLs to switch queues with the precomputed clustering
+// hierarchy, solves Eq. 2 per switch output port, and pushes the
+// resulting queue weights to the switches through an Enforcer.
+//
+// Both deployment models of §5.4 are provided: Centralized re-clusters on
+// every registration change and holds all state; Distributed shards
+// switch ownership across controller instances that share an offline
+// mapping database.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"saba/internal/cluster"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/solver"
+	"saba/internal/topology"
+)
+
+// AppID identifies a registered application (matches the data plane's
+// netsim.AppID space so flows can carry it).
+type AppID = netsim.AppID
+
+// ConnID identifies a tracked connection.
+type ConnID int64
+
+// Enforcer pushes queue configurations to switch output ports. The fluid
+// simulator's WFQ allocator implements it; a hardware deployment would
+// program SL→VL tables here.
+type Enforcer interface {
+	Configure(port topology.LinkID, cfg netsim.PortConfig) error
+}
+
+// Config parameterizes a controller.
+type Config struct {
+	Topology *topology.Topology
+	Table    *profiler.Table // sensitivity table from the profiler
+	Enforcer Enforcer
+	// PLs is the number of priority levels the fabric supports
+	// (InfiniBand: 16 service levels). 0 selects 16.
+	PLs int
+	// CSaba is the fraction of link capacity reserved for Saba-compliant
+	// applications (paper's C_saba; the evaluation uses 1.0). 0 selects 1.
+	CSaba float64
+	// MinShare is the floor weight any application keeps (no starvation).
+	// 0 lets the optimizer choose min(5%, half the fair share) — the
+	// profiled-domain floor.
+	MinShare float64
+	// Seed makes k-means seeding deterministic.
+	Seed int64
+	// DefaultCoeffs is the sensitivity model assumed for applications
+	// missing from the table (an average-sensitivity profile). nil selects
+	// a moderate default.
+	DefaultCoeffs []float64
+	// PerPortWeights selects the paper's literal per-port Eq. 2 (weights
+	// solved over only the applications present at each port) instead of
+	// the default hop-consistent global solve. See enforcePortLocked.
+	PerPortWeights bool
+}
+
+func (c *Config) fill() error {
+	if c.Topology == nil {
+		return errors.New("controller: nil topology")
+	}
+	if c.Table == nil {
+		return errors.New("controller: nil sensitivity table")
+	}
+	if c.Enforcer == nil {
+		return errors.New("controller: nil enforcer")
+	}
+	if c.PLs == 0 {
+		c.PLs = 16
+	}
+	if c.PLs < 1 {
+		return fmt.Errorf("controller: invalid PL count %d", c.PLs)
+	}
+	if c.CSaba == 0 {
+		c.CSaba = 1
+	}
+	if c.CSaba <= 0 || c.CSaba > 1 {
+		return fmt.Errorf("controller: CSaba %g out of (0,1]", c.CSaba)
+	}
+	if c.DefaultCoeffs == nil {
+		// A moderate sensitivity: slowdown 2x at 25% bandwidth.
+		c.DefaultCoeffs = []float64{2.4, -1.87, 0.47}
+	}
+	return nil
+}
+
+// appState tracks one registered application.
+type appState struct {
+	id     AppID
+	name   string
+	coeffs []float64
+	pl     int
+	conns  int
+}
+
+// connState tracks one connection.
+type connState struct {
+	app  AppID
+	src  topology.NodeID
+	dst  topology.NodeID
+	path []topology.LinkID
+}
+
+// portState tracks the applications whose connections cross a port.
+type portState struct {
+	appConns map[AppID]int // connection count per app
+}
+
+// Centralized is the centralized controller of §5.4: a single instance
+// holding global state, re-clustering on registration changes and
+// recomputing weights on connection changes.
+type Centralized struct {
+	mu    sync.Mutex
+	cfg   Config
+	apps  map[AppID]*appState
+	conns map[ConnID]connState
+	ports map[topology.LinkID]*portState
+
+	hier      *cluster.Hierarchy
+	plPoints  []cluster.Point // centroid per PL
+	minQueues int
+
+	nextApp  AppID
+	nextConn ConnID
+	rng      *rand.Rand
+
+	// solCache memoizes per-port Eq. 2 solutions per application set:
+	// many ports carry the same set of applications, and the solution
+	// depends only on that set. globalW caches the global solve. Both are
+	// invalidated whenever the registered set or PL assignment changes.
+	solCache map[string][]float64
+	globalW  map[AppID]float64
+
+	// LastCalcDuration is how long the most recent full weight
+	// recomputation took (the Fig. 12 metric).
+	lastCalc time.Duration
+}
+
+// NewCentralized creates a centralized controller.
+func NewCentralized(cfg Config) (*Centralized, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	minQ := 0
+	for _, n := range cfg.Topology.Nodes() {
+		if n.Queues > 0 && (minQ == 0 || n.Queues < minQ) {
+			minQ = n.Queues
+		}
+	}
+	if minQ == 0 {
+		minQ = 1
+	}
+	return &Centralized{
+		cfg:       cfg,
+		apps:      map[AppID]*appState{},
+		conns:     map[ConnID]connState{},
+		ports:     map[topology.LinkID]*portState{},
+		minQueues: minQ,
+		nextApp:   1,
+		nextConn:  1,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		solCache:  map[string][]float64{},
+	}, nil
+}
+
+// Errors returned by controller operations.
+var (
+	ErrUnknownApp  = errors.New("controller: unknown application")
+	ErrUnknownConn = errors.New("controller: unknown connection")
+	ErrHasConns    = errors.New("controller: application still has connections")
+)
+
+// Register admits an application (paper Fig. 7 step ①-③): it looks up the
+// sensitivity model, re-runs the application→PL clustering, and returns
+// the assigned app ID and PL.
+func (c *Centralized) Register(name string) (AppID, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	coeffs := c.cfg.DefaultCoeffs
+	if e, ok := c.cfg.Table.Get(name); ok {
+		coeffs = e.Coeffs
+	}
+	id := c.nextApp
+	c.nextApp++
+	c.apps[id] = &appState{id: id, name: name, coeffs: coeffs}
+	if err := c.reclusterLocked(); err != nil {
+		delete(c.apps, id)
+		return 0, 0, err
+	}
+	if err := c.enforceAllLocked(); err != nil {
+		return 0, 0, err
+	}
+	return id, c.apps[id].pl, nil
+}
+
+// RegisterBatch admits many applications with a single re-clustering
+// pass — the bulk-load path used when a controller boots against an
+// already-running cluster, and by the overhead study (Fig. 12), where
+// registering hundreds of applications one by one would measure k-means
+// churn rather than allocation time.
+func (c *Centralized) RegisterBatch(names []string) ([]AppID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]AppID, len(names))
+	for i, name := range names {
+		coeffs := c.cfg.DefaultCoeffs
+		if e, ok := c.cfg.Table.Get(name); ok {
+			coeffs = e.Coeffs
+		}
+		id := c.nextApp
+		c.nextApp++
+		c.apps[id] = &appState{id: id, name: name, coeffs: coeffs}
+		ids[i] = id
+	}
+	if err := c.reclusterLocked(); err != nil {
+		for _, id := range ids {
+			delete(c.apps, id)
+		}
+		return nil, err
+	}
+	return ids, c.enforceAllLocked()
+}
+
+// PreloadConn records a connection without recomputing any port weights;
+// callers follow up with RecomputeAll. It exists for bulk scenario
+// construction (the Fig. 12 overhead study loads tens of thousands of
+// connections before timing one full recomputation).
+func (c *Centralized) PreloadConn(id AppID, src, dst topology.NodeID) (ConnID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	path, err := c.cfg.Topology.Route(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("controller: path detection: %w", err)
+	}
+	cid := c.nextConn
+	c.nextConn++
+	c.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
+	app.conns++
+	for _, l := range path {
+		ps := c.ports[l]
+		if ps == nil {
+			ps = &portState{appConns: map[AppID]int{}}
+			c.ports[l] = ps
+		}
+		ps.appConns[id]++
+	}
+	return cid, nil
+}
+
+// Deregister removes an application with no remaining connections.
+// Deliberately, no re-clustering happens here: renumbering PLs under
+// applications whose live connections already carry their Service Level
+// would desynchronize packets from the switch tables. The departed app's
+// weight is reclaimed by re-enforcing every port; the next registration
+// re-clusters.
+func (c *Centralized) Deregister(id AppID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	if app.conns > 0 {
+		return fmt.Errorf("%w: %d has %d", ErrHasConns, id, app.conns)
+	}
+	delete(c.apps, id)
+	if len(c.apps) == 0 {
+		c.hier = nil
+		c.plPoints = nil
+	}
+	clear(c.solCache)
+	c.globalW = nil
+	return c.enforceAllLocked()
+}
+
+// PL returns the current priority level of an application.
+func (c *Centralized) PL(id AppID) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	return app.pl, nil
+}
+
+// ConnCreate records a connection (Fig. 7 steps ④-⑦): it detects the
+// path from the forwarding tables and reconfigures every port on it.
+func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	path, err := c.cfg.Topology.Route(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("controller: path detection: %w", err)
+	}
+	cid := c.nextConn
+	c.nextConn++
+	c.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
+	app.conns++
+	for _, l := range path {
+		ps := c.ports[l]
+		if ps == nil {
+			ps = &portState{appConns: map[AppID]int{}}
+			c.ports[l] = ps
+		}
+		ps.appConns[id]++
+	}
+	if err := c.enforcePortsLocked(path); err != nil {
+		return 0, err
+	}
+	return cid, nil
+}
+
+// ConnDestroy removes a connection (Fig. 7 steps ⑧-⑪) and reallocates the
+// ports it crossed.
+func (c *Centralized) ConnDestroy(cid ConnID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, ok := c.conns[cid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
+	}
+	delete(c.conns, cid)
+	if app, ok := c.apps[conn.app]; ok {
+		app.conns--
+	}
+	for _, l := range conn.path {
+		ps := c.ports[l]
+		if ps == nil {
+			continue
+		}
+		ps.appConns[conn.app]--
+		if ps.appConns[conn.app] <= 0 {
+			delete(ps.appConns, conn.app)
+		}
+		if len(ps.appConns) == 0 {
+			delete(c.ports, l)
+		}
+	}
+	return c.enforcePortsLocked(conn.path)
+}
+
+// Apps returns the registered application count.
+func (c *Centralized) Apps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.apps)
+}
+
+// Conns returns the tracked connection count.
+func (c *Centralized) Conns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// LastCalcDuration reports the wall-clock time of the most recent full
+// weight recomputation (Fig. 12's metric).
+func (c *Centralized) LastCalcDuration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastCalc
+}
+
+// RecomputeAll recomputes and enforces the weights of every active port,
+// returning the wall-clock calculation time.
+func (c *Centralized) RecomputeAll() (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enforceAllLocked(); err != nil {
+		return 0, err
+	}
+	return c.lastCalc, nil
+}
+
+// reclusterLocked re-runs the application→PL k-means and rebuilds the
+// PL hierarchy (paper §5.3). Caller holds mu.
+func (c *Centralized) reclusterLocked() error {
+	clear(c.solCache)
+	c.globalW = nil
+	if len(c.apps) == 0 {
+		return nil
+	}
+	ids := make([]AppID, 0, len(c.apps))
+	for id := range c.apps {
+		ids = append(ids, id)
+	}
+	// Deterministic order for reproducible clustering.
+	sortAppIDs(ids)
+	dim := 0
+	for _, id := range ids {
+		if len(c.apps[id].coeffs) > dim {
+			dim = len(c.apps[id].coeffs)
+		}
+	}
+	points := make([]cluster.Point, len(ids))
+	for i, id := range ids {
+		p := make(cluster.Point, dim)
+		copy(p, c.apps[id].coeffs)
+		points[i] = p
+	}
+	res, err := cluster.KMeans(points, c.cfg.PLs, c.rng)
+	if err != nil {
+		return fmt.Errorf("controller: app→PL clustering: %w", err)
+	}
+	for i, id := range ids {
+		c.apps[id].pl = res.Assignment[i]
+	}
+	c.plPoints = res.Centroids
+	hier, err := cluster.BuildHierarchy(res.Centroids, c.minQueues)
+	if err != nil {
+		return fmt.Errorf("controller: PL hierarchy: %w", err)
+	}
+	c.hier = hier
+	return nil
+}
+
+// enforceAllLocked recomputes every active port, timing the calculation.
+func (c *Centralized) enforceAllLocked() error {
+	start := time.Now()
+	for l := range c.ports {
+		if err := c.enforcePortLocked(l); err != nil {
+			c.lastCalc = time.Since(start)
+			return err
+		}
+	}
+	c.lastCalc = time.Since(start)
+	return nil
+}
+
+// enforcePortsLocked recomputes the unique ports of a path.
+func (c *Centralized) enforcePortsLocked(path []topology.LinkID) error {
+	start := time.Now()
+	for _, l := range path {
+		if err := c.enforcePortLocked(l); err != nil {
+			c.lastCalc = time.Since(start)
+			return err
+		}
+	}
+	c.lastCalc = time.Since(start)
+	return nil
+}
+
+// enforcePortLocked computes the port's queue weights and pushes them
+// (paper §5.1-§5.3). Two weighting strategies are supported:
+//
+//   - Global (default): Eq. 2 is solved once over every registered
+//     application, and each port's queues carry the global weights of the
+//     applications present there. Flows cross several switches, and a
+//     flow's rate is governed by its *minimum* share along the path;
+//     solving each port in isolation gives the same application different
+//     relative weights at different hops, and the per-hop minima
+//     systematically under-serve everyone. Hop-consistent ratios avoid
+//     that composition loss.
+//   - PerPortWeights: the paper's literal formulation — Eq. 2 over only
+//     the applications whose connections cross this port.
+func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
+	ps := c.ports[port]
+	if ps == nil || len(ps.appConns) == 0 || c.hier == nil {
+		return nil
+	}
+	// Applications with flows through this port, in deterministic order.
+	ids := make([]AppID, 0, len(ps.appConns))
+	for id := range ps.appConns {
+		ids = append(ids, id)
+	}
+	sortAppIDs(ids)
+
+	weights, err := c.weightsLocked(ids, port)
+	if err != nil {
+		return err
+	}
+
+	// PL→queue mapping for the PLs present at this port.
+	present := map[int]bool{}
+	for _, id := range ids {
+		present[c.apps[id].pl] = true
+	}
+	presentPLs := make([]int, 0, len(present))
+	for pl := range present {
+		presentPLs = append(presentPLs, pl)
+	}
+	sortInts(presentPLs)
+	queues := c.cfg.Topology.QueuesAt(port)
+	if queues < 1 {
+		queues = 1
+	}
+	clusters, errMap := c.hier.MapToQueues(presentPLs, queues)
+	if errMap != nil {
+		return fmt.Errorf("controller: PL→queue on port %d: %w", port, errMap)
+	}
+
+	// Queue weight = Σ of the Eq. 2 weights of the applications mapped to
+	// it (§5.3.2).
+	plToQueue := map[int]int{}
+	for q, cl := range clusters {
+		for _, pl := range cl.Members {
+			plToQueue[pl] = q
+		}
+	}
+	qWeights := make([]float64, len(clusters))
+	for i, id := range ids {
+		q, ok := plToQueue[c.apps[id].pl]
+		if !ok {
+			// PL not in the mapping (cannot happen: built from present set)
+			continue
+		}
+		qWeights[q] += weights[i]
+	}
+	// Default queue: the heaviest one, so unmapped traffic degrades softly.
+	def := 0
+	for q, w := range qWeights {
+		if w > qWeights[def] {
+			def = q
+		}
+	}
+	return c.cfg.Enforcer.Configure(port, netsim.PortConfig{
+		Weights:      qWeights,
+		PLQueue:      plToQueue,
+		DefaultQueue: def,
+	})
+}
+
+// weightsLocked returns the Eq. 2 weights for the given (sorted) apps at
+// a port, per the configured strategy, memoized by application set.
+func (c *Centralized) weightsLocked(ids []AppID, port topology.LinkID) ([]float64, error) {
+	if !c.cfg.PerPortWeights {
+		// Global strategy: one solve over every registered application,
+		// then select the present apps' weights (ratios preserved; WFQ
+		// normalizes per port).
+		global, err := c.globalWeightsLocked()
+		if err != nil {
+			return nil, err
+		}
+		weights := make([]float64, len(ids))
+		for i, id := range ids {
+			weights[i] = global[id]
+		}
+		return weights, nil
+	}
+	key := appSetKey(ids)
+	if w, ok := c.solCache[key]; ok {
+		return w, nil
+	}
+	objs := make([]solver.Objective, len(ids))
+	for i, id := range ids {
+		objs[i] = solver.NewMonotonePoly(c.apps[id].coeffs)
+	}
+	weights, err := solver.Minimize(objs, solver.Options{
+		Total:    c.cfg.CSaba,
+		MinShare: c.cfg.MinShare,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: Eq.2 on port %d: %w", port, err)
+	}
+	c.solCache[key] = weights
+	return weights, nil
+}
+
+// globalWeightsLocked solves Eq. 2 once over all registered applications.
+func (c *Centralized) globalWeightsLocked() (map[AppID]float64, error) {
+	if c.globalW != nil {
+		return c.globalW, nil
+	}
+	all := make([]AppID, 0, len(c.apps))
+	for id := range c.apps {
+		all = append(all, id)
+	}
+	sortAppIDs(all)
+	objs := make([]solver.Objective, len(all))
+	for i, id := range all {
+		objs[i] = solver.NewMonotonePoly(c.apps[id].coeffs)
+	}
+	weights, err := solver.Minimize(objs, solver.Options{
+		Total:    c.cfg.CSaba,
+		MinShare: c.cfg.MinShare,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: global Eq.2: %w", err)
+	}
+	c.globalW = make(map[AppID]float64, len(all))
+	for i, id := range all {
+		c.globalW[id] = weights[i]
+	}
+	return c.globalW, nil
+}
+
+// appSetKey encodes a sorted application-ID set as a cache key.
+func appSetKey(ids []AppID) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = appendVarint(b, uint64(id))
+	}
+	return string(b)
+}
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func sortAppIDs(ids []AppID) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}

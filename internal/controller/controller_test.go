@@ -1,0 +1,299 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+)
+
+// testTable builds a sensitivity table with one steep (sensitive) and one
+// flat (insensitive) application plus two mid-range ones.
+func testTable(t *testing.T) *profiler.Table {
+	t.Helper()
+	tab := profiler.NewTable()
+	entries := []profiler.Entry{
+		{Name: "steep", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}, R2: 0.95},
+		{Name: "flat", Degree: 2, Coeffs: []float64{1.5, -0.6, 0.1}, R2: 0.9},
+		{Name: "mid1", Degree: 2, Coeffs: []float64{2.8, -2.4, 0.6}, R2: 0.92},
+		{Name: "mid2", Degree: 2, Coeffs: []float64{3.2, -3.0, 0.8}, R2: 0.93},
+	}
+	for _, e := range entries {
+		if err := tab.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func rigController(t *testing.T, hosts, pls int) (*Centralized, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: hosts, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology: top,
+		Table:    testTable(t),
+		Enforcer: wfq,
+		PLs:      pls,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, wfq, top
+}
+
+func TestConfigValidation(t *testing.T) {
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 2})
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	tab := profiler.NewTable()
+	bad := []Config{
+		{Table: tab, Enforcer: wfq},
+		{Topology: top, Enforcer: wfq},
+		{Topology: top, Table: tab},
+		{Topology: top, Table: tab, Enforcer: wfq, PLs: -1},
+		{Topology: top, Table: tab, Enforcer: wfq, CSaba: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCentralized(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRegisterAssignsPLs(t *testing.T) {
+	c, _, _ := rigController(t, 4, 16)
+	a, plA, err := c.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, plB, err := c.Register("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("distinct registrations share an app ID")
+	}
+	// With 16 PLs and 2 very different apps, they must land on distinct
+	// PLs.
+	if plA == plB {
+		t.Errorf("steep and flat share PL %d", plA)
+	}
+	if got, err := c.PL(a); err != nil || got != plA {
+		t.Errorf("PL(a) = %d,%v", got, err)
+	}
+	if c.Apps() != 2 {
+		t.Errorf("Apps = %d, want 2", c.Apps())
+	}
+}
+
+func TestRegisterUnknownAppUsesDefault(t *testing.T) {
+	c, _, _ := rigController(t, 4, 16)
+	if _, _, err := c.Register("never-profiled"); err != nil {
+		t.Fatalf("unknown app should register with default sensitivity: %v", err)
+	}
+}
+
+func TestFewPLsGroupSimilarApps(t *testing.T) {
+	// With 2 PLs, the two mid-sensitivity apps must share a PL while
+	// steep and flat stay apart from each other.
+	c, _, _ := rigController(t, 4, 2)
+	_, plSteep, _ := c.Register("steep")
+	_, plFlat, _ := c.Register("flat")
+	_, plM1, _ := c.Register("mid1")
+	_, plM2, _ := c.Register("mid2")
+	if plSteep == plFlat {
+		t.Errorf("steep and flat share a PL with k=2")
+	}
+	if plM1 != plM2 {
+		t.Errorf("mid1 (PL %d) and mid2 (PL %d) should cluster together", plM1, plM2)
+	}
+}
+
+func TestConnCreateConfiguresPath(t *testing.T) {
+	c, wfq, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	// The shared downlink (switch→h2) must now be configured with two
+	// queues whose weights favor the steep app.
+	path, _ := top.Route(hosts[0], hosts[2])
+	down := path[len(path)-1]
+	cfg := wfq.Config(down)
+	if cfg == nil {
+		t.Fatal("shared port not configured")
+	}
+	plA, _ := c.PL(a)
+	plB, _ := c.PL(b)
+	qA, okA := cfg.PLQueue[plA]
+	qB, okB := cfg.PLQueue[plB]
+	if !okA || !okB {
+		t.Fatalf("PLs not mapped: %+v", cfg.PLQueue)
+	}
+	if qA == qB {
+		t.Fatalf("steep and flat mapped to the same queue")
+	}
+	if cfg.Weights[qA] <= cfg.Weights[qB] {
+		t.Errorf("steep queue weight %g <= flat %g", cfg.Weights[qA], cfg.Weights[qB])
+	}
+	// Weights approximate the skewed split of §2.2 (more than 60% to the
+	// sensitive app).
+	total := cfg.Weights[qA] + cfg.Weights[qB]
+	if cfg.Weights[qA]/total < 0.6 {
+		t.Errorf("steep share = %.2f, want > 0.6", cfg.Weights[qA]/total)
+	}
+	if c.Conns() != 2 {
+		t.Errorf("Conns = %d, want 2", c.Conns())
+	}
+}
+
+func TestConnDestroyReleasesState(t *testing.T) {
+	c, _, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	cid, err := c.ConnCreate(a, hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnDestroy(cid); err != nil {
+		t.Fatal(err)
+	}
+	if c.Conns() != 0 {
+		t.Errorf("Conns = %d after destroy", c.Conns())
+	}
+	if err := c.ConnDestroy(cid); err == nil {
+		t.Error("double destroy should fail")
+	}
+	// Now the app can deregister.
+	if err := c.Deregister(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deregister(a); err == nil {
+		t.Error("double deregister should fail")
+	}
+}
+
+func TestDeregisterBlockedWithLiveConns(t *testing.T) {
+	c, _, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deregister(a); err == nil {
+		t.Error("deregister with live connections should fail")
+	}
+}
+
+func TestConnCreateUnknownApp(t *testing.T) {
+	c, _, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	if _, err := c.ConnCreate(AppID(99), hosts[0], hosts[1]); err == nil {
+		t.Error("conn for unknown app should fail")
+	}
+	a, _, _ := c.Register("steep")
+	if _, err := c.ConnCreate(a, hosts[0], topology.NodeID(999)); err == nil {
+		t.Error("unroutable conn should fail")
+	}
+}
+
+func TestSingleAppGetsFullShare(t *testing.T) {
+	c, wfq, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[1]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[1])
+	cfg := wfq.Config(path[0])
+	if cfg == nil {
+		t.Fatal("port not configured")
+	}
+	sum := 0.0
+	for _, w := range cfg.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("queue weights sum to %g, want 1 (CSaba)", sum)
+	}
+}
+
+func TestRecomputeAllAndTiming(t *testing.T) {
+	c, _, top := rigController(t, 8, 16)
+	hosts := top.Hosts()
+	var apps []AppID
+	for _, name := range []string{"steep", "flat", "mid1", "mid2"} {
+		id, _, err := c.Register(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, id)
+	}
+	for i, id := range apps {
+		for k := 1; k <= 3; k++ {
+			if _, err := c.ConnCreate(id, hosts[i], hosts[(i+k)%len(hosts)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d, err := c.RecomputeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("RecomputeAll should take measurable time")
+	}
+	if c.LastCalcDuration() != d {
+		t.Error("LastCalcDuration mismatch")
+	}
+}
+
+func TestQueueCapRespected(t *testing.T) {
+	// 2-queue switch with 4 distinct apps: every configured port must have
+	// at most 2 queues covering all PLs.
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 6, Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{Topology: top, Table: testTable(t), Enforcer: wfq, PLs: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	names := []string{"steep", "flat", "mid1", "mid2"}
+	for i, n := range names {
+		id, _, err := c.Register(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ConnCreate(id, hosts[i], hosts[5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, _ := top.Route(hosts[0], hosts[5])
+	cfg := wfq.Config(path[len(path)-1])
+	if cfg == nil {
+		t.Fatal("shared port not configured")
+	}
+	if len(cfg.Weights) > 2 {
+		t.Errorf("port has %d queues, cap is 2", len(cfg.Weights))
+	}
+	if len(cfg.PLQueue) != 4 {
+		t.Errorf("PLQueue covers %d PLs, want 4", len(cfg.PLQueue))
+	}
+}

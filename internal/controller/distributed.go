@@ -1,0 +1,443 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"saba/internal/cluster"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/solver"
+	"saba/internal/topology"
+)
+
+// MappingDB is the shared database of the distributed design (§5.4): the
+// profiler computes the application→PL mapping and the PL clustering
+// hierarchy offline over the full sensitivity table and stores them here;
+// the distributed controllers only read. Because the mapping is built
+// from profiled applications rather than the live registered set, it can
+// be slightly stale — the accuracy/scalability trade-off the paper
+// measures in study 7 (1.23x vs 1.27x speedup).
+type MappingDB struct {
+	mu      sync.RWMutex
+	plOf    map[string]int // workload name → PL
+	coeffs  map[string][]float64
+	hier    *cluster.Hierarchy
+	defCoef []float64
+	defPL   int
+}
+
+// BuildMappingDB clusters every profiled application into PLs and builds
+// the hierarchy, exactly as the profiler does after each profiling run.
+func BuildMappingDB(table *profiler.Table, pls, minQueues int, seed int64) (*MappingDB, error) {
+	names := table.Names()
+	if len(names) == 0 {
+		return nil, errors.New("controller: empty sensitivity table")
+	}
+	dim := 0
+	coeffs := map[string][]float64{}
+	for _, n := range names {
+		e, ok := table.Get(n)
+		if !ok {
+			continue
+		}
+		coeffs[n] = e.Coeffs
+		if len(e.Coeffs) > dim {
+			dim = len(e.Coeffs)
+		}
+	}
+	points := make([]cluster.Point, len(names))
+	for i, n := range names {
+		p := make(cluster.Point, dim)
+		copy(p, coeffs[n])
+		points[i] = p
+	}
+	res, err := cluster.KMeans(points, pls, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("controller: offline app→PL clustering: %w", err)
+	}
+	hier, err := cluster.BuildHierarchy(res.Centroids, minQueues)
+	if err != nil {
+		return nil, fmt.Errorf("controller: offline PL hierarchy: %w", err)
+	}
+	db := &MappingDB{
+		plOf:    map[string]int{},
+		coeffs:  coeffs,
+		hier:    hier,
+		defCoef: []float64{2.4, -1.87, 0.47},
+	}
+	for i, n := range names {
+		db.plOf[n] = res.Assignment[i]
+	}
+	// Unknown applications borrow the PL of the densest cluster.
+	counts := make([]int, len(res.Centroids))
+	for _, a := range res.Assignment {
+		counts[a]++
+	}
+	for pl, n := range counts {
+		if n > counts[db.defPL] {
+			db.defPL = pl
+		}
+	}
+	return db, nil
+}
+
+// Lookup returns the PL and coefficients for an application name.
+func (db *MappingDB) Lookup(name string) (pl int, coeffs []float64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if p, ok := db.plOf[name]; ok {
+		return p, db.coeffs[name]
+	}
+	return db.defPL, db.defCoef
+}
+
+// Hierarchy returns the offline PL clustering hierarchy.
+func (db *MappingDB) Hierarchy() *cluster.Hierarchy {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hier
+}
+
+// Distributed is one shard of the distributed controller: it owns a
+// subset of the switches and maintains only the port state of those
+// switches. Connection setup walks the path shard by shard (the paper's
+// "communicating with the next controller on the path"), implemented by
+// the Mesh coordinator below.
+type Distributed struct {
+	mu       sync.Mutex
+	id       int
+	db       *MappingDB
+	topo     *topology.Topology
+	enforcer Enforcer
+	owned    map[topology.NodeID]bool // switches this shard owns
+	ports    map[topology.LinkID]*portState
+	appPL    map[AppID]int
+	appCoef  map[AppID][]float64
+	csaba    float64
+	minShare float64
+	solCache map[string][]float64
+}
+
+// Mesh is the collective of distributed controller shards plus the shared
+// registration state (app IDs are global, like the subnet manager's LID
+// space).
+type Mesh struct {
+	mu       sync.Mutex
+	shards   []*Distributed
+	ownerOf  map[topology.NodeID]*Distributed
+	topo     *topology.Topology
+	db       *MappingDB
+	apps     map[AppID]string
+	appConns map[AppID]int
+	conns    map[ConnID]connState
+	nextApp  AppID
+	nextConn ConnID
+	lastCalc time.Duration
+}
+
+// NewMesh builds `shards` distributed controllers over the topology,
+// assigning switches round-robin, all enforcing through the same
+// enforcer (in a hardware deployment each shard programs its own
+// switches).
+func NewMesh(topo *topology.Topology, db *MappingDB, enforcer Enforcer, shards int, csaba, minShare float64) (*Mesh, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("controller: need at least one shard, got %d", shards)
+	}
+	if csaba == 0 {
+		csaba = 1
+	}
+	m := &Mesh{
+		ownerOf:  map[topology.NodeID]*Distributed{},
+		topo:     topo,
+		db:       db,
+		apps:     map[AppID]string{},
+		appConns: map[AppID]int{},
+		conns:    map[ConnID]connState{},
+		nextApp:  1,
+		nextConn: 1,
+	}
+	for i := 0; i < shards; i++ {
+		m.shards = append(m.shards, &Distributed{
+			id:       i,
+			db:       db,
+			topo:     topo,
+			enforcer: enforcer,
+			owned:    map[topology.NodeID]bool{},
+			ports:    map[topology.LinkID]*portState{},
+			appPL:    map[AppID]int{},
+			appCoef:  map[AppID][]float64{},
+			csaba:    csaba,
+			minShare: minShare,
+			solCache: map[string][]float64{},
+		})
+	}
+	// Hosts' egress ports are owned alongside their switch? Assign every
+	// node (hosts included — their NIC VL arbiters are configured too)
+	// round-robin across shards.
+	for i, n := range topo.Nodes() {
+		sh := m.shards[i%shards]
+		sh.owned[n.ID] = true
+		m.ownerOf[n.ID] = sh
+	}
+	return m, nil
+}
+
+// Register assigns a global app ID and fetches the offline PL from the
+// database — no re-clustering happens online (§5.4).
+func (m *Mesh) Register(name string) (AppID, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextApp
+	m.nextApp++
+	m.apps[id] = name
+	pl, coeffs := m.db.Lookup(name)
+	for _, sh := range m.shards {
+		sh.admit(id, pl, coeffs)
+	}
+	return id, pl, nil
+}
+
+// Deregister removes an application with no remaining connections.
+func (m *Mesh) Deregister(id AppID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.apps[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	if m.appConns[id] > 0 {
+		return fmt.Errorf("%w: %d", ErrHasConns, id)
+	}
+	delete(m.apps, id)
+	delete(m.appConns, id)
+	for _, sh := range m.shards {
+		sh.evict(id)
+	}
+	return nil
+}
+
+// PL returns the (offline, immutable) priority level of an application.
+func (m *Mesh) PL(id AppID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name, ok := m.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	pl, _ := m.db.Lookup(name)
+	return pl, nil
+}
+
+// ConnCreate detects the path and walks it shard by shard: each shard
+// updates and enforces the ports it owns, then hands off to the next.
+func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.apps[id]; !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	path, err := m.topo.Route(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("controller: path detection: %w", err)
+	}
+	cid := m.nextConn
+	m.nextConn++
+	m.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
+	m.appConns[id]++
+	start := time.Now()
+	for _, hop := range shardHops(m.ownerOf, m.topo, path) {
+		if err := hop.shard.addConn(id, hop.ports); err != nil {
+			m.lastCalc = time.Since(start)
+			return 0, err
+		}
+	}
+	m.lastCalc = time.Since(start)
+	return cid, nil
+}
+
+// ConnDestroy removes a connection and re-enforces the affected shards.
+func (m *Mesh) ConnDestroy(cid ConnID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	conn, ok := m.conns[cid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
+	}
+	delete(m.conns, cid)
+	m.appConns[conn.app]--
+	start := time.Now()
+	for _, hop := range shardHops(m.ownerOf, m.topo, conn.path) {
+		if err := hop.shard.removeConn(conn.app, hop.ports); err != nil {
+			m.lastCalc = time.Since(start)
+			return err
+		}
+	}
+	m.lastCalc = time.Since(start)
+	return nil
+}
+
+// LastCalcDuration reports the most recent allocation walk's duration.
+func (m *Mesh) LastCalcDuration() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCalc
+}
+
+// shardHop groups consecutive path ports by owning shard.
+type shardHop struct {
+	shard *Distributed
+	ports []topology.LinkID
+}
+
+func shardHops(ownerOf map[topology.NodeID]*Distributed, topo *topology.Topology, path []topology.LinkID) []shardHop {
+	var hops []shardHop
+	for _, l := range path {
+		lk, err := topo.Link(l)
+		if err != nil {
+			continue
+		}
+		owner := ownerOf[lk.From]
+		if owner == nil {
+			continue
+		}
+		if len(hops) > 0 && hops[len(hops)-1].shard == owner {
+			hops[len(hops)-1].ports = append(hops[len(hops)-1].ports, l)
+			continue
+		}
+		hops = append(hops, shardHop{shard: owner, ports: []topology.LinkID{l}})
+	}
+	return hops
+}
+
+// admit introduces an application to the shard.
+func (d *Distributed) admit(id AppID, pl int, coeffs []float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.appPL[id] = pl
+	d.appCoef[id] = coeffs
+	clear(d.solCache)
+}
+
+// evict removes an application from the shard.
+func (d *Distributed) evict(id AppID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.appPL, id)
+	delete(d.appCoef, id)
+	clear(d.solCache)
+}
+
+// addConn registers a connection on the shard's ports and re-enforces.
+func (d *Distributed) addConn(id AppID, ports []topology.LinkID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, l := range ports {
+		ps := d.ports[l]
+		if ps == nil {
+			ps = &portState{appConns: map[AppID]int{}}
+			d.ports[l] = ps
+		}
+		ps.appConns[id]++
+		if err := d.enforcePortLocked(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeConn drops a connection from the shard's ports and re-enforces.
+func (d *Distributed) removeConn(id AppID, ports []topology.LinkID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, l := range ports {
+		ps := d.ports[l]
+		if ps == nil {
+			continue
+		}
+		ps.appConns[id]--
+		if ps.appConns[id] <= 0 {
+			delete(ps.appConns, id)
+		}
+		if len(ps.appConns) == 0 {
+			delete(d.ports, l)
+			continue
+		}
+		if err := d.enforcePortLocked(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enforcePortLocked mirrors the centralized per-port computation but uses
+// the offline hierarchy and PL assignments.
+func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
+	ps := d.ports[port]
+	if ps == nil || len(ps.appConns) == 0 {
+		return nil
+	}
+	ids := make([]AppID, 0, len(ps.appConns))
+	for id := range ps.appConns {
+		ids = append(ids, id)
+	}
+	sortAppIDs(ids)
+
+	key := appSetKey(ids)
+	weights, ok := d.solCache[key]
+	if !ok {
+		objs := make([]solver.Objective, len(ids))
+		for i, id := range ids {
+			objs[i] = solver.NewMonotonePoly(d.appCoef[id])
+		}
+		var err error
+		weights, err = solver.Minimize(objs, solver.Options{Total: d.csaba, MinShare: d.minShare})
+		if err != nil {
+			return fmt.Errorf("controller: shard %d Eq.2 on port %d: %w", d.id, port, err)
+		}
+		d.solCache[key] = weights
+	}
+
+	present := map[int]bool{}
+	for _, id := range ids {
+		present[d.appPL[id]] = true
+	}
+	presentPLs := make([]int, 0, len(present))
+	for pl := range present {
+		presentPLs = append(presentPLs, pl)
+	}
+	sortInts(presentPLs)
+	queues := d.topo.QueuesAt(port)
+	if queues < 1 {
+		queues = 1
+	}
+	clusters, err := d.db.Hierarchy().MapToQueues(presentPLs, queues)
+	if err != nil {
+		return fmt.Errorf("controller: shard %d PL→queue on port %d: %w", d.id, port, err)
+	}
+	plToQueue := map[int]int{}
+	for q, cl := range clusters {
+		for _, pl := range cl.Members {
+			plToQueue[pl] = q
+		}
+	}
+	qWeights := make([]float64, len(clusters))
+	for i, id := range ids {
+		if q, ok := plToQueue[d.appPL[id]]; ok {
+			qWeights[q] += weights[i]
+		}
+	}
+	def := 0
+	for q, w := range qWeights {
+		if w > qWeights[def] {
+			def = q
+		}
+	}
+	return d.enforcer.Configure(port, netsim.PortConfig{
+		Weights:      qWeights,
+		PLQueue:      plToQueue,
+		DefaultQueue: def,
+	})
+}

@@ -1,0 +1,162 @@
+package controller
+
+import (
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+)
+
+func rigMesh(t *testing.T, shards int) (*Mesh, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2, HostsPerToR: 3, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	db, err := BuildMappingDB(testTable(t), 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(top, db, wfq, shards, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, wfq, top
+}
+
+func TestBuildMappingDB(t *testing.T) {
+	db, err := BuildMappingDB(testTable(t), 16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plSteep, coeffsSteep := db.Lookup("steep")
+	plFlat, _ := db.Lookup("flat")
+	if plSteep == plFlat {
+		t.Error("steep and flat share an offline PL")
+	}
+	if len(coeffsSteep) == 0 {
+		t.Error("lookup lost coefficients")
+	}
+	// Unknown app gets the default PL and moderate coefficients.
+	plX, coeffsX := db.Lookup("unknown")
+	if len(coeffsX) == 0 {
+		t.Error("unknown app has no default coefficients")
+	}
+	_ = plX
+	if db.Hierarchy() == nil {
+		t.Error("missing hierarchy")
+	}
+}
+
+func TestBuildMappingDBEmptyTable(t *testing.T) {
+	if _, err := BuildMappingDB(profiler.NewTable(), 16, 4, 1); err == nil {
+		t.Error("empty table should fail")
+	}
+}
+
+func TestMeshRegisterAndConns(t *testing.T) {
+	m, wfq, top := rigMesh(t, 3)
+	hosts := top.Hosts()
+	a, plA, err := m.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, plB, err := m.Register("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plA == plB {
+		t.Error("steep and flat share a PL in the mesh")
+	}
+	// Cross-pod connection: traverses ports owned by several shards.
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	ca, err := m.ConnCreate(a, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnCreate(b, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Every port on the path must be configured.
+	path, _ := top.Route(src, dst)
+	for _, l := range path {
+		if wfq.Config(l) == nil {
+			t.Errorf("port %d on path not configured", l)
+		}
+	}
+	if m.LastCalcDuration() < 0 {
+		t.Error("calc duration should be non-negative")
+	}
+	if err := m.ConnDestroy(ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ConnDestroy(ca); err == nil {
+		t.Error("double destroy should fail")
+	}
+}
+
+func TestMeshDeregister(t *testing.T) {
+	m, _, top := rigMesh(t, 2)
+	hosts := top.Hosts()
+	a, _, _ := m.Register("mid1")
+	cid, err := m.ConnCreate(a, hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deregister(a); err == nil {
+		t.Error("deregister with live conns should fail")
+	}
+	if err := m.ConnDestroy(cid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deregister(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deregister(a); err == nil {
+		t.Error("double deregister should fail")
+	}
+	if _, err := m.ConnCreate(a, hosts[0], hosts[1]); err == nil {
+		t.Error("conn for deregistered app should fail")
+	}
+}
+
+func TestMeshShardValidation(t *testing.T) {
+	_, _, top := rigMesh(t, 1)
+	db, _ := BuildMappingDB(testTable(t), 16, 8, 1)
+	net := netsim.NewNetwork(top)
+	if _, err := NewMesh(top, db, netsim.NewWFQ(net), 0, 1, 0.01); err == nil {
+		t.Error("zero shards should fail")
+	}
+}
+
+func TestMeshFavorsSensitiveAppLikeCentralized(t *testing.T) {
+	m, wfq, top := rigMesh(t, 4)
+	hosts := top.Hosts()
+	a, plA, _ := m.Register("steep")
+	b, plB, _ := m.Register("flat")
+	dst := hosts[2]
+	if _, err := m.ConnCreate(a, hosts[0], dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnCreate(b, hosts[1], dst); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], dst)
+	down := path[len(path)-1]
+	cfg := wfq.Config(down)
+	if cfg == nil {
+		t.Fatal("shared port not configured")
+	}
+	qA, qB := cfg.PLQueue[plA], cfg.PLQueue[plB]
+	if qA == qB {
+		t.Fatal("PLs share a queue despite spare queues")
+	}
+	if cfg.Weights[qA] <= cfg.Weights[qB] {
+		t.Errorf("mesh gave steep %g <= flat %g", cfg.Weights[qA], cfg.Weights[qB])
+	}
+}

@@ -1,0 +1,226 @@
+package controller
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"saba/internal/netsim"
+	"saba/internal/rpc"
+	"saba/internal/topology"
+)
+
+// TestMeshServedOverRPC runs the distributed controller behind the real
+// TCP RPC service and drives the full Fig. 7 lifecycle through raw
+// client calls — the deployment §5.4 describes, where the library talks
+// to whichever controller shard is closest.
+func TestMeshServedOverRPC(t *testing.T) {
+	m, wfq, top := rigMesh(t, 3)
+	srv := rpc.NewServer()
+	if err := Serve(srv, m); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := rpc.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var reg RegisterReply
+	if err := cli.Call(MethodAppRegister, RegisterArgs{Name: "steep"}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	var cc ConnCreateReply
+	err = cli.Call(MethodConnCreate, ConnCreateArgs{
+		App: reg.App, Src: hosts[0], Dst: hosts[len(hosts)-1],
+	}, &cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cross-pod path must be configured by the shards.
+	path, _ := top.Route(hosts[0], hosts[len(hosts)-1])
+	for _, l := range path {
+		if wfq.Config(l) == nil {
+			t.Errorf("port %d not configured through RPC path", l)
+		}
+	}
+	// PL query round-trips.
+	var plReply RegisterReply
+	if err := cli.Call(MethodAppPL, DeregisterArgs{App: reg.App}, &plReply); err != nil {
+		t.Fatal(err)
+	}
+	if plReply.PL != reg.PL {
+		t.Errorf("PL drifted: %d vs %d", plReply.PL, reg.PL)
+	}
+	if err := cli.Call(MethodConnDestroy, ConnDestroyArgs{Conn: cc.Conn}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Call(MethodAppDeregister, DeregisterArgs{App: reg.App}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed arguments surface as remote errors, not crashes.
+	if err := cli.Call(MethodAppRegister, json.RawMessage(`"not an object"`), nil); err == nil {
+		t.Error("malformed register should fail")
+	}
+}
+
+func TestRegisterBatchMatchesIncremental(t *testing.T) {
+	// Batch registration must produce the same PL separation the
+	// incremental path gives.
+	c, _, _ := rigController(t, 4, 16)
+	ids, err := c.RegisterBatch([]string{"steep", "flat", "mid1", "mid2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	plSteep, err := c.PL(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plFlat, err := c.PL(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plSteep == plFlat {
+		t.Error("batch registration merged steep and flat into one PL")
+	}
+	if c.Apps() != 4 {
+		t.Errorf("Apps = %d, want 4", c.Apps())
+	}
+}
+
+func TestPreloadConnThenRecompute(t *testing.T) {
+	c, wfq, top := rigController(t, 6, 16)
+	ids, err := c.RegisterBatch([]string{"steep", "flat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	// Preload does not enforce...
+	if _, err := c.PreloadConn(ids[0], hosts[0], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PreloadConn(ids[1], hosts[1], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	// ...but RecomputeAll does.
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[5])
+	cfg := wfq.Config(path[len(path)-1])
+	if cfg == nil {
+		t.Fatal("shared port not configured after RecomputeAll")
+	}
+	if len(cfg.PLQueue) != 2 {
+		t.Errorf("PLQueue covers %d PLs, want 2", len(cfg.PLQueue))
+	}
+	// Preload validation.
+	if _, err := c.PreloadConn(AppID(999), hosts[0], hosts[1]); err == nil {
+		t.Error("preload for unknown app should fail")
+	}
+	if _, err := c.PreloadConn(ids[0], hosts[0], topology.NodeID(9999)); err == nil {
+		t.Error("unroutable preload should fail")
+	}
+}
+
+func TestPerPortWeightsMode(t *testing.T) {
+	// The paper's literal per-port Eq. 2: a port carrying only insensitive
+	// apps splits evenly among them regardless of sensitive apps elsewhere,
+	// whereas the global mode keeps the global ratios.
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 6, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology: top, Table: testTable(t), Enforcer: wfq,
+		PLs: 16, Seed: 1, PerPortWeights: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	steep, _, _ := c.Register("steep")
+	flat, _, _ := c.Register("flat")
+	mid, _, _ := c.Register("mid1")
+	// steep+flat share h5's downlink; mid is alone toward h4.
+	if _, err := c.ConnCreate(steep, hosts[0], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(flat, hosts[1], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(mid, hosts[2], hosts[4]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[5])
+	cfg := wfq.Config(path[len(path)-1])
+	if cfg == nil {
+		t.Fatal("shared port not configured")
+	}
+	// Per-port: the two apps' weights sum to CSaba (1.0) on this port,
+	// with the steep app favored.
+	sum := 0.0
+	for _, w := range cfg.Weights {
+		sum += w
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("per-port weights sum to %g, want 1", sum)
+	}
+	plSteep, _ := c.PL(steep)
+	plFlat, _ := c.PL(flat)
+	if cfg.Weights[cfg.PLQueue[plSteep]] <= cfg.Weights[cfg.PLQueue[plFlat]] {
+		t.Error("per-port mode did not favor the sensitive app")
+	}
+}
+
+func TestCSabaReservedHeadroom(t *testing.T) {
+	// §3 co-existence: with CSaba < 1, Saba-managed queue weights sum to
+	// CSaba, leaving the remainder for a statically-reserved queue of
+	// non-compliant applications.
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 4, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology: top, Table: testTable(t), Enforcer: wfq,
+		PLs: 16, Seed: 1, CSaba: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[3]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[3])
+	cfg := wfq.Config(path[len(path)-1])
+	if cfg == nil {
+		t.Fatal("port not configured")
+	}
+	sum := 0.0
+	for _, w := range cfg.Weights {
+		sum += w
+	}
+	if sum < 0.79 || sum > 0.81 {
+		t.Errorf("Saba queue weights sum to %g, want CSaba=0.8", sum)
+	}
+}

@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"saba/internal/rpc"
+	"saba/internal/topology"
+)
+
+// API is the control-plane surface both controller deployments expose;
+// the Saba library calls it over RPC (paper Fig. 7). PL re-reads the
+// application's current priority level: a registration burst can
+// re-cluster, so the library refreshes its cached PL before creating
+// connections.
+type API interface {
+	Register(name string) (AppID, int, error)
+	Deregister(id AppID) error
+	ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error)
+	ConnDestroy(cid ConnID) error
+	PL(id AppID) (int, error)
+}
+
+// Statically assert both deployments implement the API.
+var (
+	_ API = (*Centralized)(nil)
+	_ API = (*Mesh)(nil)
+)
+
+// RPC method names (the software interface of §6).
+const (
+	MethodAppRegister   = "saba.app_register"
+	MethodAppDeregister = "saba.app_deregister"
+	MethodAppPL         = "saba.app_pl"
+	MethodConnCreate    = "saba.conn_create"
+	MethodConnDestroy   = "saba.conn_destroy"
+)
+
+// Wire formats shared by the service and the Saba library client.
+type (
+	// RegisterArgs requests application registration.
+	RegisterArgs struct {
+		Name string `json:"name"`
+	}
+	// RegisterReply returns the assigned ID and priority level.
+	RegisterReply struct {
+		App AppID `json:"app"`
+		PL  int   `json:"pl"`
+	}
+	// DeregisterArgs requests application removal.
+	DeregisterArgs struct {
+		App AppID `json:"app"`
+	}
+	// ConnCreateArgs announces a new connection.
+	ConnCreateArgs struct {
+		App AppID           `json:"app"`
+		Src topology.NodeID `json:"src"`
+		Dst topology.NodeID `json:"dst"`
+	}
+	// ConnCreateReply returns the tracked connection ID.
+	ConnCreateReply struct {
+		Conn ConnID `json:"conn"`
+	}
+	// ConnDestroyArgs announces a finished connection.
+	ConnDestroyArgs struct {
+		Conn ConnID `json:"conn"`
+	}
+)
+
+// Serve registers the controller API on an RPC server.
+func Serve(srv *rpc.Server, api API) error {
+	if err := srv.Handle(MethodAppRegister, func(raw json.RawMessage) (any, error) {
+		var args RegisterArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad register args: %w", err)
+		}
+		id, pl, err := api.Register(args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return RegisterReply{App: id, PL: pl}, nil
+	}); err != nil {
+		return err
+	}
+	if err := srv.Handle(MethodAppDeregister, func(raw json.RawMessage) (any, error) {
+		var args DeregisterArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad deregister args: %w", err)
+		}
+		return nil, api.Deregister(args.App)
+	}); err != nil {
+		return err
+	}
+	if err := srv.Handle(MethodConnCreate, func(raw json.RawMessage) (any, error) {
+		var args ConnCreateArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad conn_create args: %w", err)
+		}
+		cid, err := api.ConnCreate(args.App, args.Src, args.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return ConnCreateReply{Conn: cid}, nil
+	}); err != nil {
+		return err
+	}
+	if err := srv.Handle(MethodConnDestroy, func(raw json.RawMessage) (any, error) {
+		var args ConnDestroyArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad conn_destroy args: %w", err)
+		}
+		return nil, api.ConnDestroy(args.Conn)
+	}); err != nil {
+		return err
+	}
+	return srv.Handle(MethodAppPL, func(raw json.RawMessage) (any, error) {
+		var args DeregisterArgs // same shape: just the app ID
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad app_pl args: %w", err)
+		}
+		pl, err := api.PL(args.App)
+		if err != nil {
+			return nil, err
+		}
+		return RegisterReply{App: args.App, PL: pl}, nil
+	})
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"saba/internal/metrics"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// buildTable profiles the named catalog workloads on the simulator —
+// exactly the offline step the paper performs before every experiment.
+func buildTable(t testing.TB, names []string, degree int) *profiler.Table {
+	t.Helper()
+	tab := profiler.NewTable()
+	for _, n := range names {
+		spec, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown workload %s", n)
+		}
+		res, err := profiler.Profile(n, &profiler.SimRunner{Spec: spec}, nil, []int{degree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.PutResult(res, degree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func testbedTop(t testing.TB, hosts int) *topology.Topology {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: hosts, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestRunJobsValidation(t *testing.T) {
+	top := testbedTop(t, 4)
+	if _, err := RunJobs(top, nil, RunConfig{}); err != ErrNoJobs {
+		t.Errorf("err = %v, want ErrNoJobs", err)
+	}
+	lr, _ := workload.ByName("LR")
+	jobs := []JobSpec{{Spec: lr}}
+	if _, err := RunJobs(top, jobs, RunConfig{Policy: PolicyBaseline}); err == nil {
+		t.Error("job without nodes should fail")
+	}
+	jobs[0].Nodes = top.Hosts()
+	if _, err := RunJobs(top, jobs, RunConfig{Policy: PolicySaba}); err == nil {
+		t.Error("Saba without table should fail")
+	}
+	if _, err := RunJobs(top, jobs, RunConfig{Policy: Policy(99)}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p := PolicyBaseline; p <= PolicySincronia; p++ {
+		if p.String() == "" {
+			t.Errorf("Policy(%d).String empty", p)
+		}
+	}
+	if Policy(42).String() == "" {
+		t.Error("unknown policy should still render")
+	}
+}
+
+func TestSingleJobSameAcrossFairPolicies(t *testing.T) {
+	// A lone job sees no contention: ideal max-min and Saba must give it
+	// the same completion time (Saba's WFQ is work-conserving), and the
+	// FECN baseline must be no faster.
+	top := testbedTop(t, 8)
+	lr, _ := workload.ByName("LR")
+	jobs := []JobSpec{{Spec: lr, Nodes: top.Hosts()}}
+	tab := buildTable(t, []string{"LR"}, 3)
+
+	ideal, err := RunJobs(top, jobs, RunConfig{Policy: PolicyIdealMaxMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saba, err := RunJobs(top, jobs, RunConfig{Policy: PolicySaba, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunJobs(top, jobs, RunConfig{Policy: PolicyBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := saba.Completions[0] / ideal.Completions[0]; rel < 0.99 || rel > 1.01 {
+		t.Errorf("saba/ideal = %.3f for a lone job, want ~1", rel)
+	}
+	if base.Completions[0] < ideal.Completions[0]*0.99 {
+		t.Errorf("baseline (%.1fs) faster than ideal (%.1fs)", base.Completions[0], ideal.Completions[0])
+	}
+}
+
+func TestSabaSkewedBeatsBaselineOnLRPR(t *testing.T) {
+	// The paper's motivating experiment (§2.2 / Fig. 1b): LR + PR
+	// co-running. Saba must cut LR's completion time substantially while
+	// PR degrades only mildly, improving the average.
+	top := testbedTop(t, 8)
+	lr, _ := workload.ByName("LR")
+	pr, _ := workload.ByName("PR")
+	jobs := []JobSpec{
+		{Spec: lr, Nodes: top.Hosts()},
+		{Spec: pr, Nodes: top.Hosts()},
+	}
+	tab := buildTable(t, []string{"LR", "PR"}, 3)
+
+	base, err := RunJobs(top, jobs, RunConfig{Policy: PolicyBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saba, err := RunJobs(top, jobs, RunConfig{Policy: PolicySaba, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lrSpeedup := base.Completions[0] / saba.Completions[0]
+	prSpeedup := base.Completions[1] / saba.Completions[1]
+	if lrSpeedup < 1.2 {
+		t.Errorf("LR speedup = %.2f, want > 1.2 (paper: ~1.5)", lrSpeedup)
+	}
+	if prSpeedup < 0.80 {
+		t.Errorf("PR slowdown too harsh: speedup %.2f", prSpeedup)
+	}
+	avg, err := metrics.GeoMean([]float64{lrSpeedup, prSpeedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 1.0 {
+		t.Errorf("average speedup = %.2f, want > 1 (Saba must win on average)", avg)
+	}
+	t.Logf("LR speedup %.2f, PR speedup %.2f, avg %.2f", lrSpeedup, prSpeedup, avg)
+}
+
+func TestDistributedCloseToCentralized(t *testing.T) {
+	// Study 7: the distributed controller loses only a little performance
+	// to the centralized one.
+	top := testbedTop(t, 8)
+	lr, _ := workload.ByName("LR")
+	sort, _ := workload.ByName("Sort")
+	jobs := []JobSpec{
+		{Spec: lr, Nodes: top.Hosts()},
+		{Spec: sort, Nodes: top.Hosts()},
+	}
+	tab := buildTable(t, []string{"LR", "Sort"}, 3)
+
+	cent, err := RunJobs(top, jobs, RunConfig{Policy: PolicySaba, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunJobs(top, jobs, RunConfig{Policy: PolicySabaDistributed, Table: tab, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		rel := dist.Completions[i] / cent.Completions[i]
+		if rel < 0.8 || rel > 1.25 {
+			t.Errorf("job %d: distributed/centralized = %.2f, want within 25%%", i, rel)
+		}
+	}
+}
+
+func TestHomaAndSincroniaRun(t *testing.T) {
+	top := testbedTop(t, 8)
+	lr, _ := workload.ByName("LR")
+	wc, _ := workload.ByName("WC")
+	jobs := []JobSpec{
+		{Spec: lr, Nodes: top.Hosts()},
+		{Spec: wc, Nodes: top.Hosts()},
+	}
+	for _, p := range []Policy{PolicyHoma, PolicySincronia} {
+		res, err := RunJobs(top, jobs, RunConfig{Policy: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for i, c := range res.Completions {
+			if c <= 0 {
+				t.Errorf("%v: job %d completion %g", p, i, c)
+			}
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%v: zero makespan", p)
+		}
+	}
+}
+
+func TestDatasetScaleLengthensJobs(t *testing.T) {
+	top := testbedTop(t, 8)
+	sql, _ := workload.ByName("SQL")
+	small, err := RunJobs(top, []JobSpec{{Spec: sql, Nodes: top.Hosts(), DatasetScale: 0.1}},
+		RunConfig{Policy: PolicyIdealMaxMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunJobs(top, []JobSpec{{Spec: sql, Nodes: top.Hosts(), DatasetScale: 10}},
+		RunConfig{Policy: PolicyIdealMaxMin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Completions[0] <= small.Completions[0]*10 {
+		t.Errorf("10x dataset (%.1fs) should be >10x the 0.1x run (%.1fs) — scaling is mildly super-linear",
+			big.Completions[0], small.Completions[0])
+	}
+}
+
+func TestControllerCalcReported(t *testing.T) {
+	top := testbedTop(t, 8)
+	lr, _ := workload.ByName("LR")
+	tab := buildTable(t, []string{"LR"}, 1)
+	res, err := RunJobs(top, []JobSpec{{Spec: lr, Nodes: top.Hosts()}},
+		RunConfig{Policy: PolicySaba, Table: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControllerCalc < 0 {
+		t.Error("negative controller calc time")
+	}
+}
+
+func TestShufflePairs(t *testing.T) {
+	nodes := []topology.NodeID{10, 11, 12, 13}
+	pairs := shufflePairs(nodes, 2)
+	if len(pairs) != 8 {
+		t.Fatalf("pairs = %d, want 8", len(pairs))
+	}
+	// fanOut clamps at n-1.
+	pairs = shufflePairs(nodes, 99)
+	if len(pairs) != 12 {
+		t.Fatalf("clamped pairs = %d, want 12", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Error("self-pair generated")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"saba/internal/core"
+	"saba/internal/metrics"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// AblationResult is a one-dimensional sweep: label → average Saba
+// speedup over the baseline on the Fig. 8 co-location setup.
+type AblationResult struct {
+	Title    string
+	Labels   []string
+	Averages []float64
+}
+
+// String renders the sweep.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	for i, l := range r.Labels {
+		fmt.Fprintf(&b, "%-12s avg=%.2f\n", l, r.Averages[i])
+	}
+	return b.String()
+}
+
+// ablationRun executes `setups` randomized co-location setups under the
+// baseline and Saba with the given run-config mutators applied to both.
+func ablationRun(setups int, seed int64, mutate func(*core.RunConfig)) (float64, error) {
+	tab, _, err := cachedCatalog(3)
+	if err != nil {
+		return 0, err
+	}
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: TestbedHosts, Queues: 8})
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var all []float64
+	for s := 0; s < setups; s++ {
+		setup, err := workload.NewSetup(workload.SetupConfig{Servers: TestbedHosts}, rng)
+		if err != nil {
+			return 0, err
+		}
+		jobs := jobsFromSetup(setup, top.Hosts())
+		baseCfg := core.RunConfig{Policy: core.PolicyBaseline, Seed: seed}
+		sabaCfg := core.RunConfig{Policy: core.PolicySaba, Table: tab, Seed: seed}
+		if mutate != nil {
+			mutate(&baseCfg)
+			mutate(&sabaCfg)
+		}
+		base, err := core.RunJobs(top, jobs, baseCfg)
+		if err != nil {
+			return 0, err
+		}
+		saba, err := core.RunJobs(top, jobs, sabaCfg)
+		if err != nil {
+			return 0, err
+		}
+		for i := range jobs {
+			all = append(all, base.Completions[i]/saba.Completions[i])
+		}
+	}
+	return metrics.GeoMean(all)
+}
+
+// AblationComputeStretch sweeps co-location compute dilation: how much
+// slower each job's computation runs when sharing cores, relative to the
+// dedicated profiling nodes. More dilation means lighter network load and
+// thus less for Saba to reallocate.
+func AblationComputeStretch(stretches []float64, setups int, seed int64) (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation — Saba speedup vs co-location compute dilation"}
+	for _, st := range stretches {
+		st := st
+		avg, err := ablationRun(setups, seed, func(c *core.RunConfig) { c.ComputeStretch = st })
+		if err != nil {
+			return nil, err
+		}
+		out.Labels = append(out.Labels, fmt.Sprintf("stretch=%g", st))
+		out.Averages = append(out.Averages, avg)
+	}
+	return out, nil
+}
+
+// AblationBaselineSeverity compares the headline study against the two
+// baseline congestion models: the hardware-testbed profile (severe
+// many-application interference in the shared queue) and the packet-
+// simulator profile (mild losses). The gap shows how much of Saba's win
+// is isolation from the baseline's pathologies versus sensitivity-driven
+// weighting.
+func AblationBaselineSeverity(setups int, seed int64) (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation — Saba speedup vs baseline severity"}
+	for _, sim := range []bool{false, true} {
+		sim := sim
+		avg, err := ablationRun(setups, seed, func(c *core.RunConfig) {
+			if c.Policy == core.PolicyBaseline {
+				c.SimBaseline = sim
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "testbed-cc"
+		if sim {
+			label = "simulator-cc"
+		}
+		out.Labels = append(out.Labels, label)
+		out.Averages = append(out.Averages, avg)
+	}
+	return out, nil
+}

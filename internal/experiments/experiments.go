@@ -1,0 +1,163 @@
+// Package experiments reproduces every table and figure of the paper's
+// motivation and evaluation sections. Each study is a function returning
+// a typed result with a human-readable renderer; cmd/sabaexp prints them
+// and the repository-root benchmarks wrap them.
+//
+// Studies accept scale knobs so the test suite can run reduced versions
+// quickly; cmd/sabaexp -full reproduces the paper-sized parameter sweeps.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"saba/internal/core"
+	"saba/internal/metrics"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// DefaultSeed keeps every experiment deterministic unless overridden.
+const DefaultSeed = 42
+
+// ProfileCatalog profiles all ten Table-1 workloads with the simulated
+// profiler and returns the sensitivity table (models of the requested
+// degree) plus the raw per-workload profiling results keyed by name.
+func ProfileCatalog(degree int) (*profiler.Table, map[string]profiler.Result, error) {
+	tab := profiler.NewTable()
+	results := map[string]profiler.Result{}
+	for _, spec := range workload.Catalog() {
+		res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{1, 2, 3})
+		if err != nil {
+			return nil, nil, fmt.Errorf("profile %s: %w", spec.Name, err)
+		}
+		if err := tab.PutResult(res, degree); err != nil {
+			return nil, nil, err
+		}
+		results[spec.Name] = res
+	}
+	return tab, results, nil
+}
+
+// catalogTableCache memoizes ProfileCatalog per degree: profiling is
+// deterministic, and most studies share the degree-3 table.
+var (
+	cacheMu    sync.Mutex
+	tableCache = map[int]*profiler.Table{}
+	resCache   = map[int]map[string]profiler.Result{}
+)
+
+func cachedCatalog(degree int) (*profiler.Table, map[string]profiler.Result, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if t, ok := tableCache[degree]; ok {
+		return t, resCache[degree], nil
+	}
+	t, r, err := ProfileCatalog(degree)
+	if err != nil {
+		return nil, nil, err
+	}
+	tableCache[degree] = t
+	resCache[degree] = r
+	return t, r, nil
+}
+
+// Speedups aggregates per-workload speedups (treatment over baseline).
+type Speedups struct {
+	// ByWorkload maps workload name to the geometric mean of its speedups.
+	ByWorkload map[string]float64
+	// All is every individual speedup sample.
+	All []float64
+	// Average is the geometric mean over All.
+	Average float64
+}
+
+func newSpeedups() *Speedups {
+	return &Speedups{ByWorkload: map[string]float64{}}
+}
+
+// collect computes the summary from raw per-workload samples.
+func collectSpeedups(samples map[string][]float64) (*Speedups, error) {
+	out := newSpeedups()
+	for name, xs := range samples {
+		g, err := metrics.GeoMean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("speedups for %s: %w", name, err)
+		}
+		out.ByWorkload[name] = g
+		out.All = append(out.All, xs...)
+	}
+	g, err := metrics.GeoMean(out.All)
+	if err != nil {
+		return nil, err
+	}
+	out.Average = g
+	return out, nil
+}
+
+// render prints per-workload speedups in catalog order followed by the
+// average, matching the layout of the paper's bar charts.
+func (s *Speedups) render(b *strings.Builder, label string) {
+	fmt.Fprintf(b, "%-28s", label)
+	for _, n := range workload.Names() {
+		if v, ok := s.ByWorkload[n]; ok {
+			fmt.Fprintf(b, " %s=%.2f", n, v)
+		}
+	}
+	fmt.Fprintf(b, " | avg=%.2f\n", s.Average)
+}
+
+// jobsFromSetup converts a workload placement to core job specs on the
+// given hosts.
+func jobsFromSetup(s workload.Setup, hosts []topology.NodeID) []core.JobSpec {
+	jobs := make([]core.JobSpec, 0, len(s.Jobs))
+	for _, p := range s.Jobs {
+		nodes := make([]topology.NodeID, len(p.Servers))
+		for i, idx := range p.Servers {
+			nodes[i] = hosts[idx]
+		}
+		jobs = append(jobs, core.JobSpec{
+			Spec:         p.Spec,
+			DatasetScale: p.DatasetScale,
+			Nodes:        nodes,
+		})
+	}
+	return jobs
+}
+
+// homogeneousJobs builds the §8.3 setup: one instance of every catalog
+// workload spanning all hosts, at the given dataset scale.
+func homogeneousJobs(hosts []topology.NodeID, datasetScale float64) []core.JobSpec {
+	var jobs []core.JobSpec
+	for _, spec := range workload.Catalog() {
+		jobs = append(jobs, core.JobSpec{
+			Spec:         spec,
+			DatasetScale: datasetScale,
+			Nodes:        hosts,
+		})
+	}
+	return jobs
+}
+
+// speedupsOf compares two runs job-by-job and groups by workload name.
+func speedupsOf(jobs []core.JobSpec, base, treat core.Result) map[string][]float64 {
+	out := map[string][]float64{}
+	for i := range jobs {
+		name := jobs[i].Spec.Name
+		out[name] = append(out[name], base.Completions[i]/treat.Completions[i])
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order for stable rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

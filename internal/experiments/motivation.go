@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/trace"
+	"saba/internal/workload"
+)
+
+// Fig1aResult is the motivation study of Fig. 1a: per-workload slowdown
+// under 75% and 25% of link bandwidth, measured standalone on the 8-node
+// profiling testbed.
+type Fig1aResult struct {
+	// Slowdown[name][0] is the slowdown at 75% bandwidth, [1] at 25%.
+	Slowdown map[string][2]float64
+	Mean25   float64 // arithmetic mean of the 25% slowdowns (paper: 2.1x)
+}
+
+// Fig1a measures every catalog workload at 75% and 25% bandwidth.
+func Fig1a() (*Fig1aResult, error) {
+	out := &Fig1aResult{Slowdown: map[string][2]float64{}}
+	sum := 0.0
+	for _, spec := range workload.Catalog() {
+		r := &profiler.SimRunner{Spec: spec}
+		res, err := profiler.Profile(spec.Name, r, []float64{0.25, 0.75}, []int{1})
+		if err != nil {
+			return nil, err
+		}
+		var s75, s25 float64
+		for _, s := range res.Samples {
+			switch s.Bandwidth {
+			case 0.75:
+				s75 = s.Slowdown
+			case 0.25:
+				s25 = s.Slowdown
+			}
+		}
+		out.Slowdown[spec.Name] = [2]float64{s75, s25}
+		sum += s25
+	}
+	out.Mean25 = sum / float64(len(out.Slowdown))
+	return out, nil
+}
+
+// String renders the Fig. 1a table.
+func (r *Fig1aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 1a — slowdown vs available bandwidth (standalone)\n")
+	b.WriteString("workload  75%BW   25%BW\n")
+	for _, n := range workload.Names() {
+		s := r.Slowdown[n]
+		fmt.Fprintf(&b, "%-8s  %.2fx  %.2fx\n", n, s[0], s[1])
+	}
+	fmt.Fprintf(&b, "mean slowdown @25%% = %.2fx (paper: 2.1x)\n", r.Mean25)
+	return b.String()
+}
+
+// Fig1bResult is the skewed-allocation motivation experiment (Fig. 1b):
+// LR and PR co-running under per-flow max-min versus a manual 75/25 split.
+type Fig1bResult struct {
+	MaxMinLR, MaxMinPR float64 // slowdown vs standalone under max-min
+	SkewedLR, SkewedPR float64 // slowdown vs standalone under 75/25
+}
+
+// Fig1b reproduces the experiment of §2.2: both workloads run on the same
+// 8 servers; the skewed scheme statically configures every port with a
+// 75/25 WFQ split in LR's favor.
+func Fig1b() (*Fig1bResult, error) {
+	standalone := func(spec workload.Spec) (float64, error) {
+		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: workload.RefNodes})
+		if err != nil {
+			return 0, err
+		}
+		net := netsim.NewNetwork(top)
+		e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+		j := &workload.Job{ID: 1, Spec: spec, Nodes: top.Hosts(), App: 1}
+		if err := j.Start(e); err != nil {
+			return 0, err
+		}
+		if err := e.Run(math.Inf(1)); err != nil {
+			return 0, err
+		}
+		return j.CompletionTime(), nil
+	}
+
+	lr, _ := workload.ByName("LR")
+	pr, _ := workload.ByName("PR")
+	lrAlone, err := standalone(lr)
+	if err != nil {
+		return nil, err
+	}
+	prAlone, err := standalone(pr)
+	if err != nil {
+		return nil, err
+	}
+
+	corun := func(skewed bool) (lrT, prT float64, err error) {
+		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: workload.RefNodes})
+		if err != nil {
+			return 0, 0, err
+		}
+		net := netsim.NewNetwork(top)
+		var alloc netsim.Allocator
+		if skewed {
+			wfq := netsim.NewWFQ(net)
+			for _, l := range top.Links() {
+				if err := wfq.Configure(l.ID, netsim.PortConfig{
+					Weights: []float64{0.75, 0.25},
+					PLQueue: map[int]int{0: 0, 1: 1},
+				}); err != nil {
+					return 0, 0, err
+				}
+			}
+			alloc = wfq
+		} else {
+			alloc = netsim.NewFECN(net, 0)
+		}
+		e := netsim.NewEngine(net, alloc)
+		jLR := &workload.Job{ID: 1, Spec: lr, Nodes: top.Hosts(), App: 1, PL: 0}
+		jPR := &workload.Job{ID: 2, Spec: pr, Nodes: top.Hosts(), App: 2, PL: 1}
+		if err := jLR.Start(e); err != nil {
+			return 0, 0, err
+		}
+		if err := jPR.Start(e); err != nil {
+			return 0, 0, err
+		}
+		if err := e.Run(math.Inf(1)); err != nil {
+			return 0, 0, err
+		}
+		return jLR.CompletionTime(), jPR.CompletionTime(), nil
+	}
+
+	mmLR, mmPR, err := corun(false)
+	if err != nil {
+		return nil, err
+	}
+	skLR, skPR, err := corun(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1bResult{
+		MaxMinLR: mmLR / lrAlone, MaxMinPR: mmPR / prAlone,
+		SkewedLR: skLR / lrAlone, SkewedPR: skPR / prAlone,
+	}, nil
+}
+
+// String renders the Fig. 1b comparison.
+func (r *Fig1bResult) String() string {
+	return fmt.Sprintf(`Fig 1b — LR+PR co-run slowdown vs standalone
+scheme    LR      PR
+max-min   %.2fx  %.2fx   (paper: 2.26x  1.21x)
+skewed    %.2fx  %.2fx   (paper: 1.48x  1.34x)
+`, r.MaxMinLR, r.MaxMinPR, r.SkewedLR, r.SkewedPR)
+}
+
+// Fig2Result carries the utilization timelines of Fig. 2: CPU and network
+// percent per second for one workload at one bandwidth fraction.
+type Fig2Result struct {
+	Workload  string
+	Bandwidth float64
+	Series    []trace.Point
+	Completed float64 // completion time in seconds
+}
+
+// Fig2 traces a workload standalone at the given bandwidth fraction with
+// 1-second buckets (the paper shows LR and PR at 75% and 25%).
+func Fig2(name string, bandwidth float64) (*Fig2Result, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %s", name)
+	}
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: workload.RefNodes})
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.NewNetwork(top)
+	if bandwidth < 1 {
+		for _, h := range top.Hosts() {
+			if err := net.ThrottleHost(h, bandwidth); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+	rec, err := trace.NewRecorder(1, top.Hosts(), topology.DefaultLinkCapacity*bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	rec.Attach(e)
+	j := &workload.Job{ID: 1, Spec: spec, Nodes: top.Hosts(), App: 1}
+	j.OnPhase = func(t float64, stage int, p workload.Phase) {
+		if p == workload.PhaseComputeStart {
+			st := j.ScaledStages()[stage]
+			rec.MarkCPU(t, t+st.ComputeSeconds, len(j.Nodes))
+		}
+	}
+	if err := j.Start(e); err != nil {
+		return nil, err
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Workload:  name,
+		Bandwidth: bandwidth,
+		Series:    rec.Series(),
+		Completed: j.CompletionTime(),
+	}, nil
+}
+
+// String summarizes the timeline (full series available via Series).
+func (r *Fig2Result) String() string {
+	busyCPU, busyNet, both := 0, 0, 0
+	for _, p := range r.Series {
+		if p.CPU > 50 {
+			busyCPU++
+		}
+		if p.Net > 50 {
+			busyNet++
+		}
+		if p.CPU > 50 && p.Net > 50 {
+			both++
+		}
+	}
+	return fmt.Sprintf("Fig 2 — %s @%.0f%%BW: completion %.0fs; CPU-busy %ds, net-busy %ds, overlapped %ds\n",
+		r.Workload, r.Bandwidth*100, r.Completed, busyCPU, busyNet, both)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// nullEnforcer discards switch configurations: the overhead study times
+// the controller's calculation, not the (simulated) switch programming.
+type nullEnforcer struct{}
+
+func (nullEnforcer) Configure(topology.LinkID, netsim.PortConfig) error { return nil }
+
+// Fig12Config parameterizes the controller-overhead study.
+type Fig12Config struct {
+	// AppCounts are the active-application set sizes to measure; nil
+	// selects {50, 250, 1000} (the paper buckets |A|≤250 and ≤1000).
+	AppCounts []int
+	// Degrees are the polynomial degrees; nil selects {1, 2, 3}.
+	Degrees []int
+	// Scenarios per (size, degree); 0 selects 10 (the paper runs 30,000
+	// scenarios total; percentiles stabilize far earlier).
+	Scenarios int
+	// InstancesPerApp is how many connections each application spreads
+	// over the fabric; 0 selects 32 (paper: "32 instances of each
+	// application are randomly distributed among nodes").
+	InstancesPerApp int
+	Seed            int64
+}
+
+func (c *Fig12Config) fill() {
+	if c.AppCounts == nil {
+		c.AppCounts = []int{50, 250, 1000}
+	}
+	if c.Degrees == nil {
+		c.Degrees = []int{1, 2, 3}
+	}
+	if c.Scenarios == 0 {
+		c.Scenarios = 10
+	}
+	if c.InstancesPerApp == 0 {
+		c.InstancesPerApp = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// Fig12Result reports controller calculation times.
+type Fig12Result struct {
+	// Durations[key] for key "k=<d>/|A|=<n>" holds one measured full
+	// recomputation per scenario, in seconds.
+	Durations map[string][]float64
+	Keys      []string
+}
+
+// Fig12 measures the centralized controller's bandwidth-calculation time
+// across active-application set sizes and model degrees (§8.5). Apps use
+// synthetic sensitivity profiles fitted at each degree; each app spreads
+// InstancesPerApp connections over a spine-leaf fabric, and the measured
+// quantity is one full recomputation of every active port.
+func Fig12(cfg Fig12Config) (*Fig12Result, error) {
+	cfg.fill()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 3, ToRsPerPod: 3, LeavesPerPod: 2, Spines: 4, HostsPerToR: 12, Queues: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hosts := top.Hosts()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := workload.Synthetic(workload.SynthConfig{Count: 40}, rng)
+
+	out := &Fig12Result{Durations: map[string][]float64{}}
+	for _, degree := range cfg.Degrees {
+		// Sensitivity table at this degree.
+		table := profiler.NewTable()
+		for _, spec := range specs {
+			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{degree})
+			if err != nil {
+				return nil, err
+			}
+			if err := table.PutResult(res, degree); err != nil {
+				return nil, err
+			}
+		}
+		for _, count := range cfg.AppCounts {
+			key := fmt.Sprintf("k=%d/|A|=%d", degree, count)
+			out.Keys = append(out.Keys, key)
+			for s := 0; s < cfg.Scenarios; s++ {
+				ctrl, err := controller.NewCentralized(controller.Config{
+					Topology: top,
+					Table:    table,
+					Enforcer: nullEnforcer{},
+					PLs:      16,
+					Seed:     cfg.Seed + int64(s),
+				})
+				if err != nil {
+					return nil, err
+				}
+				names := make([]string, count)
+				for i := range names {
+					names[i] = specs[i%len(specs)].Name
+				}
+				ids, err := ctrl.RegisterBatch(names)
+				if err != nil {
+					return nil, err
+				}
+				for _, id := range ids {
+					for c := 0; c < cfg.InstancesPerApp; c++ {
+						src := hosts[rng.Intn(len(hosts))]
+						dst := hosts[rng.Intn(len(hosts))]
+						if src == dst {
+							continue
+						}
+						if _, err := ctrl.PreloadConn(id, src, dst); err != nil {
+							return nil, err
+						}
+					}
+				}
+				d, err := ctrl.RecomputeAll()
+				if err != nil {
+					return nil, err
+				}
+				out.Durations[key] = append(out.Durations[key], d.Seconds())
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the p50/p99 per configuration.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 12 — controller full-recomputation time (paper p99: k=3,|A|≤1000 → 1.13s)\n")
+	for _, key := range r.Keys {
+		ds := r.Durations[key]
+		p50, p99 := percentileOf(ds, 0.50), percentileOf(ds, 0.99)
+		fmt.Fprintf(&b, "%-16s p50=%.4fs p99=%.4fs (n=%d)\n", key, p50, p99, len(ds))
+	}
+	return b.String()
+}
+
+// percentileOf is a tiny local helper (metrics.Percentile needs a copy;
+// here the slices are small).
+func percentileOf(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

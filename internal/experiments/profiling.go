@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saba/internal/profiler"
+	"saba/internal/regression"
+	"saba/internal/workload"
+)
+
+// Fig5Result carries the sensitivity models of Fig. 5: the profiling
+// samples of SQL and LR plus fitted polynomials of degree 1..3.
+type Fig5Result struct {
+	// Samples[name] are the raw profiling points.
+	Samples map[string][]regression.Sample
+	// Models[name][k] is the degree-k model.
+	Models map[string]map[int]regression.Polynomial
+}
+
+// Fig5 profiles SQL and LR and fits k=1..3 models.
+func Fig5() (*Fig5Result, error) {
+	out := &Fig5Result{
+		Samples: map[string][]regression.Sample{},
+		Models:  map[string]map[int]regression.Polynomial{},
+	}
+	for _, name := range []string{"SQL", "LR"} {
+		spec, _ := workload.ByName(name)
+		res, err := profiler.Profile(name, &profiler.SimRunner{Spec: spec}, nil, []int{1, 2, 3})
+		if err != nil {
+			return nil, err
+		}
+		out.Samples[name] = res.Samples
+		out.Models[name] = res.Models
+	}
+	return out, nil
+}
+
+// String renders samples and model predictions side by side.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 5 — sensitivity models (samples vs fitted polynomials)\n")
+	for _, name := range []string{"SQL", "LR"} {
+		fmt.Fprintf(&b, "%s:\n  BW%%    sample   k=1     k=2     k=3\n", name)
+		for _, s := range r.Samples[name] {
+			fmt.Fprintf(&b, "  %3.0f%%   %6.2f", s.Bandwidth*100, s.Slowdown)
+			for k := 1; k <= 3; k++ {
+				fmt.Fprintf(&b, "  %6.2f", r.Models[name][k].Eval(s.Bandwidth))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Fig6aResult is the degree-of-polynomial accuracy study: in-sample R²
+// for every workload at k = 1, 2, 3.
+type Fig6aResult struct {
+	R2 map[string][3]float64 // [k-1] = R² for degree k
+}
+
+// Fig6a profiles all workloads and reports R² per degree.
+func Fig6a() (*Fig6aResult, error) {
+	_, results, err := cachedCatalog(3)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6aResult{R2: map[string][3]float64{}}
+	for name, res := range results {
+		out.R2[name] = [3]float64{res.R2[1], res.R2[2], res.R2[3]}
+	}
+	return out, nil
+}
+
+// String renders the R² table.
+func (r *Fig6aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 6a — R² vs degree of polynomial\nworkload   k=1    k=2    k=3\n")
+	for _, n := range workload.Names() {
+		v := r.R2[n]
+		fmt.Fprintf(&b, "%-8s  %.3f  %.3f  %.3f\n", n, v[0], v[1], v[2])
+	}
+	return b.String()
+}
+
+// Fig6bResult is the dataset-size accuracy study: R² of the k=3 model
+// (fitted at scale 1x) evaluated against runs at 0.1x, 1x and 10x.
+type Fig6bResult struct {
+	R2 map[string][3]float64 // [0]=0.1x, [1]=1x, [2]=10x
+}
+
+// Fig6b evaluates cross-scale model accuracy.
+func Fig6b() (*Fig6bResult, error) {
+	return crossEvalDatasets([]float64{0.1, 1, 10})
+}
+
+func crossEvalDatasets(scales []float64) (*Fig6bResult, error) {
+	out := &Fig6bResult{R2: map[string][3]float64{}}
+	for _, spec := range workload.Catalog() {
+		base, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
+		if err != nil {
+			return nil, err
+		}
+		model := base.Models[3]
+		var r2s [3]float64
+		for i, scale := range scales {
+			eval, err := profiler.Profile(spec.Name,
+				&profiler.SimRunner{Spec: spec, DatasetScale: scale}, nil, []int{3})
+			if err != nil {
+				return nil, err
+			}
+			r2s[i] = regression.CrossValidateR2(model, eval.Samples)
+		}
+		out.R2[spec.Name] = r2s
+	}
+	return out, nil
+}
+
+// String renders the dataset-size R² table.
+func (r *Fig6bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 6b — R² vs runtime dataset size (k=3 model fitted at 1x)\nworkload   0.1x   1x     10x\n")
+	for _, n := range workload.Names() {
+		v := r.R2[n]
+		fmt.Fprintf(&b, "%-8s  %.3f  %.3f  %.3f\n", n, v[0], v[1], v[2])
+	}
+	return b.String()
+}
+
+// Fig6cResult is the node-count accuracy study: R² of the k=3 model
+// (fitted at 8 nodes) against runs at 0.5x..4x the profiled node count.
+type Fig6cResult struct {
+	NodeScales []float64
+	R2         map[string][]float64
+}
+
+// Fig6c evaluates cross-node-count model accuracy at the paper's scales.
+func Fig6c() (*Fig6cResult, error) {
+	scales := []float64{0.5, 1, 2, 3, 4}
+	out := &Fig6cResult{NodeScales: scales, R2: map[string][]float64{}}
+	for _, spec := range workload.Catalog() {
+		base, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
+		if err != nil {
+			return nil, err
+		}
+		model := base.Models[3]
+		r2s := make([]float64, len(scales))
+		for i, sc := range scales {
+			nodes := int(sc * workload.RefNodes)
+			eval, err := profiler.Profile(spec.Name,
+				&profiler.SimRunner{Spec: spec, Nodes: nodes}, nil, []int{3})
+			if err != nil {
+				return nil, err
+			}
+			r2s[i] = regression.CrossValidateR2(model, eval.Samples)
+		}
+		out.R2[spec.Name] = r2s
+	}
+	return out, nil
+}
+
+// String renders the node-count R² table.
+func (r *Fig6cResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 6c — R² vs runtime node count (k=3 model fitted at 8 nodes)\nworkload ")
+	for _, sc := range r.NodeScales {
+		fmt.Fprintf(&b, "  %.1fx ", sc)
+	}
+	b.WriteString("\n")
+	for _, n := range workload.Names() {
+		fmt.Fprintf(&b, "%-8s", n)
+		for _, v := range r.R2[n] {
+			fmt.Fprintf(&b, "  %.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

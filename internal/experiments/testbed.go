@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"saba/internal/core"
+	"saba/internal/metrics"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// TestbedHosts is the hardware testbed size (§8.1: 32 servers).
+const TestbedHosts = 32
+
+// Fig8Result is the main testbed study (§8.2): Saba versus the
+// InfiniBand baseline over randomized 16-job cluster setups.
+type Fig8Result struct {
+	Setups    int
+	Speedups  *Speedups            // per-workload + overall (Fig. 8a)
+	SetupAvgs []float64            // average speedup of each setup (Fig. 8b CDF)
+	CDF       []metrics.CDFPoint   // empirical CDF over SetupAvgs
+	Summary   metrics.Summary      // distribution summary over SetupAvgs
+	PerSetup  map[string][]float64 // raw samples per workload
+}
+
+// Fig8 runs the study with the given number of cluster setups (the paper
+// uses 500; reduced counts keep CI runs fast).
+func Fig8(setups int, seed int64) (*Fig8Result, error) {
+	if setups < 1 {
+		return nil, fmt.Errorf("fig8: need at least one setup")
+	}
+	tab, _, err := cachedCatalog(3)
+	if err != nil {
+		return nil, err
+	}
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: TestbedHosts, Queues: 8})
+	if err != nil {
+		return nil, err
+	}
+	hosts := top.Hosts()
+	rng := rand.New(rand.NewSource(seed))
+
+	samples := map[string][]float64{}
+	var setupAvgs []float64
+	for s := 0; s < setups; s++ {
+		setup, err := workload.NewSetup(workload.SetupConfig{Servers: TestbedHosts}, rng)
+		if err != nil {
+			return nil, err
+		}
+		jobs := jobsFromSetup(setup, hosts)
+		base, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicyBaseline, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		saba, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicySaba, Table: tab, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var all []float64
+		for name, xs := range speedupsOf(jobs, base, saba) {
+			samples[name] = append(samples[name], xs...)
+			all = append(all, xs...)
+		}
+		g, err := metrics.GeoMean(all)
+		if err != nil {
+			return nil, err
+		}
+		setupAvgs = append(setupAvgs, g)
+	}
+
+	sp, err := collectSpeedups(samples)
+	if err != nil {
+		return nil, err
+	}
+	cdf, err := metrics.CDF(setupAvgs)
+	if err != nil {
+		return nil, err
+	}
+	summary, err := metrics.Summarize(setupAvgs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		Setups:    setups,
+		Speedups:  sp,
+		SetupAvgs: setupAvgs,
+		CDF:       cdf,
+		Summary:   summary,
+		PerSetup:  samples,
+	}, nil
+}
+
+// String renders Fig. 8a (per-workload speedups) and the Fig. 8b summary.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8a — Saba speedup over baseline (%d setups, paper avg 1.88x)\n", r.Setups)
+	r.Speedups.render(&b, "speedup")
+	fmt.Fprintf(&b, "Fig 8b — per-setup average speedup CDF: %s (paper range 0.94x-2.92x)\n", r.Summary)
+	return b.String()
+}
+
+// Fig9Mode selects which §8.3 sensitivity study to run.
+type Fig9Mode int
+
+// Fig 9 study variants.
+const (
+	Fig9Dataset Fig9Mode = iota // study 1: dataset size 0.1x/1x/10x
+	Fig9Nodes                   // study 2: node count 0.5x..4x
+	Fig9Degree                  // study 3: polynomial degree 1..3
+)
+
+// Fig9Result is one §8.3 study: average Saba speedup per swept value.
+type Fig9Result struct {
+	Mode   Fig9Mode
+	Labels []string
+	// PerWorkload[i] is the per-workload speedup map at sweep point i.
+	PerWorkload []map[string]float64
+	Averages    []float64
+}
+
+// Fig9 runs the selected sensitivity study: a homogeneous setup with one
+// instance of every catalog workload on every server of an 8-node
+// cluster (the profiling configuration), co-run under baseline and Saba.
+func Fig9(mode Fig9Mode, seed int64) (*Fig9Result, error) {
+	type point struct {
+		label   string
+		dsScale float64
+		nodes   int
+		degree  int
+	}
+	var points []point
+	switch mode {
+	case Fig9Dataset:
+		for _, s := range []float64{0.1, 1, 10} {
+			points = append(points, point{fmt.Sprintf("%gx", s), s, workload.RefNodes, 3})
+		}
+	case Fig9Nodes:
+		for _, m := range []float64{0.5, 1, 2, 3, 4} {
+			points = append(points, point{fmt.Sprintf("%gx", m), 1, int(m * workload.RefNodes), 3})
+		}
+	case Fig9Degree:
+		for k := 1; k <= 3; k++ {
+			points = append(points, point{fmt.Sprintf("k=%d", k), 1, workload.RefNodes, k})
+		}
+	default:
+		return nil, fmt.Errorf("fig9: unknown mode %d", mode)
+	}
+
+	out := &Fig9Result{Mode: mode}
+	for _, p := range points {
+		tab, _, err := cachedCatalog(p.degree)
+		if err != nil {
+			return nil, err
+		}
+		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: p.nodes, Queues: 8})
+		if err != nil {
+			return nil, err
+		}
+		jobs := homogeneousJobs(top.Hosts(), p.dsScale)
+		base, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicyBaseline, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		saba, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicySaba, Table: tab, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		sp, err := collectSpeedups(speedupsOf(jobs, base, saba))
+		if err != nil {
+			return nil, err
+		}
+		out.Labels = append(out.Labels, p.label)
+		out.PerWorkload = append(out.PerWorkload, sp.ByWorkload)
+		out.Averages = append(out.Averages, sp.Average)
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r *Fig9Result) String() string {
+	titles := map[Fig9Mode]string{
+		Fig9Dataset: "Fig 9a — speedup vs dataset size (paper: 1.33/1.54/1.40)",
+		Fig9Nodes:   "Fig 9b — speedup vs node count (paper: 1.42/1.54/1.34/1.26/1.09)",
+		Fig9Degree:  "Fig 9c — speedup vs polynomial degree (paper: 1.27/1.42/1.54)",
+	}
+	var b strings.Builder
+	b.WriteString(titles[r.Mode] + "\n")
+	for i, label := range r.Labels {
+		fmt.Fprintf(&b, "%-5s avg=%.2f |", label, r.Averages[i])
+		for _, n := range workload.Names() {
+			if v, ok := r.PerWorkload[i][n]; ok {
+				fmt.Fprintf(&b, " %s=%.2f", n, v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

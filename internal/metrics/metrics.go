@@ -1,0 +1,199 @@
+// Package metrics provides the statistical helpers used throughout the
+// Saba evaluation: geometric means, percentiles, CDFs and speedup
+// summaries. The paper reports average speedups as geometric means
+// (§8.1 "the average speedup reports the geometric mean of the results"),
+// so that convention is followed here.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that require at least one sample.
+var ErrEmpty = errors.New("metrics: empty sample set")
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("metrics: geometric mean requires positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %g out of range [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// CDFPoint is a single point of an empirical CDF.
+type CDFPoint struct {
+	Value float64 // sample value
+	Frac  float64 // fraction of samples <= Value, in (0, 1]
+}
+
+// CDF returns the empirical cumulative distribution of xs as a sorted
+// sequence of (value, fraction) points, one per sample.
+func CDF(xs []float64) ([]CDFPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pts := make([]CDFPoint, len(s))
+	for i, v := range s {
+		pts[i] = CDFPoint{Value: v, Frac: float64(i+1) / float64(len(s))}
+	}
+	return pts, nil
+}
+
+// CDFAt evaluates an empirical CDF at value v: the fraction of samples <= v.
+func CDFAt(pts []CDFPoint, v float64) float64 {
+	// Binary search for the last point with Value <= v.
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pts[mid].Value <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return pts[lo-1].Frac
+}
+
+// Speedup is the performance ratio of a treatment run over a baseline run
+// for one workload: baseline time / treatment time (>1 means faster).
+func Speedup(baselineTime, treatmentTime float64) (float64, error) {
+	if baselineTime <= 0 || treatmentTime <= 0 {
+		return 0, fmt.Errorf("metrics: speedup requires positive times, got base=%g treat=%g", baselineTime, treatmentTime)
+	}
+	return baselineTime / treatmentTime, nil
+}
+
+// Summary aggregates a set of per-workload speedups.
+type Summary struct {
+	N       int
+	GeoMean float64
+	Mean    float64
+	Min     float64
+	Max     float64
+	P50     float64
+	P99     float64
+}
+
+// Summarize computes a Summary over speedup samples.
+func Summarize(speedups []float64) (Summary, error) {
+	if len(speedups) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	gm, err := GeoMean(speedups)
+	if err != nil {
+		return Summary{}, err
+	}
+	mean, _ := Mean(speedups)
+	mn, _ := Min(speedups)
+	mx, _ := Max(speedups)
+	p50, _ := Percentile(speedups, 50)
+	p99, _ := Percentile(speedups, 99)
+	return Summary{
+		N:       len(speedups),
+		GeoMean: gm,
+		Mean:    mean,
+		Min:     mn,
+		Max:     mx,
+		P50:     p50,
+		P99:     p99,
+	}, nil
+}
+
+// String renders a one-line human-readable summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d geomean=%.3f mean=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f",
+		s.N, s.GeoMean, s.Mean, s.Min, s.Max, s.P50, s.P99)
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestGeoMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{2}, 2},
+		{"pair", []float64{1, 4}, 2},
+		{"identity", []float64{3, 3, 3}, 3},
+		{"powers", []float64{1, 2, 4, 8}, math.Pow(64, 0.25)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := GeoMean(tt.in)
+			if err != nil {
+				t.Fatalf("GeoMean(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("GeoMean(%v) = %g, want %g", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeoMeanErrors(t *testing.T) {
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Errorf("GeoMean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("GeoMean with negative value should fail")
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Error("GeoMean with zero should fail")
+	}
+}
+
+func TestGeoMeanLeqArithmeticMean(t *testing.T) {
+	// AM-GM inequality must hold for any positive sample set.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Abs(x)+0.001)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		gm, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		am, _ := Mean(xs)
+		return gm <= am*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v err=%v, want 5", m, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almostEqual(sd, 2, 1e-12) {
+		t.Fatalf("StdDev = %v err=%v, want 2", sd, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v err=%v, want -1", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v err=%v, want 7", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should return ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%g) error: %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInputNotMutated(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("negative percentile should fail")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile > 100 should fail")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("CDF len = %d, want 4", len(pts))
+	}
+	if pts[0].Value != 1 || pts[3].Value != 3 {
+		t.Errorf("CDF not sorted: %+v", pts)
+	}
+	if pts[3].Frac != 1 {
+		t.Errorf("last CDF fraction = %g, want 1", pts[3].Frac)
+	}
+	// Monotone non-decreasing in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac < pts[i-1].Frac {
+			t.Errorf("CDF not monotone at %d: %+v", i, pts)
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	pts, _ := CDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		v    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := CDFAt(pts, tt.v); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("CDFAt(%g) = %g, want %g", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(10, 5)
+	if err != nil || s != 2 {
+		t.Errorf("Speedup(10,5) = %v err=%v, want 2", s, err)
+	}
+	if _, err := Speedup(0, 5); err == nil {
+		t.Error("Speedup with zero baseline should fail")
+	}
+	if _, err := Speedup(5, -1); err == nil {
+		t.Error("Speedup with negative treatment should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	if !almostEqual(s.GeoMean, 2, 1e-12) {
+		t.Errorf("GeoMean = %g, want 2", s.GeoMean)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("Min/Max = %g/%g, want 1/4", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String should not be empty")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should return ErrEmpty")
+	}
+}
+
+func TestPercentileMatchesCDF(t *testing.T) {
+	// Property: for sorted data the p50 sits within [min, max] and CDFAt(p50) >= 0.5.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p50, err := Percentile(xs, 50)
+		if err != nil {
+			return false
+		}
+		pts, err := CDF(xs)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return p50 >= mn && p50 <= mx && CDFAt(pts, p50+1e-9) >= 0.5-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"saba/internal/topology"
+)
+
+// randomScenario builds a testbed network with a random flow population.
+func randomScenario(seed int64, hosts int) (*Network, *topology.Topology) {
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: hosts, LinkCapacity: 100})
+	net := NewNetwork(top)
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(25)
+	hs := top.Hosts()
+	for i := 0; i < n; i++ {
+		s := hs[rng.Intn(len(hs))]
+		d := hs[rng.Intn(len(hs))]
+		if s == d {
+			continue
+		}
+		net.AddFlow(0, FlowSpec{
+			Src: s, Dst: d, Bits: 1e6,
+			App:  AppID(rng.Intn(5)),
+			PL:   rng.Intn(4),
+			Mult: 1 + rng.Intn(3),
+		})
+	}
+	return net, top
+}
+
+// saturatedOrSlack verifies the work-conservation invariant: every flow
+// has at least one saturated link on its path (no capacity is left on the
+// table that any flow could still use).
+func saturatedOrSlack(t *testing.T, net *Network, top *topology.Topology) {
+	t.Helper()
+	net.ForEachActive(func(f *Flow) {
+		if len(f.Path) == 0 {
+			return
+		}
+		for _, l := range f.Path {
+			sum := 0.0
+			for _, fid := range net.FlowsOn(l) {
+				ff, _ := net.Flow(fid)
+				sum += ff.Rate
+			}
+			if sum >= net.Capacity(l)*(1-1e-6) {
+				return // found the bottleneck
+			}
+		}
+		t.Errorf("flow %d (rate %g) has slack on every link — allocation not work-conserving", f.ID, f.Rate)
+	})
+}
+
+func TestWFQWorkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		net, top := randomScenario(seed, 6)
+		rng := rand.New(rand.NewSource(seed ^ 0x5aba))
+		w := NewWFQ(net)
+		for _, l := range top.Links() {
+			// Random 4-queue weights, random PL mapping.
+			weights := make([]float64, 4)
+			for q := range weights {
+				weights[q] = 0.05 + rng.Float64()
+			}
+			plq := map[int]int{}
+			for pl := 0; pl < 4; pl++ {
+				plq[pl] = rng.Intn(4)
+			}
+			if err := w.Configure(l.ID, PortConfig{Weights: weights, PLQueue: plq}); err != nil {
+				return false
+			}
+		}
+		w.Allocate(net)
+		ok := true
+		net.ForEachActive(func(fl *Flow) {
+			if len(fl.Path) > 0 && fl.Rate <= 0 {
+				ok = false // starvation
+			}
+		})
+		if !ok {
+			return false
+		}
+		// No link oversubscribed.
+		for _, l := range top.Links() {
+			sum := 0.0
+			for _, fid := range net.FlowsOn(l.ID) {
+				ff, _ := net.Flow(fid)
+				sum += ff.Rate
+			}
+			if sum > net.Capacity(l.ID)*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWFQParetoEfficiencyProperty(t *testing.T) {
+	// Every flow is bottlenecked somewhere: WFQ never strands capacity.
+	for seed := int64(0); seed < 25; seed++ {
+		net, top := randomScenario(seed, 5)
+		w := NewWFQ(net)
+		for _, l := range top.Links() {
+			w.Configure(l.ID, PortConfig{
+				Weights: []float64{0.6, 0.25, 0.1, 0.05},
+				PLQueue: map[int]int{0: 0, 1: 1, 2: 2, 3: 3},
+			})
+		}
+		w.Allocate(net)
+		saturatedOrSlack(t, net, top)
+	}
+}
+
+func TestHomaConservationProperty(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		net, top := randomScenario(seed, 5)
+		NewHoma(net, nil).Allocate(net)
+		saturatedOrSlack(t, net, top)
+	}
+}
+
+func TestSincroniaConservationProperty(t *testing.T) {
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 5, LinkCapacity: 100})
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork(top)
+	hs := top.Hosts()
+	for i := 0; i < 15; i++ {
+		s, d := hs[rng.Intn(5)], hs[rng.Intn(5)]
+		if s == d {
+			continue
+		}
+		net.AddFlow(0, FlowSpec{Src: s, Dst: d, Bits: 1e5 * float64(1+rng.Intn(9)), Coflow: CoflowID(rng.Intn(4))})
+	}
+	NewSincronia(net).Allocate(net)
+	saturatedOrSlack(t, net, top)
+}
+
+func TestMultEquivalence(t *testing.T) {
+	// One flow with Mult=3 must receive exactly the aggregate rate of
+	// three separate unit flows between the same endpoints.
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 3, LinkCapacity: 100})
+
+	split := NewNetwork(top)
+	hs := top.Hosts()
+	for i := 0; i < 3; i++ {
+		split.AddFlow(0, FlowSpec{Src: hs[0], Dst: hs[2], Bits: 1e6})
+	}
+	other, _ := split.AddFlow(0, FlowSpec{Src: hs[1], Dst: hs[2], Bits: 1e6})
+	NewIdealMaxMin(split).Allocate(split)
+	aggr := 0.0
+	split.ForEachActive(func(f *Flow) {
+		if f.Src == hs[0] {
+			aggr += f.Rate
+		}
+	})
+	fo, _ := split.Flow(other)
+	otherRate := fo.Rate
+
+	merged := NewNetwork(top)
+	m, _ := merged.AddFlow(0, FlowSpec{Src: hs[0], Dst: hs[2], Bits: 3e6, Mult: 3})
+	o2, _ := merged.AddFlow(0, FlowSpec{Src: hs[1], Dst: hs[2], Bits: 1e6})
+	NewIdealMaxMin(merged).Allocate(merged)
+	fm, _ := merged.Flow(m)
+	fo2, _ := merged.Flow(o2)
+
+	if math.Abs(fm.Rate-aggr) > 1e-6 {
+		t.Errorf("Mult=3 flow rate %g != aggregate of 3 unit flows %g", fm.Rate, aggr)
+	}
+	if math.Abs(fo2.Rate-otherRate) > 1e-6 {
+		t.Errorf("competing flow rate %g != %g under Mult aggregation", fo2.Rate, otherRate)
+	}
+}
+
+func BenchmarkIdealMaxMinAllocate(b *testing.B) {
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 32})
+	net := NewNetwork(top)
+	rng := rand.New(rand.NewSource(1))
+	hs := top.Hosts()
+	for i := 0; i < 2000; i++ {
+		s, d := hs[rng.Intn(32)], hs[rng.Intn(32)]
+		if s == d {
+			continue
+		}
+		net.AddFlow(0, FlowSpec{Src: s, Dst: d, Bits: 1e9, App: AppID(i % 16)})
+	}
+	a := NewIdealMaxMin(net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Allocate(net)
+	}
+}
+
+func BenchmarkWFQAllocate(b *testing.B) {
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 32, Queues: 8})
+	net := NewNetwork(top)
+	w := NewWFQ(net)
+	for _, l := range top.Links() {
+		w.Configure(l.ID, PortConfig{
+			Weights: []float64{0.3, 0.25, 0.15, 0.1, 0.08, 0.06, 0.04, 0.02},
+			PLQueue: map[int]int{0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7},
+		})
+	}
+	rng := rand.New(rand.NewSource(1))
+	hs := top.Hosts()
+	for i := 0; i < 2000; i++ {
+		s, d := hs[rng.Intn(32)], hs[rng.Intn(32)]
+		if s == d {
+			continue
+		}
+		net.AddFlow(0, FlowSpec{Src: s, Dst: d, Bits: 1e9, App: AppID(i % 16), PL: i % 8})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Allocate(net)
+	}
+}
+
+func BenchmarkSpineLeafRouting(b *testing.B) {
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 3, ToRsPerPod: 3, LeavesPerPod: 4, Spines: 8, HostsPerToR: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := top.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := top.Route(hs[i%len(hs)], hs[(i*7+13)%len(hs)]); err != nil && hs[i%len(hs)] != hs[(i*7+13)%len(hs)] {
+			b.Fatal(err)
+		}
+	}
+}

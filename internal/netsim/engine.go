@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"saba/internal/sim"
+)
+
+// Engine is the fluid discrete-event driver: it alternates between
+// recomputing flow rates (whenever the flow set changes) and advancing
+// virtual time to the next flow completion or scheduled event.
+type Engine struct {
+	net    *Network
+	alloc  Allocator
+	clock  sim.Clock
+	events sim.Queue
+	dirty  bool
+	onDone map[FlowID]func(*Engine, FlowID)
+
+	// OnAdvance, when set, observes every time advance [t0, t1) with the
+	// flow rates that were in force during it — the hook used by the
+	// utilization tracer (Fig. 2). It runs after flows have progressed but
+	// before completion callbacks fire.
+	OnAdvance func(e *Engine, t0, t1 float64)
+
+	// completed scratch buffer
+	done []FlowID
+}
+
+// Errors returned by Run.
+var (
+	ErrDeadlock = errors.New("netsim: zero-rate flows with no pending events (allocation deadlock)")
+	ErrHorizon  = errors.New("netsim: simulation horizon exceeded")
+)
+
+// NewEngine creates an engine over the network with the given allocator.
+func NewEngine(net *Network, alloc Allocator) *Engine {
+	return &Engine{
+		net:    net,
+		alloc:  alloc,
+		onDone: map[FlowID]func(*Engine, FlowID){},
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.clock.Now() }
+
+// Network returns the underlying network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Allocator returns the active allocator.
+func (e *Engine) Allocator() Allocator { return e.alloc }
+
+// SetAllocator swaps the bandwidth-sharing discipline; rates are
+// recomputed on the next step.
+func (e *Engine) SetAllocator(a Allocator) {
+	e.alloc = a
+	e.dirty = true
+}
+
+// MarkDirty forces a rate recomputation on the next step (used after
+// out-of-band configuration changes such as new WFQ weights).
+func (e *Engine) MarkDirty() { e.dirty = true }
+
+// AddFlow activates a flow; onDone (optional) fires when it completes.
+func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, error) {
+	id, err := e.net.AddFlow(e.Now(), spec)
+	if err != nil {
+		return 0, err
+	}
+	if onDone != nil {
+		e.onDone[id] = onDone
+	}
+	e.dirty = true
+	return id, nil
+}
+
+// CancelFlow removes a flow without firing its completion callback.
+func (e *Engine) CancelFlow(id FlowID) error {
+	if err := e.net.RemoveFlow(id); err != nil {
+		return err
+	}
+	delete(e.onDone, id)
+	e.dirty = true
+	return nil
+}
+
+// At schedules fn at absolute virtual time t (>= Now).
+func (e *Engine) At(t float64, fn func(*Engine)) error {
+	if t < e.Now() {
+		return fmt.Errorf("%w: %g < %g", sim.ErrPastEvent, t, e.Now())
+	}
+	e.events.Schedule(t, func() { fn(e) })
+	return nil
+}
+
+// After schedules fn dt seconds from now.
+func (e *Engine) After(dt float64, fn func(*Engine)) error {
+	if dt < 0 {
+		return fmt.Errorf("netsim: negative delay %g", dt)
+	}
+	return e.At(e.Now()+dt, fn)
+}
+
+// Idle reports whether nothing remains to simulate.
+func (e *Engine) Idle() bool {
+	return e.net.NumActive() == 0 && e.events.Len() == 0
+}
+
+// Run advances the simulation until idle or until virtual time exceeds
+// horizon (seconds; use math.Inf(1) for no limit).
+func (e *Engine) Run(horizon float64) error {
+	for !e.Idle() {
+		if err := e.step(horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil advances until the predicate holds, the simulation idles, or
+// the horizon passes.
+func (e *Engine) RunUntil(horizon float64, pred func() bool) error {
+	for !e.Idle() && !pred() {
+		if err := e.step(horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step performs one event iteration: reallocate if needed, advance to the
+// next completion/event, fire callbacks.
+func (e *Engine) step(horizon float64) error {
+	if e.dirty {
+		e.alloc.Allocate(e.net)
+		e.dirty = false
+	}
+
+	// Earliest flow completion.
+	dtFlow := math.Inf(1)
+	e.net.ForEachActive(func(f *Flow) {
+		if f.Rate > 0 {
+			if dt := f.Remaining / f.Rate; dt < dtFlow {
+				dtFlow = dt
+			}
+		}
+	})
+	tFlow := e.Now() + dtFlow
+
+	tEvent := math.Inf(1)
+	if at, ok := e.events.PeekTime(); ok {
+		tEvent = at
+	}
+
+	tNext := math.Min(tFlow, tEvent)
+	if math.IsInf(tNext, 1) {
+		if e.net.NumActive() > 0 {
+			return ErrDeadlock
+		}
+		return nil
+	}
+	if tNext > horizon {
+		return fmt.Errorf("%w: next event at %gs > horizon %gs", ErrHorizon, tNext, horizon)
+	}
+
+	// Advance all flows by dt and collect completions.
+	dt := tNext - e.Now()
+	e.done = e.done[:0]
+	e.net.ForEachActive(func(f *Flow) {
+		if f.Rate > 0 && dt > 0 {
+			f.Remaining -= f.Rate * dt
+		}
+		if f.Remaining <= completionSlack(f) {
+			f.Remaining = 0
+			e.done = append(e.done, f.ID)
+		}
+	})
+	t0 := e.Now()
+	if err := e.clock.AdvanceTo(tNext); err != nil {
+		return err
+	}
+	if e.OnAdvance != nil && dt > 0 {
+		e.OnAdvance(e, t0, tNext)
+	}
+
+	for _, id := range e.done {
+		fn := e.onDone[id]
+		delete(e.onDone, id)
+		if err := e.net.RemoveFlow(id); err != nil {
+			return err
+		}
+		e.dirty = true
+		if fn != nil {
+			fn(e, id)
+		}
+	}
+
+	// Fire all events due now.
+	for {
+		at, ok := e.events.PeekTime()
+		if !ok || at > e.Now()+timeSlack {
+			break
+		}
+		ev, _ := e.events.Pop()
+		ev.Fn()
+	}
+	return nil
+}
+
+// timeSlack absorbs floating-point drift when comparing event times.
+const timeSlack = 1e-9
+
+// completionSlack is the residual size below which a flow counts as
+// finished: absolute floor plus a relative component for huge transfers.
+func completionSlack(f *Flow) float64 {
+	return 1e-6 + f.Size*1e-12
+}

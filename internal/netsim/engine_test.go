@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineSingleFlowCompletionTime(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	var doneAt float64 = -1
+	_, err := e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 1000}, func(e *Engine, id FlowID) {
+		doneAt = e.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 bits at 100 bits/sec = 10 seconds.
+	if math.Abs(doneAt-10) > 1e-6 {
+		t.Errorf("completion at %g, want 10", doneAt)
+	}
+	if !e.Idle() {
+		t.Error("engine should be idle after Run")
+	}
+}
+
+func TestEngineTwoFlowsSequentialCompletion(t *testing.T) {
+	// Two flows share a downlink at 50 each; the short one finishes first,
+	// after which the long one speeds up to 100.
+	net, hosts := testbed(t, 3)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	times := map[string]float64{}
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 500}, func(e *Engine, id FlowID) {
+		times["short"] = e.Now()
+	})
+	e.AddFlow(FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 2000}, func(e *Engine, id FlowID) {
+		times["long"] = e.Now()
+	})
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Short: 500/50 = 10s. Long: 10s at 50 (500 sent) + 1500/100 = 25s.
+	if math.Abs(times["short"]-10) > 1e-6 {
+		t.Errorf("short done at %g, want 10", times["short"])
+	}
+	if math.Abs(times["long"]-25) > 1e-6 {
+		t.Errorf("long done at %g, want 25", times["long"])
+	}
+}
+
+func TestEngineScheduledEventsAddFlows(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	var doneAt float64
+	if err := e.At(5, func(e *Engine) {
+		e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 100}, func(e *Engine, id FlowID) {
+			doneAt = e.Now()
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doneAt-6) > 1e-6 { // starts at 5, 100 bits / 100 bps = 1s
+		t.Errorf("flow done at %g, want 6", doneAt)
+	}
+}
+
+func TestEngineAfterAndPastEvent(t *testing.T) {
+	net, _ := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	if err := e.After(-1, func(*Engine) {}); err == nil {
+		t.Error("negative After should fail")
+	}
+	e.After(1, func(*Engine) {})
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.At(0.5, func(*Engine) {}); err == nil {
+		t.Error("At in the past should fail")
+	}
+}
+
+func TestEngineCancelFlow(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	fired := false
+	id, _ := e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 1e9}, func(*Engine, FlowID) {
+		fired = true
+	})
+	if err := e.CancelFlow(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled flow's callback fired")
+	}
+	if err := e.CancelFlow(id); err == nil {
+		t.Error("double cancel should fail")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 1e9}, nil) // 1e7 seconds
+	if err := e.Run(100); err == nil {
+		t.Error("Run past horizon should fail")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	done := 0
+	for i := 0; i < 3; i++ {
+		bits := float64(100 * (i + 1))
+		e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: bits}, func(*Engine, FlowID) { done++ })
+	}
+	if err := e.RunUntil(math.Inf(1), func() bool { return done >= 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Errorf("RunUntil stopped after %d completions, want 1", done)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Errorf("total completions = %d, want 3", done)
+	}
+}
+
+func TestEngineLoopbackFlow(t *testing.T) {
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	var doneAt float64 = -1
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[0], Bits: 1e9}, func(e *Engine, id FlowID) {
+		doneAt = e.Now()
+	})
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt < 0 || doneAt > 1e-3 {
+		t.Errorf("loopback flow done at %g, want ~0", doneAt)
+	}
+}
+
+func TestEngineSetAllocatorMidRun(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	w := NewWFQ(net)
+	for _, l := range net.Topology().Links() {
+		w.Configure(l.ID, PortConfig{Weights: []float64{0.9, 0.1}, PLQueue: map[int]int{0: 0, 1: 1}})
+	}
+	var t0, t1 float64
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 4000, PL: 0}, func(e *Engine, id FlowID) { t0 = e.Now() })
+	e.AddFlow(FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 4000, PL: 1}, func(e *Engine, id FlowID) { t1 = e.Now() })
+	// Switch to WFQ at t=0 via event.
+	e.At(0, func(e *Engine) { e.SetAllocator(w) })
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if t0 >= t1 {
+		t.Errorf("PL0 (weight .9) finished at %g, PL1 at %g; want PL0 first", t0, t1)
+	}
+	if e.Allocator() != w {
+		t.Error("Allocator() should return the swapped allocator")
+	}
+}
+
+func TestEngineConservationOfBytes(t *testing.T) {
+	// The sum of all flow sizes equals capacity × busy time on the shared
+	// link when it is the single bottleneck throughout.
+	net, hosts := testbed(t, 3)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	total := 0.0
+	for i := 0; i < 10; i++ {
+		bits := float64(1000 + 100*i)
+		total += bits
+		src := hosts[i%2]
+		e.AddFlow(FlowSpec{Src: src, Dst: hosts[2], Bits: bits}, nil)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Shared downlink capacity 100; all traffic crosses it; last bit at
+	// total/100 seconds (work conservation on the bottleneck).
+	want := total / 100
+	if math.Abs(e.Now()-want) > 1e-6*want {
+		t.Errorf("makespan = %g, want %g", e.Now(), want)
+	}
+}
+
+func TestEngineDeadlockDetection(t *testing.T) {
+	// An allocator that assigns zero rates with no pending events must
+	// surface ErrDeadlock instead of spinning.
+	net, hosts := testbed(t, 2)
+	e := NewEngine(net, zeroAllocator{})
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 100}, nil)
+	err := e.Run(math.Inf(1))
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+type zeroAllocator struct{}
+
+func (zeroAllocator) Name() string { return "zero" }
+func (zeroAllocator) Allocate(net *Network) {
+	net.ForEachActive(func(f *Flow) { f.Rate = 0 })
+}
+
+func TestEngineHomaEndToEndSRPT(t *testing.T) {
+	// Under Homa, a burst of short flows finishes before a long flow even
+	// when started together; under max-min the long flow would finish at
+	// its fair-share pace. Verify total ordering.
+	net, hosts := testbed(t, 3)
+	e := NewEngine(net, NewHoma(net, nil))
+	var longDone, lastShort float64
+	e.AddFlow(FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6}, func(e *Engine, id FlowID) { longDone = e.Now() })
+	for i := 0; i < 5; i++ {
+		e.AddFlow(FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1000}, func(e *Engine, id FlowID) { lastShort = e.Now() })
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if lastShort >= longDone {
+		t.Errorf("shorts finished at %g, long at %g; want shorts strictly first", lastShort, longDone)
+	}
+}

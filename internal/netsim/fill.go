@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"saba/internal/topology"
+)
+
+// LocalRate is the rate assigned to flows whose source and destination are
+// the same host (they never touch the network).
+const LocalRate = 1e15 // bits/sec
+
+// ClassSpec describes one scheduling class at a link.
+//
+// PerFlow=true means every flow in the class carries Weight on its own
+// (per-flow max-min: the class contributes Weight × count to the link's
+// demand). PerFlow=false means the class has a fixed aggregate Weight
+// split equally among its backlogged flows (a WFQ queue).
+type ClassSpec struct {
+	Weight  float64
+	PerFlow bool
+}
+
+// Classifier maps flows to scheduling classes per link. Implementations
+// encode the arbitration discipline: per-flow fairness, WFQ queues, etc.
+type Classifier interface {
+	// LinkClasses returns the class table of a link. The result must be
+	// stable for the duration of one Fill run.
+	LinkClasses(l topology.LinkID) []ClassSpec
+	// FlowClass returns the index (into LinkClasses(l)) of the class that
+	// flow f occupies at link l.
+	FlowClass(f *Flow, l topology.LinkID) int
+}
+
+// FlatClassifier implements plain per-flow max-min: one per-flow class of
+// weight 1 at every link.
+type FlatClassifier struct{}
+
+var flatClasses = []ClassSpec{{Weight: 1, PerFlow: true}}
+
+// LinkClasses returns the single per-flow class.
+func (FlatClassifier) LinkClasses(topology.LinkID) []ClassSpec { return flatClasses }
+
+// FlowClass puts every flow in class 0.
+func (FlatClassifier) FlowClass(*Flow, topology.LinkID) int { return 0 }
+
+// Filler computes max-min-style rate allocations via progressive filling
+// (water-filling) generalized to hierarchical per-link classes: in each
+// round every contended link advertises a fair share per class, every
+// unfixed flow takes the minimum entitlement along its path, and the
+// flows at the global minimum are frozen there. State is reused across
+// calls to avoid per-allocation garbage.
+type Filler struct {
+	capRem  []float64
+	sumW    []float64 // weighted demand of unfixed flows per link
+	cnt     [][]int32 // per link, per class: unfixed-flow count
+	touched []topology.LinkID
+	inRun   []bool   // per link: appears in the current Run
+	pending []FlowID // flows registered in the current run
+	freeze  []FlowID // per-round scratch: flows of the bottleneck class
+
+	// additive makes fix() add to existing rates instead of overwriting —
+	// the WFQ top-up passes raise already-allocated flows using residual
+	// capacity.
+	additive bool
+}
+
+// NewFiller creates a Filler sized for the network's link count.
+func NewFiller(net *Network) *Filler {
+	nl := len(net.Topology().Links())
+	return &Filler{
+		capRem: make([]float64, nl),
+		sumW:   make([]float64, nl),
+		cnt:    make([][]int32, nl),
+		inRun:  make([]bool, nl),
+	}
+}
+
+// Reset initializes remaining capacities from the network (honoring
+// overrides). Call once per allocation epoch, before the first Run.
+func (fl *Filler) Reset(net *Network) {
+	for i := range fl.capRem {
+		fl.capRem[i] = net.Capacity(topology.LinkID(i))
+	}
+}
+
+// Run allocates rates for the given flows against the remaining
+// capacities, decrementing them so subsequent Runs see only the leftover
+// (strict-priority composition). Flows not in ids are ignored entirely;
+// their demand must already be reflected in capRem by a previous Run.
+func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
+	if len(ids) == 0 {
+		return
+	}
+	// Register per-link class occupancy for this run.
+	fl.touched = fl.touched[:0]
+	fl.pending = fl.pending[:0]
+	for _, id := range ids {
+		f := &net.flows[id]
+		if !f.active {
+			continue
+		}
+		if len(f.Path) == 0 {
+			f.Rate = LocalRate
+			continue
+		}
+		if !fl.additive {
+			f.Rate = 0
+		}
+		f.inRun = true
+		fl.pending = append(fl.pending, id)
+		for _, l := range f.Path {
+			if !fl.inRun[l] {
+				fl.inRun[l] = true
+				fl.touched = append(fl.touched, l)
+				nc := len(cls.LinkClasses(l))
+				if cap(fl.cnt[l]) < nc {
+					fl.cnt[l] = make([]int32, nc)
+				} else {
+					fl.cnt[l] = fl.cnt[l][:nc]
+					for i := range fl.cnt[l] {
+						fl.cnt[l][i] = 0
+					}
+				}
+			}
+			fl.cnt[l][cls.FlowClass(f, l)] += int32(f.Mult)
+		}
+	}
+	for _, l := range fl.touched {
+		fl.sumW[l] = fl.demand(l, cls)
+	}
+
+	// Generalized water-filling over (link, class) groups. A flow's
+	// per-connection entitlement is the minimum over its path of the
+	// link's per-class unit share: share_l × W_q (per-flow class) or
+	// share_l × W_q / count_q (WFQ queue), with share_l = capRem_l /
+	// weighted demand_l and count_q weighted by connection multiplicity;
+	// the flow's rate is that unit entitlement times its Mult. The key
+	// observation making this fast: the globally minimal unit entitlement
+	// is attained by the (link, class) pair minimizing the per-class
+	// share, and *every* unfixed flow in that pair has exactly that unit
+	// entitlement (it crosses the pair, so it cannot be higher; the pair
+	// is the global minimum, so it cannot be lower). Each round therefore
+	// scans links×classes instead of flows×path, and freezes a whole
+	// class at once.
+	remaining := len(fl.pending)
+	for remaining > 0 {
+		best := -1.0
+		var bl topology.LinkID = -1
+		bc := -1
+		for _, l := range fl.touched {
+			w := fl.sumW[l]
+			if w <= 1e-12 {
+				continue
+			}
+			c := fl.capRem[l]
+			if c < 0 {
+				c = 0
+			}
+			share := c / w
+			specs := cls.LinkClasses(l)
+			for q, n := range fl.cnt[l] {
+				if n <= 0 {
+					continue
+				}
+				ent := share * specs[q].Weight
+				if !specs[q].PerFlow {
+					ent /= float64(n)
+				}
+				if best < 0 || ent < best {
+					best, bl, bc = ent, l, q
+				}
+			}
+		}
+		if best < 0 {
+			break // no demand left (cannot happen while remaining > 0)
+		}
+		// Collect then freeze the bottleneck class (fix mutates counters).
+		fl.freeze = fl.freeze[:0]
+		for _, fid := range net.linkFlows[bl] {
+			f := &net.flows[fid]
+			if f.active && f.inRun && cls.FlowClass(f, bl) == bc {
+				fl.freeze = append(fl.freeze, fid)
+			}
+		}
+		for _, fid := range fl.freeze {
+			f := &net.flows[fid]
+			fl.fix(f, best*float64(f.Mult), cls)
+			remaining--
+		}
+		if len(fl.freeze) == 0 {
+			break // inconsistent counters; avoid spinning
+		}
+	}
+
+	// Clear run markers.
+	for _, l := range fl.touched {
+		fl.inRun[l] = false
+	}
+	if remaining > 0 {
+		for _, id := range fl.pending {
+			net.flows[id].inRun = false
+		}
+	}
+}
+
+// fix assigns the final rate to f and removes its demand from every link
+// it crosses, maintaining the weighted-demand sums incrementally.
+func (fl *Filler) fix(f *Flow, rate float64, cls Classifier) {
+	if fl.additive {
+		f.Rate += rate
+	} else {
+		f.Rate = rate
+	}
+	f.inRun = false
+	for _, l := range f.Path {
+		fl.capRem[l] -= rate
+		if fl.capRem[l] < 0 {
+			fl.capRem[l] = 0
+		}
+		c := cls.FlowClass(f, l)
+		fl.cnt[l][c] -= int32(f.Mult)
+		spec := cls.LinkClasses(l)[c]
+		if spec.PerFlow {
+			fl.sumW[l] -= spec.Weight * float64(f.Mult)
+		} else if fl.cnt[l][c] <= 0 {
+			fl.sumW[l] -= spec.Weight
+		}
+	}
+}
+
+// demand returns the weighted demand of unfixed run-flows at link l.
+func (fl *Filler) demand(l topology.LinkID, cls Classifier) float64 {
+	specs := cls.LinkClasses(l)
+	w := 0.0
+	for c, n := range fl.cnt[l] {
+		if n <= 0 {
+			continue
+		}
+		if specs[c].PerFlow {
+			w += specs[c].Weight * float64(n)
+		} else {
+			w += specs[c].Weight
+		}
+	}
+	return w
+}

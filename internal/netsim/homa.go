@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"sort"
+)
+
+// DefaultHomaCutoff is the flow-size boundary (in bits) between Homa's
+// high-priority short-flow class and the shared long-flow queue. The
+// paper's study 5 notes "Homa assigns all flows longer than a certain
+// size (10KB) to the same priority queue".
+const DefaultHomaCutoff = 10 * 1024 * 8 // 10 KB in bits
+
+// Homa approximates the Homa transport (receiver-driven priorities): flows
+// are partitioned into strict-priority bands by remaining size — shorter
+// flows preempt longer ones, SRPT-style — and flows within a band share
+// max-min fairly. Cutoffs are the band boundaries in ascending order; a
+// flow with remaining size < Cutoffs[i] lands in band i, everything
+// larger in the final band.
+type Homa struct {
+	Cutoffs []float64 // bits, ascending
+	filler  *Filler
+	bands   [][]FlowID
+}
+
+// NewHoma creates a Homa allocator. Empty cutoffs select the paper's
+// single 10 KB boundary (two bands).
+func NewHoma(net *Network, cutoffs []float64) *Homa {
+	if len(cutoffs) == 0 {
+		cutoffs = []float64{DefaultHomaCutoff}
+	}
+	cs := append([]float64(nil), cutoffs...)
+	sort.Float64s(cs)
+	return &Homa{
+		Cutoffs: cs,
+		filler:  NewFiller(net),
+		bands:   make([][]FlowID, len(cs)+1),
+	}
+}
+
+// Name implements Allocator.
+func (*Homa) Name() string { return "homa" }
+
+// band returns the strict-priority band of a flow (0 = highest priority).
+func (h *Homa) band(f *Flow) int {
+	for i, c := range h.Cutoffs {
+		if f.Remaining < c {
+			return i
+		}
+	}
+	return len(h.Cutoffs)
+}
+
+// Allocate implements Allocator: progressive filling per band, highest
+// priority first, each band consuming the previous bands' leftovers.
+func (h *Homa) Allocate(net *Network) {
+	for i := range h.bands {
+		h.bands[i] = h.bands[i][:0]
+	}
+	net.ForEachActive(func(f *Flow) {
+		b := h.band(f)
+		h.bands[b] = append(h.bands[b], f.ID)
+	})
+	h.filler.Reset(net)
+	for _, band := range h.bands {
+		h.filler.Run(net, band, FlatClassifier{})
+	}
+}

@@ -1,0 +1,283 @@
+// Package netsim is a flow-level (fluid) simulator of a datacenter
+// network. Flows traverse the directed links of a topology; a pluggable
+// Allocator assigns each active flow a transmission rate according to the
+// bandwidth-sharing discipline under study:
+//
+//   - NewIdealMaxMin: per-flow max-min fairness via progressive filling —
+//     the paper's "ideal max-min" upper bound (§8.4, study 4).
+//   - NewFECN: the InfiniBand baseline — max-min with the utilization loss
+//     of end-to-end FECN congestion management (§8.1).
+//   - NewWFQ: Saba's enforcement — per-port queues with weights, flows
+//     mapped to queues via PLs (§5.2, §5.3).
+//   - NewHoma: flow-size priority classes (§8.4, study 5).
+//   - NewSincronia: clairvoyant coflow ordering (§8.4, study 6).
+//
+// Between rate changes the Engine advances virtual time analytically to
+// the next flow or scheduled-event completion, which makes simulating
+// hours of cluster time cheap.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"saba/internal/topology"
+)
+
+// FlowID indexes a flow within a Network. IDs are recycled after removal.
+type FlowID int
+
+// AppID identifies the application a flow belongs to (Saba registration).
+type AppID int
+
+// CoflowID groups related flows of one application stage (for Sincronia).
+type CoflowID int
+
+// NoApp marks flows that belong to no registered application.
+const NoApp AppID = -1
+
+// NoCoflow marks flows outside any coflow.
+const NoCoflow CoflowID = -1
+
+// Flow is one active transfer.
+type Flow struct {
+	ID        FlowID
+	Src, Dst  topology.NodeID
+	Path      []topology.LinkID
+	Size      float64 // bits, original
+	Remaining float64 // bits
+	Rate      float64 // bits/sec, set by the Allocator
+	App       AppID
+	PL        int // priority level (Saba service level); -1 if unassigned
+	Mult      int // parallel-connection multiplicity: counts as Mult flows under per-flow fairness
+	Coflow    CoflowID
+	Start     float64 // virtual time the flow was added
+	active    bool
+	inRun     bool // scratch: member of the current Filler run
+}
+
+// Network is the dynamic state layered over a static topology: the set of
+// active flows, per-link flow indexes and capacity overrides (used by the
+// profiler's NIC throttling).
+type Network struct {
+	top       *topology.Topology
+	flows     []Flow
+	free      []FlowID
+	linkFlows [][]FlowID // linkFlows[link] = active flows crossing it
+	capOver   map[topology.LinkID]float64
+	active    int
+}
+
+// NewNetwork creates an empty network over the topology.
+func NewNetwork(top *topology.Topology) *Network {
+	return &Network{
+		top:       top,
+		linkFlows: make([][]FlowID, len(top.Links())),
+		capOver:   map[topology.LinkID]float64{},
+	}
+}
+
+// Topology returns the underlying static topology.
+func (n *Network) Topology() *topology.Topology { return n.top }
+
+// Errors returned by flow operations.
+var (
+	ErrBadSize     = errors.New("netsim: flow size must be positive")
+	ErrUnknownFlow = errors.New("netsim: unknown or inactive flow")
+)
+
+// FlowSpec describes a flow to add.
+type FlowSpec struct {
+	Src, Dst topology.NodeID
+	Bits     float64
+	App      AppID
+	PL       int
+	// Mult aggregates parallel connections between the same endpoints
+	// into one simulated flow that receives Mult fair shares (0 → 1).
+	Mult   int
+	Coflow CoflowID
+}
+
+// AddFlow routes and activates a flow, returning its ID. Flows between a
+// host and itself never touch the network and are modeled with an empty
+// path (the Engine completes them at local-memory speed).
+func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
+	if spec.Bits <= 0 {
+		return 0, fmt.Errorf("%w: %g", ErrBadSize, spec.Bits)
+	}
+	path, err := n.top.Route(spec.Src, spec.Dst)
+	if err != nil {
+		return 0, err
+	}
+	var id FlowID
+	if len(n.free) > 0 {
+		id = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+	} else {
+		id = FlowID(len(n.flows))
+		n.flows = append(n.flows, Flow{})
+	}
+	mult := spec.Mult
+	if mult <= 0 {
+		mult = 1
+	}
+	n.flows[id] = Flow{
+		ID: id, Src: spec.Src, Dst: spec.Dst, Path: path,
+		Size: spec.Bits, Remaining: spec.Bits,
+		App: spec.App, PL: spec.PL, Mult: mult, Coflow: spec.Coflow,
+		Start: now, active: true,
+	}
+	for _, l := range path {
+		n.linkFlows[l] = append(n.linkFlows[l], id)
+	}
+	n.active++
+	return id, nil
+}
+
+// RemoveFlow deactivates a flow (on completion or cancellation).
+func (n *Network) RemoveFlow(id FlowID) error {
+	f, err := n.flow(id)
+	if err != nil {
+		return err
+	}
+	for _, l := range f.Path {
+		fs := n.linkFlows[l]
+		for i, fid := range fs {
+			if fid == id {
+				fs[i] = fs[len(fs)-1]
+				n.linkFlows[l] = fs[:len(fs)-1]
+				break
+			}
+		}
+	}
+	f.active = false
+	n.free = append(n.free, id)
+	n.active--
+	return nil
+}
+
+func (n *Network) flow(id FlowID) (*Flow, error) {
+	if int(id) < 0 || int(id) >= len(n.flows) || !n.flows[id].active {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	return &n.flows[id], nil
+}
+
+// Flow returns a pointer to an active flow. The pointer is valid until
+// the flow is removed.
+func (n *Network) Flow(id FlowID) (*Flow, error) { return n.flow(id) }
+
+// NumActive returns the number of active flows.
+func (n *Network) NumActive() int { return n.active }
+
+// ForEachActive calls fn for every active flow.
+func (n *Network) ForEachActive(fn func(*Flow)) {
+	for i := range n.flows {
+		if n.flows[i].active {
+			fn(&n.flows[i])
+		}
+	}
+}
+
+// ActiveIDs returns the IDs of all active flows (freshly allocated).
+func (n *Network) ActiveIDs() []FlowID {
+	ids := make([]FlowID, 0, n.active)
+	for i := range n.flows {
+		if n.flows[i].active {
+			ids = append(ids, FlowID(i))
+		}
+	}
+	return ids
+}
+
+// FlowsOn returns the active flows crossing a link. The slice is owned by
+// the Network; callers must not mutate it.
+func (n *Network) FlowsOn(l topology.LinkID) []FlowID { return n.linkFlows[l] }
+
+// Capacity returns the effective capacity of a link, honoring overrides.
+func (n *Network) Capacity(l topology.LinkID) float64 {
+	if c, ok := n.capOver[l]; ok {
+		return c
+	}
+	lk, err := n.top.Link(l)
+	if err != nil {
+		return 0
+	}
+	return lk.Capacity
+}
+
+// SetCapacityOverride caps a link at the given bits/sec (the profiler's
+// token-bucket NIC throttle). A non-positive value returns an error.
+func (n *Network) SetCapacityOverride(l topology.LinkID, bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("netsim: capacity override must be positive, got %g", bps)
+	}
+	n.capOver[l] = bps
+	return nil
+}
+
+// ClearCapacityOverride restores a link's native capacity.
+func (n *Network) ClearCapacityOverride(l topology.LinkID) {
+	delete(n.capOver, l)
+}
+
+// ThrottleHost caps both directions of a host's access link to fraction
+// of their native capacity — the profiler's "limit the bandwidth of NICs
+// of all nodes to a certain percentage of link capacity" (§4.1).
+func (n *Network) ThrottleHost(h topology.NodeID, fraction float64) error {
+	if fraction <= 0 || fraction > 1 {
+		return fmt.Errorf("netsim: throttle fraction %g out of (0,1]", fraction)
+	}
+	node, err := n.top.Node(h)
+	if err != nil {
+		return err
+	}
+	if node.Kind != topology.Host {
+		return fmt.Errorf("netsim: node %d is not a host", h)
+	}
+	for _, up := range n.top.OutLinks(h) {
+		lk, _ := n.top.Link(up)
+		if err := n.SetCapacityOverride(up, lk.Capacity*fraction); err != nil {
+			return err
+		}
+		// The reverse direction: the peer's link back to the host.
+		for _, down := range n.top.OutLinks(lk.To) {
+			dl, _ := n.top.Link(down)
+			if dl.To == h {
+				if err := n.SetCapacityOverride(down, dl.Capacity*fraction); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UnthrottleHost removes the overrides installed by ThrottleHost.
+func (n *Network) UnthrottleHost(h topology.NodeID) {
+	for _, up := range n.top.OutLinks(h) {
+		n.ClearCapacityOverride(up)
+		lk, _ := n.top.Link(up)
+		for _, down := range n.top.OutLinks(lk.To) {
+			dl, _ := n.top.Link(down)
+			if dl.To == h {
+				n.ClearCapacityOverride(down)
+			}
+		}
+	}
+}
+
+// LinkUtilization returns, for a link, the fraction of its effective
+// capacity consumed by current flow rates (post-allocation).
+func (n *Network) LinkUtilization(l topology.LinkID) float64 {
+	c := n.Capacity(l)
+	if c <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, fid := range n.linkFlows[l] {
+		sum += n.flows[fid].Rate
+	}
+	return math.Min(sum/c, 1)
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHomaShortFlowsPreempt(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	short, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1000}) // < 10KB
+	long, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e9})
+	h := NewHoma(net, nil)
+	h.Allocate(net)
+	if r := rate(t, net, short); math.Abs(r-100) > 1e-6 {
+		t.Errorf("short flow rate = %g, want full 100", r)
+	}
+	if r := rate(t, net, long); r > 1e-6 {
+		t.Errorf("long flow rate = %g, want 0 while short is active", r)
+	}
+}
+
+func TestHomaLongFlowsShareLeftover(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e9})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 2e9})
+	NewHoma(net, nil).Allocate(net)
+	// Both long: same band, equal split.
+	if ra, rb := rate(t, net, a), rate(t, net, b); math.Abs(ra-50) > 1e-6 || math.Abs(rb-50) > 1e-6 {
+		t.Errorf("long flows = %g,%g; want 50,50", ra, rb)
+	}
+}
+
+func TestHomaBandByRemainingSize(t *testing.T) {
+	// A long flow whose Remaining has dropped below the cutoff moves into
+	// the high-priority band (SRPT flavor).
+	net, hosts := testbed(t, 3)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e9})
+	f, _ := net.Flow(a)
+	f.Remaining = 500 // nearly done
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e9})
+	NewHoma(net, nil).Allocate(net)
+	if ra := rate(t, net, a); math.Abs(ra-100) > 1e-6 {
+		t.Errorf("nearly-done flow = %g, want 100", ra)
+	}
+	if rb := rate(t, net, b); rb > 1e-6 {
+		t.Errorf("fresh long flow = %g, want 0", rb)
+	}
+}
+
+func TestHomaCustomCutoffsSorted(t *testing.T) {
+	net, _ := testbed(t, 2)
+	h := NewHoma(net, []float64{5000, 100, 1000})
+	for i := 1; i < len(h.Cutoffs); i++ {
+		if h.Cutoffs[i] < h.Cutoffs[i-1] {
+			t.Fatalf("cutoffs not sorted: %v", h.Cutoffs)
+		}
+	}
+	if h.Name() != "homa" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestSincroniaSmallBottleneckCoflowFirst(t *testing.T) {
+	// Coflow 1 has far less demand on the shared bottleneck than coflow 2;
+	// BSSI places coflow 2 last, so coflow 1 preempts it.
+	net, hosts := testbed(t, 3)
+	small, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e3, Coflow: 1})
+	big, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e9, Coflow: 2})
+	NewSincronia(net).Allocate(net)
+	if r := rate(t, net, small); math.Abs(r-100) > 1e-6 {
+		t.Errorf("small coflow rate = %g, want 100", r)
+	}
+	if r := rate(t, net, big); r > 1e-6 {
+		t.Errorf("big coflow rate = %g, want 0", r)
+	}
+}
+
+func TestSincroniaWithinCoflowFair(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, Coflow: 1})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, Coflow: 1})
+	NewSincronia(net).Allocate(net)
+	if ra, rb := rate(t, net, a), rate(t, net, b); math.Abs(ra-50) > 1e-6 || math.Abs(rb-50) > 1e-6 {
+		t.Errorf("same-coflow rates = %g,%g; want 50,50", ra, rb)
+	}
+}
+
+func TestSincroniaLooseFlowsLast(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	cf, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, Coflow: 3})
+	loose, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, Coflow: NoCoflow})
+	NewSincronia(net).Allocate(net)
+	if r := rate(t, net, cf); math.Abs(r-100) > 1e-6 {
+		t.Errorf("coflow rate = %g, want 100", r)
+	}
+	if r := rate(t, net, loose); r > 1e-6 {
+		t.Errorf("loose flow rate = %g, want 0", r)
+	}
+}
+
+func TestSincroniaDisjointCoflowsBothRun(t *testing.T) {
+	// Coflows on disjoint links should not block each other (priority is
+	// per-link residual, not global stop-and-go).
+	net, hosts := testbed(t, 4)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 1e6, Coflow: 1})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[2], Dst: hosts[3], Bits: 1e6, Coflow: 2})
+	NewSincronia(net).Allocate(net)
+	if ra, rb := rate(t, net, a), rate(t, net, b); math.Abs(ra-100) > 1e-6 || math.Abs(rb-100) > 1e-6 {
+		t.Errorf("disjoint coflows = %g,%g; want 100,100", ra, rb)
+	}
+}
+
+func TestSincroniaDeterministicOrder(t *testing.T) {
+	mk := func() (*Network, []FlowID) {
+		net, hosts := testbed(t, 4)
+		var ids []FlowID
+		for i, cf := range []CoflowID{1, 2, 3} {
+			id, _ := net.AddFlow(0, FlowSpec{Src: hosts[i], Dst: hosts[3], Bits: float64(1e6 * (i + 1)), Coflow: cf})
+			ids = append(ids, id)
+		}
+		NewSincronia(net).Allocate(net)
+		return net, ids
+	}
+	n1, ids1 := mk()
+	n2, ids2 := mk()
+	for i := range ids1 {
+		f1, _ := n1.Flow(ids1[i])
+		f2, _ := n2.Flow(ids2[i])
+		if f1.Rate != f2.Rate {
+			t.Fatalf("non-deterministic sincronia rates: %g vs %g", f1.Rate, f2.Rate)
+		}
+	}
+}

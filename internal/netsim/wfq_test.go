@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/topology"
+)
+
+// configurePort sets a 2-queue 75/25 config on every link of the testbed,
+// mapping PL 0 → queue 0 (weight w0) and PL 1 → queue 1 (weight w1).
+func configureAllPorts(t *testing.T, net *Network, w *WFQ, w0, w1 float64) {
+	t.Helper()
+	for _, l := range net.Topology().Links() {
+		err := w.Configure(l.ID, PortConfig{
+			Weights: []float64{w0, w1},
+			PLQueue: map[int]int{0: 0, 1: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWFQSkewedSplit(t *testing.T) {
+	// The paper's §2.2 skewed experiment: 75/25 split between two apps
+	// sharing one congested downlink.
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	configureAllPorts(t, net, w, 0.75, 0.25)
+	lr, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, App: 0, PL: 0})
+	pr, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, App: 1, PL: 1})
+	w.Allocate(net)
+	if r := rate(t, net, lr); math.Abs(r-75) > 1e-6 {
+		t.Errorf("PL0 rate = %g, want 75", r)
+	}
+	if r := rate(t, net, pr); math.Abs(r-25) > 1e-6 {
+		t.Errorf("PL1 rate = %g, want 25", r)
+	}
+}
+
+func TestWFQWithinQueueEqualSplit(t *testing.T) {
+	net, hosts := testbed(t, 4)
+	w := NewWFQ(net)
+	configureAllPorts(t, net, w, 0.5, 0.5)
+	// Two flows in queue 0, one in queue 1, all into h3.
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[3], Bits: 1e6, PL: 0})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[3], Bits: 1e6, PL: 0})
+	c, _ := net.AddFlow(0, FlowSpec{Src: hosts[2], Dst: hosts[3], Bits: 1e6, PL: 1})
+	w.Allocate(net)
+	if r := rate(t, net, a); math.Abs(r-25) > 1e-6 {
+		t.Errorf("queue0 flow a = %g, want 25", r)
+	}
+	if r := rate(t, net, b); math.Abs(r-25) > 1e-6 {
+		t.Errorf("queue0 flow b = %g, want 25", r)
+	}
+	if r := rate(t, net, c); math.Abs(r-50) > 1e-6 {
+		t.Errorf("queue1 flow c = %g, want 50", r)
+	}
+}
+
+func TestWFQWorkConserving(t *testing.T) {
+	// Queue 1 has no flows: queue 0's flows must absorb the full link
+	// (paper §5.2: WFQ is work-conserving).
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	configureAllPorts(t, net, w, 0.25, 0.75)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, PL: 0})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, PL: 0})
+	w.Allocate(net)
+	if r := rate(t, net, a); math.Abs(r-50) > 1e-6 {
+		t.Errorf("flow a = %g, want 50 (work conservation)", r)
+	}
+	if r := rate(t, net, b); math.Abs(r-50) > 1e-6 {
+		t.Errorf("flow b = %g, want 50", r)
+	}
+}
+
+func TestWFQNoStarvation(t *testing.T) {
+	// Even with extreme weights every queue with backlog progresses
+	// (paper §5.2: "WFQ is not subject to starvation").
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	configureAllPorts(t, net, w, 0.999, 0.001)
+	net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, PL: 0})
+	lo, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, PL: 1})
+	w.Allocate(net)
+	if r := rate(t, net, lo); r <= 0 {
+		t.Errorf("low-weight flow starved: rate = %g", r)
+	}
+}
+
+func TestWFQUnconfiguredPortIsPerFlowFair(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, PL: 0})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, PL: 5})
+	w.Allocate(net)
+	if ra, rb := rate(t, net, a), rate(t, net, b); math.Abs(ra-50) > 1e-6 || math.Abs(rb-50) > 1e-6 {
+		t.Errorf("unconfigured rates = %g,%g; want 50,50", ra, rb)
+	}
+}
+
+func TestWFQUnmappedPLFallsToDefaultQueue(t *testing.T) {
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	for _, l := range net.Topology().Links() {
+		if err := w.Configure(l.ID, PortConfig{
+			Weights:      []float64{0.8, 0.2},
+			PLQueue:      map[int]int{0: 0},
+			DefaultQueue: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, PL: 0})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, PL: 7}) // unmapped
+	w.Allocate(net)
+	if r := rate(t, net, a); math.Abs(r-80) > 1e-6 {
+		t.Errorf("mapped flow = %g, want 80", r)
+	}
+	if r := rate(t, net, b); math.Abs(r-20) > 1e-6 {
+		t.Errorf("unmapped flow = %g, want 20 (default queue)", r)
+	}
+}
+
+func TestWFQConfigValidation(t *testing.T) {
+	net, _ := testbed(t, 2)
+	w := NewWFQ(net)
+	l := net.Topology().Links()[0].ID
+	if err := w.Configure(l, PortConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if err := w.Configure(l, PortConfig{Weights: []float64{-1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := w.Configure(l, PortConfig{Weights: []float64{1}, DefaultQueue: 3}); err == nil {
+		t.Error("out-of-range default queue should fail")
+	}
+	if err := w.Configure(l, PortConfig{Weights: []float64{1}, PLQueue: map[int]int{0: 5}}); err == nil {
+		t.Error("out-of-range PL mapping should fail")
+	}
+}
+
+func TestWFQConfigureIsolatedFromCaller(t *testing.T) {
+	net, _ := testbed(t, 2)
+	w := NewWFQ(net)
+	l := net.Topology().Links()[0].ID
+	weights := []float64{0.5, 0.5}
+	plq := map[int]int{0: 0}
+	if err := w.Configure(l, PortConfig{Weights: weights, PLQueue: plq}); err != nil {
+		t.Fatal(err)
+	}
+	weights[0] = 99 // mutate the caller's slices
+	plq[0] = 1
+	cfg := w.Config(l)
+	if cfg.Weights[0] != 0.5 || cfg.PLQueue[0] != 0 {
+		t.Error("Configure did not deep-copy its input")
+	}
+	w.Deconfigure(l)
+	if w.Config(l) != nil {
+		t.Error("Deconfigure did not remove the config")
+	}
+}
+
+func TestWFQHierarchicalAcrossTwoLinks(t *testing.T) {
+	// A PL0 flow bottlenecked upstream leaves its queue share to nobody;
+	// the other queue takes the slack (work conservation through the
+	// fabric). h0 uplink throttled to 10: PL0 flow capped at 10; PL1 flow
+	// into same destination gets 90.
+	net, hosts := testbed(t, 3)
+	w := NewWFQ(net)
+	configureAllPorts(t, net, w, 0.75, 0.25)
+	up0 := net.Topology().OutLinks(hosts[0])[0]
+	if err := net.SetCapacityOverride(up0, 10); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[2], Bits: 1e6, PL: 0})
+	b, _ := net.AddFlow(0, FlowSpec{Src: hosts[1], Dst: hosts[2], Bits: 1e6, PL: 1})
+	w.Allocate(net)
+	if r := rate(t, net, a); math.Abs(r-10) > 1e-6 {
+		t.Errorf("throttled PL0 flow = %g, want 10", r)
+	}
+	if r := rate(t, net, b); math.Abs(r-90) > 1e-6 {
+		t.Errorf("PL1 flow = %g, want 90 (absorbs slack)", r)
+	}
+}
+
+func TestWFQName(t *testing.T) {
+	net, _ := testbed(t, 2)
+	if NewWFQ(net).Name() != "saba-wfq" {
+		t.Error("unexpected allocator name")
+	}
+}
+
+var _ Allocator = (*WFQ)(nil)
+var _ Allocator = (*IdealMaxMin)(nil)
+var _ Allocator = (*FECN)(nil)
+var _ Allocator = (*Homa)(nil)
+var _ Allocator = (*Sincronia)(nil)
+
+// Guard: topology import used by helpers in other files of this package.
+var _ = topology.Gbps

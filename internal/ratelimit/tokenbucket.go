@@ -1,0 +1,158 @@
+// Package ratelimit implements the token-bucket rate limiter the Saba
+// profiler uses to throttle NIC bandwidth during offline profiling
+// (paper §7.1: "enforced by a token bucket rate limiter in the InfiniBand
+// driver"). The implementation is lock-protected and usable both against
+// the wall clock and against a virtual clock for deterministic tests and
+// simulation.
+package ratelimit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the bucket can run on simulated time.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real-time clock.
+type WallClock struct{}
+
+// Now returns the current wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// TokenBucket is a classic token bucket: tokens (bytes) accrue at Rate per
+// second up to Burst; each send consumes its size in tokens.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	clock  Clock
+}
+
+// Errors returned by the constructor.
+var (
+	ErrBadRate  = errors.New("ratelimit: rate must be positive")
+	ErrBadBurst = errors.New("ratelimit: burst must be positive")
+)
+
+// New creates a token bucket with the given rate (tokens/second) and burst
+// capacity. The bucket starts full. A nil clock selects the wall clock.
+func New(rate, burst float64, clock Clock) (*TokenBucket, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: %g", ErrBadRate, rate)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("%w: %g", ErrBadBurst, burst)
+	}
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &TokenBucket{
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   clock.Now(),
+		clock:  clock,
+	}, nil
+}
+
+// refillLocked accrues tokens for the elapsed time. Caller holds mu.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.tokens += dt * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// TryTake consumes n tokens if available and reports whether it succeeded.
+// n larger than the burst can never succeed.
+func (b *TokenBucket) TryTake(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	if b.tokens >= n {
+		b.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Take blocks (by sleeping on the clock) until n tokens are available and
+// consumes them. Requests above the burst size are served in burst-sized
+// slices, matching how a driver-level shaper paces a large transfer.
+func (b *TokenBucket) Take(n float64) {
+	for n > 0 {
+		slice := n
+		if slice > b.burst {
+			slice = b.burst
+		}
+		for {
+			if wait := b.reserve(slice); wait <= 0 {
+				break
+			} else {
+				b.clock.Sleep(wait)
+			}
+		}
+		n -= slice
+	}
+}
+
+// reserve consumes slice tokens if available, otherwise returns how long
+// to wait before retrying.
+func (b *TokenBucket) reserve(slice float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	if b.tokens >= slice {
+		b.tokens -= slice
+		return 0
+	}
+	need := slice - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}
+
+// Available returns the current token count (after refill).
+func (b *TokenBucket) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	return b.tokens
+}
+
+// Rate returns the configured fill rate in tokens/second.
+func (b *TokenBucket) Rate() float64 { return b.rate }
+
+// Burst returns the bucket capacity.
+func (b *TokenBucket) Burst() float64 { return b.burst }
+
+// SetRate atomically changes the fill rate, accruing tokens at the old
+// rate up to now first. Used when the profiler moves between bandwidth
+// percentages without recreating limiters.
+func (b *TokenBucket) SetRate(rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("%w: %g", ErrBadRate, rate)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	b.rate = rate
+	return nil
+}

@@ -1,0 +1,200 @@
+package ratelimit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a virtual clock whose Sleep advances time instantly.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.Sleep(d) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, nil); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := New(-5, 10, nil); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := New(10, 0, nil); err == nil {
+		t.Error("zero burst should fail")
+	}
+}
+
+func TestStartsFull(t *testing.T) {
+	clk := newFakeClock()
+	b, err := New(100, 50, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Available(); got != 50 {
+		t.Errorf("initial tokens = %g, want 50", got)
+	}
+	if !b.TryTake(50) {
+		t.Error("full bucket should allow a burst-sized take")
+	}
+	if b.TryTake(1) {
+		t.Error("empty bucket should reject takes")
+	}
+}
+
+func TestRefill(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(100, 50, clk) // 100 tokens/sec
+	b.TryTake(50)
+	clk.advance(100 * time.Millisecond) // +10 tokens
+	if !b.TryTake(10) {
+		t.Error("should have refilled 10 tokens after 100ms")
+	}
+	if b.TryTake(1) {
+		t.Error("should be empty again")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(1000, 20, clk)
+	clk.advance(time.Hour)
+	if got := b.Available(); got != 20 {
+		t.Errorf("tokens after long idle = %g, want burst cap 20", got)
+	}
+}
+
+func TestTryTakeZeroOrNegative(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(10, 10, clk)
+	if !b.TryTake(0) {
+		t.Error("TryTake(0) should always succeed")
+	}
+	if !b.TryTake(-3) {
+		t.Error("TryTake(negative) should always succeed")
+	}
+	if got := b.Available(); got != 10 {
+		t.Errorf("tokens after no-op takes = %g, want 10", got)
+	}
+}
+
+func TestTakeBlocksForExpectedVirtualTime(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(100, 100, clk) // 100 B/s, 100 B burst
+	b.Take(100)                // drains instantly
+	start := clk.Now()
+	b.Take(50) // needs 0.5s of refill
+	elapsed := clk.Now().Sub(start)
+	if elapsed < 490*time.Millisecond || elapsed > 510*time.Millisecond {
+		t.Errorf("Take(50) took %v of virtual time, want ~500ms", elapsed)
+	}
+}
+
+func TestTakeLargerThanBurst(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(100, 10, clk) // tiny burst
+	start := clk.Now()
+	b.Take(100) // must be served in 10-token slices: ~0.9s of refills
+	elapsed := clk.Now().Sub(start).Seconds()
+	if elapsed < 0.85 || elapsed > 1.0 {
+		t.Errorf("Take(100) over burst=10 took %.3fs of virtual time, want ~0.9s", elapsed)
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	// Transferring N bytes through a bucket of rate R takes ~N/R seconds:
+	// this is exactly the NIC-throttling semantics the profiler relies on.
+	clk := newFakeClock()
+	const rate = 7e9 / 8 // 7 Gb/s in bytes/sec
+	b, _ := New(rate, rate/100, clk)
+	b.Take(b.Available()) // drain initial burst
+	start := clk.Now()
+	const total = 10 * rate // 10 seconds worth of bytes
+	for sent := 0.0; sent < total; sent += rate / 10 {
+		b.Take(rate / 10)
+	}
+	elapsed := clk.Now().Sub(start).Seconds()
+	if elapsed < 9.9 || elapsed > 10.1 {
+		t.Errorf("10s worth of bytes took %.3fs of virtual time", elapsed)
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(100, 100, clk)
+	b.Take(100)
+	if err := b.SetRate(200); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(100 * time.Millisecond) // +20 at the new rate
+	if !b.TryTake(20) {
+		t.Error("expected 20 tokens after rate change")
+	}
+	if err := b.SetRate(0); err == nil {
+		t.Error("SetRate(0) should fail")
+	}
+	if b.Rate() != 200 {
+		t.Errorf("Rate = %g, want 200 (failed SetRate must not apply)", b.Rate())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b, _ := New(42, 17, newFakeClock())
+	if b.Rate() != 42 || b.Burst() != 17 {
+		t.Errorf("Rate/Burst = %g/%g, want 42/17", b.Rate(), b.Burst())
+	}
+}
+
+func TestConcurrentTryTakeConservesTokens(t *testing.T) {
+	clk := newFakeClock()
+	b, _ := New(1, 1000, clk) // effectively no refill during the test
+	var wg sync.WaitGroup
+	var granted int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.TryTake(1) {
+					mu.Lock()
+					granted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted > 1000 {
+		t.Errorf("granted %d tokens from a 1000-token bucket", granted)
+	}
+	if granted < 1000 {
+		t.Errorf("granted only %d of 1000 available tokens", granted)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var c WallClock
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Error("wall clock did not advance across Sleep")
+	}
+}

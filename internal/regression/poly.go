@@ -1,0 +1,226 @@
+// Package regression implements the polynomial least-squares machinery
+// behind Saba's sensitivity models (paper §4, Eq. 1).
+//
+// A sensitivity model for an application maps available bandwidth fraction
+// b ∈ (0, 1] to predicted slowdown D(b) = c0 + c1·b + c2·b² + … + ck·bᵏ.
+// The profiler fits the coefficients to measured (bandwidth, slowdown)
+// samples; the controller later evaluates and differentiates the model
+// when computing per-port weights (Eq. 2).
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is one profiling observation: the bandwidth fraction made
+// available to the application and the measured slowdown relative to the
+// unthrottled run.
+type Sample struct {
+	Bandwidth float64 // fraction of link capacity in (0, 1]
+	Slowdown  float64 // completion time ratio, >= 1 in practice
+}
+
+// Polynomial is a dense univariate polynomial; Coeffs[i] multiplies xⁱ.
+type Polynomial struct {
+	Coeffs []float64
+}
+
+// Degree returns the degree of the polynomial (len(Coeffs)-1), or -1 for
+// an empty polynomial.
+func (p Polynomial) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates the polynomial at x using Horner's method.
+func (p Polynomial) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// Derivative returns the first derivative polynomial.
+func (p Polynomial) Derivative() Polynomial {
+	if len(p.Coeffs) <= 1 {
+		return Polynomial{Coeffs: []float64{0}}
+	}
+	d := make([]float64, len(p.Coeffs)-1)
+	for i := 1; i < len(p.Coeffs); i++ {
+		d[i-1] = float64(i) * p.Coeffs[i]
+	}
+	return Polynomial{Coeffs: d}
+}
+
+// String renders the polynomial in conventional order, e.g.
+// "3.0000 - 2.0000·b + 1.0000·b^2".
+func (p Polynomial) String() string {
+	if len(p.Coeffs) == 0 {
+		return "0"
+	}
+	s := fmt.Sprintf("%.4f", p.Coeffs[0])
+	for i := 1; i < len(p.Coeffs); i++ {
+		c := p.Coeffs[i]
+		op := "+"
+		if c < 0 {
+			op = "-"
+			c = -c
+		}
+		if i == 1 {
+			s += fmt.Sprintf(" %s %.4f·b", op, c)
+		} else {
+			s += fmt.Sprintf(" %s %.4f·b^%d", op, c, i)
+		}
+	}
+	return s
+}
+
+// Errors returned by Fit.
+var (
+	ErrTooFewSamples = errors.New("regression: need at least degree+1 samples")
+	ErrBadDegree     = errors.New("regression: degree must be >= 0")
+	ErrSingular      = errors.New("regression: singular normal equations (degenerate samples)")
+)
+
+// Fit computes the least-squares polynomial of the given degree through
+// the samples by solving the normal equations VᵀV c = Vᵀy with Gaussian
+// elimination and partial pivoting, where V is the Vandermonde matrix of
+// the sample bandwidths.
+func Fit(samples []Sample, degree int) (Polynomial, error) {
+	return FitWeighted(samples, degree, nil)
+}
+
+// FitWeighted is Fit with per-sample weights (nil means all 1). The
+// profiler weights each sample by 1/slowdown², turning the fit into a
+// relative-error minimization: slowdown curves span more than an order of
+// magnitude between 5% and 100% bandwidth, and an unweighted low-degree
+// fit lets the extreme low-bandwidth points bend the polynomial until it
+// loses monotonicity in the operating range the controller optimizes
+// over.
+func FitWeighted(samples []Sample, degree int, weights []float64) (Polynomial, error) {
+	if degree < 0 {
+		return Polynomial{}, ErrBadDegree
+	}
+	if weights != nil && len(weights) != len(samples) {
+		return Polynomial{}, fmt.Errorf("regression: %d weights for %d samples", len(weights), len(samples))
+	}
+	n := degree + 1
+	if len(samples) < n {
+		return Polynomial{}, fmt.Errorf("%w: degree %d with %d samples", ErrTooFewSamples, degree, len(samples))
+	}
+
+	// Build the weighted normal equations. A is n×n, rhs is n.
+	// A[i][j] = Σ w·x^(i+j), rhs[i] = Σ w·y·x^i.
+	pow := make([]float64, 2*n-1)
+	rhs := make([]float64, n)
+	for si, s := range samples {
+		w := 1.0
+		if weights != nil {
+			w = weights[si]
+			if w < 0 {
+				return Polynomial{}, fmt.Errorf("regression: negative weight %g", w)
+			}
+		}
+		xp := 1.0
+		for k := 0; k < len(pow); k++ {
+			pow[k] += w * xp
+			if k < n {
+				rhs[k] += w * s.Slowdown * xp
+			}
+			xp *= s.Bandwidth
+		}
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = pow[i+j]
+		}
+	}
+
+	coeffs, err := solveLinear(a, rhs)
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return Polynomial{Coeffs: coeffs}, nil
+}
+
+// solveLinear solves a·x = b in place using Gaussian elimination with
+// partial pivoting. a and b are clobbered.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := b[i]
+		for j := i + 1; j < n; j++ {
+			v -= a[i][j] * x[j]
+		}
+		x[i] = v / a[i][i]
+	}
+	return x, nil
+}
+
+// RSquared returns the coefficient of determination of the model over the
+// samples (paper §4.2). R²=1 means the model explains all variance; values
+// can be negative for models worse than the mean predictor. If the samples
+// have zero variance, RSquared returns 1 when the model is exact and 0
+// otherwise.
+func RSquared(p Polynomial, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s.Slowdown
+	}
+	mean /= float64(len(samples))
+
+	ssRes, ssTot := 0.0, 0.0
+	for _, s := range samples {
+		r := s.Slowdown - p.Eval(s.Bandwidth)
+		ssRes += r * r
+		d := s.Slowdown - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes < 1e-18 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// CrossValidateR2 estimates out-of-sample R² over an independent
+// evaluation set: it reuses the fitted model p but scores it against eval
+// samples (used by the dataset-size / node-count studies, Fig. 6b/6c).
+func CrossValidateR2(p Polynomial, eval []Sample) float64 {
+	return RSquared(p, eval)
+}

@@ -1,0 +1,228 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalHorner(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{1, -2, 3}} // 1 - 2x + 3x²
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 1}, {1, 2}, {2, 9}, {-1, 6},
+	}
+	for _, tt := range tests {
+		if got := p.Eval(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestEvalEmpty(t *testing.T) {
+	var p Polynomial
+	if got := p.Eval(5); got != 0 {
+		t.Errorf("empty polynomial Eval = %g, want 0", got)
+	}
+	if p.Degree() != -1 {
+		t.Errorf("empty polynomial Degree = %d, want -1", p.Degree())
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{5, 3, -2, 1}} // 5 + 3x - 2x² + x³
+	d := p.Derivative()
+	want := []float64{3, -4, 3} // 3 - 4x + 3x²
+	if len(d.Coeffs) != len(want) {
+		t.Fatalf("Derivative coeffs = %v, want %v", d.Coeffs, want)
+	}
+	for i := range want {
+		if math.Abs(d.Coeffs[i]-want[i]) > 1e-12 {
+			t.Errorf("Derivative coeff[%d] = %g, want %g", i, d.Coeffs[i], want[i])
+		}
+	}
+	// Derivative of a constant is zero.
+	c := Polynomial{Coeffs: []float64{7}}
+	dc := c.Derivative()
+	if dc.Eval(3) != 0 {
+		t.Error("derivative of constant should be 0")
+	}
+}
+
+func TestFitExactPolynomial(t *testing.T) {
+	// Fitting points generated from a known polynomial must recover it.
+	truth := Polynomial{Coeffs: []float64{4.2, -3.5, 2.0, -0.5}}
+	var samples []Sample
+	for _, b := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		samples = append(samples, Sample{Bandwidth: b, Slowdown: truth.Eval(b)})
+	}
+	got, err := Fit(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Coeffs {
+		if math.Abs(got.Coeffs[i]-truth.Coeffs[i]) > 1e-6 {
+			t.Errorf("coeff[%d] = %g, want %g", i, got.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+	if r2 := RSquared(got, samples); r2 < 1-1e-9 {
+		t.Errorf("R² of exact fit = %g, want ~1", r2)
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	// y = 2 + 3x exactly.
+	samples := []Sample{{0.1, 2.3}, {0.5, 3.5}, {1.0, 5.0}}
+	p, err := Fit(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coeffs[0]-2) > 1e-9 || math.Abs(p.Coeffs[1]-3) > 1e-9 {
+		t.Errorf("linear fit coeffs = %v, want [2 3]", p.Coeffs)
+	}
+}
+
+func TestFitDegreeZero(t *testing.T) {
+	samples := []Sample{{0.25, 2}, {0.5, 4}, {1, 6}}
+	p, err := Fit(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coeffs[0]-4) > 1e-9 {
+		t.Errorf("degree-0 fit = %g, want mean 4", p.Coeffs[0])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]Sample{{1, 1}}, -1); err == nil {
+		t.Error("negative degree should fail")
+	}
+	if _, err := Fit([]Sample{{1, 1}, {0.5, 2}}, 2); err == nil {
+		t.Error("too few samples should fail")
+	}
+	// Duplicate x values make degree-1 normal equations singular.
+	dup := []Sample{{0.5, 1}, {0.5, 2}, {0.5, 3}}
+	if _, err := Fit(dup, 2); err == nil {
+		t.Error("degenerate samples should fail")
+	}
+}
+
+func TestHigherDegreeNeverWorseInSample(t *testing.T) {
+	// In-sample R² is monotone non-decreasing in model degree: a degree-k+1
+	// fit can always represent the degree-k optimum. Mirrors Fig. 6a's trend.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		var samples []Sample
+		for _, b := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			samples = append(samples, Sample{
+				Bandwidth: b,
+				Slowdown:  1 + 3/(b+0.2) + rng.NormFloat64()*0.2,
+			})
+		}
+		prev := math.Inf(-1)
+		for k := 0; k <= 3; k++ {
+			p, err := Fit(samples, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2 := RSquared(p, samples)
+			if r2 < prev-1e-9 {
+				t.Fatalf("trial %d: R² decreased from %g (k=%d) to %g (k=%d)", trial, prev, k-1, r2, k)
+			}
+			prev = r2
+		}
+	}
+}
+
+func TestRSquaredBounds(t *testing.T) {
+	samples := []Sample{{0.1, 5}, {0.5, 2}, {1, 1}}
+	p, err := Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := RSquared(p, samples)
+	if r2 < 0 || r2 > 1+1e-12 {
+		t.Errorf("in-sample R² of LSQ fit = %g, want within [0,1]", r2)
+	}
+	// Against an unrelated model, R² can be arbitrarily poor but finite.
+	bad := Polynomial{Coeffs: []float64{100}}
+	if r := RSquared(bad, samples); math.IsNaN(r) || r > 0 {
+		t.Errorf("R² of terrible model = %g, want negative and finite", r)
+	}
+}
+
+func TestRSquaredZeroVariance(t *testing.T) {
+	flat := []Sample{{0.25, 2}, {0.5, 2}, {1, 2}}
+	exact := Polynomial{Coeffs: []float64{2}}
+	if r := RSquared(exact, flat); r != 1 {
+		t.Errorf("R² of exact model on flat data = %g, want 1", r)
+	}
+	wrong := Polynomial{Coeffs: []float64{3}}
+	if r := RSquared(wrong, flat); r != 0 {
+		t.Errorf("R² of wrong model on flat data = %g, want 0", r)
+	}
+	if r := RSquared(exact, nil); r != 0 {
+		t.Errorf("R² with no samples = %g, want 0", r)
+	}
+}
+
+func TestFitResidualOrthogonality(t *testing.T) {
+	// Property of least squares: residuals are orthogonal to each basis
+	// vector (columns of the Vandermonde matrix).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var samples []Sample
+		for _, b := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			samples = append(samples, Sample{Bandwidth: b, Slowdown: 1 + 5*rng.Float64()})
+		}
+		p, err := Fit(samples, 2)
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= 2; k++ {
+			dot := 0.0
+			for _, s := range samples {
+				dot += (s.Slowdown - p.Eval(s.Bandwidth)) * math.Pow(s.Bandwidth, float64(k))
+			}
+			if math.Abs(dot) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{3, -2, 1}}
+	s := p.String()
+	if s != "3.0000 - 2.0000·b + 1.0000·b^2" {
+		t.Errorf("String() = %q", s)
+	}
+	var empty Polynomial
+	if empty.String() != "0" {
+		t.Errorf("empty String() = %q, want 0", empty.String())
+	}
+}
+
+func TestCrossValidateR2(t *testing.T) {
+	truth := Polynomial{Coeffs: []float64{1, 0, 4}}
+	var train, eval []Sample
+	for _, b := range []float64{0.05, 0.25, 0.5, 0.75, 1.0} {
+		train = append(train, Sample{b, truth.Eval(b)})
+	}
+	for _, b := range []float64{0.1, 0.4, 0.9} {
+		eval = append(eval, Sample{b, truth.Eval(b)})
+	}
+	p, err := Fit(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := CrossValidateR2(p, eval); r < 1-1e-9 {
+		t.Errorf("cross-validated R² on clean data = %g, want ~1", r)
+	}
+}

@@ -1,0 +1,315 @@
+// Package rpc is the small control-plane RPC substrate the Saba library
+// and controller communicate over (paper §7.3: "the connection manager
+// uses RPC operations for all control-plane activities"). Messages are
+// length-prefixed JSON frames over TCP: simple, debuggable, and free of
+// schema registries. One request is outstanding per client at a time,
+// which matches the connection manager's synchronous call pattern.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single message to keep a malformed peer from
+// forcing huge allocations.
+const MaxFrameSize = 16 << 20
+
+// request is the wire format of a call.
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Args   json.RawMessage `json:"args,omitempty"`
+}
+
+// response is the wire format of a reply.
+type response struct {
+	ID     uint64          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Errors returned by the package.
+var (
+	ErrFrameTooLarge   = errors.New("rpc: frame exceeds MaxFrameSize")
+	ErrClientClosed    = errors.New("rpc: client closed")
+	ErrUnknownMethod   = errors.New("rpc: unknown method")
+	ErrServerClosed    = errors.New("rpc: server closed")
+	ErrDuplicateMethod = errors.New("rpc: method already registered")
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Handler processes one call: it receives the raw JSON arguments and
+// returns a result value to be JSON-encoded (nil is allowed).
+type Handler func(args json.RawMessage) (any, error)
+
+// Server dispatches calls to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server with no handlers.
+func NewServer() *Server {
+	return &Server{
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Handle registers a handler for a method name.
+func (s *Server) Handle(method string, h Handler) error {
+	if method == "" || h == nil {
+		return fmt.Errorf("rpc: invalid handler registration for %q", method)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateMethod, method)
+	}
+	s.handlers[method] = h
+	return nil
+}
+
+// Listen binds the server to addr ("host:port"; ":0" picks a free port)
+// and starts accepting in a background goroutine. It returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serveConn processes requests from one connection sequentially.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		var req request
+		if err := json.Unmarshal(frame, &req); err != nil {
+			return // protocol violation: drop the connection
+		}
+		resp := s.dispatch(&req)
+		out, err := json.Marshal(resp)
+		if err != nil {
+			out, _ = json.Marshal(response{ID: req.ID, Error: "rpc: unencodable result"})
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) response {
+	s.mu.RLock()
+	h, ok := s.handlers[req.Method]
+	s.mu.RUnlock()
+	if !ok {
+		return response{ID: req.ID, Error: fmt.Sprintf("%v: %s", ErrUnknownMethod, req.Method)}
+	}
+	result, err := h(req.Args)
+	if err != nil {
+		return response{ID: req.ID, Error: err.Error()}
+	}
+	if result == nil {
+		return response{ID: req.ID}
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return response{ID: req.ID, Error: fmt.Sprintf("rpc: encode result: %v", err)}
+	}
+	return response{ID: req.ID, Result: raw}
+}
+
+// Close stops accepting and tears down all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous RPC client.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint64
+	timeout time.Duration
+	closed  bool
+}
+
+// Dial connects to a server. timeout bounds both the dial and each call
+// round-trip; 0 selects 5 seconds.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// Call invokes method with args (JSON-encoded) and decodes the result
+// into reply (which may be nil to discard it). Remote errors come back as
+// *RemoteError.
+func (c *Client) Call(method string, args any, reply any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.nextID++
+	req := request{ID: c.nextID, Method: method}
+	if args != nil {
+		raw, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("rpc: encode args: %w", err)
+		}
+		req.Args = raw
+	}
+	frame, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	if err := writeFrame(c.conn, frame); err != nil {
+		return err
+	}
+	respFrame, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	var resp response
+	if err := json.Unmarshal(respFrame, &resp); err != nil {
+		return err
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return &RemoteError{Method: method, Msg: resp.Error}
+	}
+	if reply != nil && resp.Result != nil {
+		return json.Unmarshal(resp.Result, reply)
+	}
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// RemoteError is an error returned by the server-side handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}

@@ -1,0 +1,253 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoArgs struct {
+	Msg string `json:"msg"`
+	N   int    `json:"n"`
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	if err := s.Handle("echo", func(args json.RawMessage) (any, error) {
+		var a echoArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return echoArgs{Msg: a.Msg, N: a.N + 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("fail", func(json.RawMessage) (any, error) {
+		return nil, errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("void", func(json.RawMessage) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var reply echoArgs
+	if err := c.Call("echo", echoArgs{Msg: "hi", N: 41}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Msg != "hi" || reply.N != 42 {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestCallSequenceOnOneConnection(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		var reply echoArgs
+		if err := c.Call("echo", echoArgs{N: i}, &reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.N != i+1 {
+			t.Fatalf("call %d: reply.N = %d", i, reply.N)
+		}
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr, time.Second)
+	defer c.Close()
+	err := c.Call("fail", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "boom" || re.Method != "fail" {
+		t.Errorf("RemoteError = %+v", re)
+	}
+	if re.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr, time.Second)
+	defer c.Close()
+	err := c.Call("nope", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError for unknown method", err)
+	}
+}
+
+func TestVoidCall(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr, time.Second)
+	defer c.Close()
+	if err := c.Call("void", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				var reply echoArgs
+				if err := c.Call("echo", echoArgs{N: g*100 + i}, &reply); err != nil {
+					errs <- err
+					return
+				}
+				if reply.N != g*100+i+1 {
+					errs <- fmt.Errorf("bad reply %d", reply.N)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr, time.Second)
+	c.Close()
+	if err := c.Call("echo", echoArgs{}, nil); err != ErrClientClosed {
+		t.Errorf("err = %v, want ErrClientClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close err = %v", err)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, addr := startServer(t)
+	c, _ := Dial(addr, 300*time.Millisecond)
+	defer c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("echo", echoArgs{}, nil); err == nil {
+		t.Error("call after server close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double server close err = %v", err)
+	}
+	if _, err := s.Listen("127.0.0.1:0"); err != ErrServerClosed {
+		t.Errorf("Listen after close err = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestHandleValidation(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	if err := s.Handle("", func(json.RawMessage) (any, error) { return nil, nil }); err == nil {
+		t.Error("empty method should fail")
+	}
+	if err := s.Handle("x", nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	if err := s.Handle("x", func(json.RawMessage) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("x", func(json.RawMessage) (any, error) { return nil, nil }); !errors.Is(err, ErrDuplicateMethod) {
+		t.Errorf("duplicate registration err = %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte(`{"hello":"world"}`)
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("frame round trip = %q", got)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxFrameSize+1)); err != ErrFrameTooLarge {
+		t.Errorf("write err = %v, want ErrFrameTooLarge", err)
+	}
+	// A header advertising an oversized frame is rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err != ErrFrameTooLarge {
+		t.Errorf("read err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	s := NewServer()
+	s.Handle("slow", func(json.RawMessage) (any, error) {
+		time.Sleep(500 * time.Millisecond)
+		return nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("slow", nil, nil); err == nil {
+		t.Error("slow call should time out")
+	}
+}

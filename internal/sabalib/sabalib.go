@@ -1,0 +1,282 @@
+// Package sabalib is the Saba library of paper §6: the ~350-LOC shim
+// applications link against to become Saba-compliant. It has the two
+// components the paper describes — a connection manager that talks to the
+// controller over RPC and caches the assigned Priority Level, and the
+// four-call software interface of Fig. 7 (register, conn_create,
+// conn_destroy, deregister). Connections are created with the cached PL
+// attached, so connection setup adds no control-plane round-trip beyond
+// the paper's "inform the controller" notification.
+package sabalib
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/rpc"
+	"saba/internal/topology"
+)
+
+// Transport abstracts how the connection manager reaches the controller:
+// over the wire (RPCTransport) or in-process for simulations
+// (DirectTransport).
+type Transport interface {
+	Register(name string) (controller.AppID, int, error)
+	Deregister(id controller.AppID) error
+	ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error)
+	ConnDestroy(cid controller.ConnID) error
+	PL(id controller.AppID) (int, error)
+	Close() error
+}
+
+// RPCTransport reaches a controller service over TCP.
+type RPCTransport struct {
+	client *rpc.Client
+}
+
+// DialController connects to a controller's RPC endpoint.
+func DialController(addr string, timeout time.Duration) (*RPCTransport, error) {
+	c, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("sabalib: dial controller: %w", err)
+	}
+	return &RPCTransport{client: c}, nil
+}
+
+// Register implements Transport.
+func (t *RPCTransport) Register(name string) (controller.AppID, int, error) {
+	var reply controller.RegisterReply
+	err := t.client.Call(controller.MethodAppRegister, controller.RegisterArgs{Name: name}, &reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	return reply.App, reply.PL, nil
+}
+
+// Deregister implements Transport.
+func (t *RPCTransport) Deregister(id controller.AppID) error {
+	return t.client.Call(controller.MethodAppDeregister, controller.DeregisterArgs{App: id}, nil)
+}
+
+// ConnCreate implements Transport.
+func (t *RPCTransport) ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error) {
+	var reply controller.ConnCreateReply
+	err := t.client.Call(controller.MethodConnCreate, controller.ConnCreateArgs{App: id, Src: src, Dst: dst}, &reply)
+	if err != nil {
+		return 0, err
+	}
+	return reply.Conn, nil
+}
+
+// ConnDestroy implements Transport.
+func (t *RPCTransport) ConnDestroy(cid controller.ConnID) error {
+	return t.client.Call(controller.MethodConnDestroy, controller.ConnDestroyArgs{Conn: cid}, nil)
+}
+
+// PL implements Transport.
+func (t *RPCTransport) PL(id controller.AppID) (int, error) {
+	var reply controller.RegisterReply
+	err := t.client.Call(controller.MethodAppPL, controller.DeregisterArgs{App: id}, &reply)
+	if err != nil {
+		return 0, err
+	}
+	return reply.PL, nil
+}
+
+// Close implements Transport.
+func (t *RPCTransport) Close() error { return t.client.Close() }
+
+// DirectTransport calls a controller API in-process (used by the
+// simulator harness, where the data plane is simulated but the control
+// logic is the real thing).
+type DirectTransport struct {
+	API controller.API
+}
+
+// Register implements Transport.
+func (t *DirectTransport) Register(name string) (controller.AppID, int, error) {
+	return t.API.Register(name)
+}
+
+// Deregister implements Transport.
+func (t *DirectTransport) Deregister(id controller.AppID) error { return t.API.Deregister(id) }
+
+// ConnCreate implements Transport.
+func (t *DirectTransport) ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error) {
+	return t.API.ConnCreate(id, src, dst)
+}
+
+// ConnDestroy implements Transport.
+func (t *DirectTransport) ConnDestroy(cid controller.ConnID) error {
+	return t.API.ConnDestroy(cid)
+}
+
+// PL implements Transport.
+func (t *DirectTransport) PL(id controller.AppID) (int, error) { return t.API.PL(id) }
+
+// Close implements Transport.
+func (t *DirectTransport) Close() error { return nil }
+
+// Conn is a Saba-managed connection: the application-visible handle plus
+// the Service Level (PL) the connection manager stamped on it.
+type Conn struct {
+	ID       controller.ConnID
+	Src, Dst topology.NodeID
+	SL       int // the PL carried by every packet of this connection
+	lib      *Library
+	closed   bool
+}
+
+// Library is the connection manager: one per application process.
+type Library struct {
+	mu         sync.Mutex
+	transport  Transport
+	app        controller.AppID
+	appName    string
+	pl         int
+	registered bool
+	conns      map[controller.ConnID]*Conn
+}
+
+// New creates a library instance over a transport.
+func New(t Transport) *Library {
+	return &Library{transport: t, conns: map[controller.ConnID]*Conn{}}
+}
+
+// Errors returned by the library.
+var (
+	ErrNotRegistered     = errors.New("sabalib: application not registered")
+	ErrAlreadyRegistered = errors.New("sabalib: application already registered")
+	ErrConnClosed        = errors.New("sabalib: connection already destroyed")
+	ErrLiveConns         = errors.New("sabalib: connections still open")
+)
+
+// Register performs saba_app_register (Fig. 7 ①-③): it announces the
+// application and caches the PL for future connections.
+func (l *Library) Register(appName string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.registered {
+		return ErrAlreadyRegistered
+	}
+	id, pl, err := l.transport.Register(appName)
+	if err != nil {
+		return fmt.Errorf("sabalib: register %s: %w", appName, err)
+	}
+	l.app = id
+	l.appName = appName
+	l.pl = pl
+	l.registered = true
+	return nil
+}
+
+// PL returns the cached priority level.
+func (l *Library) PL() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return 0, ErrNotRegistered
+	}
+	return l.pl, nil
+}
+
+// RefreshPL re-reads the priority level from the controller: a burst of
+// registrations after ours can re-cluster and move us to a different PL.
+func (l *Library) RefreshPL() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return 0, ErrNotRegistered
+	}
+	pl, err := l.transport.PL(l.app)
+	if err != nil {
+		return 0, fmt.Errorf("sabalib: refresh PL: %w", err)
+	}
+	l.pl = pl
+	return pl, nil
+}
+
+// App returns the controller-assigned application ID.
+func (l *Library) App() (controller.AppID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return 0, ErrNotRegistered
+	}
+	return l.app, nil
+}
+
+// ConnCreate performs saba_conn_create (Fig. 7 ④-⑦): the connection is
+// created with the cached PL (no extra latency on the data path) and the
+// controller is informed so it can reallocate.
+func (l *Library) ConnCreate(src, dst topology.NodeID) (*Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return nil, ErrNotRegistered
+	}
+	cid, err := l.transport.ConnCreate(l.app, src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("sabalib: conn_create: %w", err)
+	}
+	c := &Conn{ID: cid, Src: src, Dst: dst, SL: l.pl, lib: l}
+	l.conns[cid] = c
+	return c, nil
+}
+
+// Destroy performs saba_conn_destroy (Fig. 7 ⑧-⑪).
+func (c *Conn) Destroy() error {
+	l := c.lib
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	if err := l.transport.ConnDestroy(c.ID); err != nil {
+		return fmt.Errorf("sabalib: conn_destroy: %w", err)
+	}
+	c.closed = true
+	delete(l.conns, c.ID)
+	return nil
+}
+
+// OpenConns returns the number of live connections.
+func (l *Library) OpenConns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// Deregister performs saba_app_deregister (Fig. 7 ⑫-⑬). All connections
+// must have been destroyed first.
+func (l *Library) Deregister() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return ErrNotRegistered
+	}
+	if len(l.conns) > 0 {
+		return fmt.Errorf("%w: %d", ErrLiveConns, len(l.conns))
+	}
+	if err := l.transport.Deregister(l.app); err != nil {
+		return fmt.Errorf("sabalib: deregister: %w", err)
+	}
+	l.registered = false
+	return nil
+}
+
+// Close releases the transport. A registered application is deregistered
+// best-effort first.
+func (l *Library) Close() error {
+	l.mu.Lock()
+	registered := l.registered && len(l.conns) == 0
+	app := l.app
+	l.mu.Unlock()
+	if registered {
+		// Best effort; the controller GCs state on connection loss anyway.
+		_ = l.transport.Deregister(app)
+	}
+	return l.transport.Close()
+}

@@ -1,0 +1,220 @@
+package sabalib
+
+import (
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/rpc"
+	"saba/internal/topology"
+)
+
+// rig builds a centralized controller over an 8-host testbed and serves
+// it over a real TCP RPC endpoint.
+func rigService(t *testing.T) (addr string, top *topology.Topology, wfq *netsim.WFQ) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq = netsim.NewWFQ(net)
+	tab := profiler.NewTable()
+	tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}})
+	tab.Put(profiler.Entry{Name: "PR", Degree: 2, Coeffs: []float64{1.5, -0.6, 0.1}})
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, PLs: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	if err := controller.Serve(srv, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, top, wfq
+}
+
+func TestFullLifecycleOverRPC(t *testing.T) {
+	// The complete Fig. 7 interaction over real sockets: register →
+	// conn_create → conn_destroy → deregister, with the switch actually
+	// reconfigured along the way.
+	addr, top, wfq := rigService(t)
+	tr, err := DialController(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(tr)
+	defer lib.Close()
+
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := lib.PL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.App(); err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := top.Hosts()
+	conn, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.SL != pl {
+		t.Errorf("connection SL %d != registered PL %d", conn.SL, pl)
+	}
+	if lib.OpenConns() != 1 {
+		t.Errorf("OpenConns = %d, want 1", lib.OpenConns())
+	}
+	// The enforcement actually reached the switch.
+	path, _ := top.Route(hosts[0], hosts[1])
+	if wfq.Config(path[0]) == nil {
+		t.Error("controller did not configure the path")
+	}
+
+	if err := conn.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Destroy(); err != ErrConnClosed {
+		t.Errorf("double destroy err = %v, want ErrConnClosed", err)
+	}
+	if err := lib.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibraryStateMachine(t *testing.T) {
+	addr, top, _ := rigService(t)
+	tr, err := DialController(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(tr)
+	defer lib.Close()
+	hosts := top.Hosts()
+
+	// Everything requires registration.
+	if _, err := lib.PL(); err != ErrNotRegistered {
+		t.Errorf("PL before register err = %v", err)
+	}
+	if _, err := lib.App(); err != ErrNotRegistered {
+		t.Errorf("App before register err = %v", err)
+	}
+	if _, err := lib.ConnCreate(hosts[0], hosts[1]); err != ErrNotRegistered {
+		t.Errorf("ConnCreate before register err = %v", err)
+	}
+	if err := lib.Deregister(); err != ErrNotRegistered {
+		t.Errorf("Deregister before register err = %v", err)
+	}
+
+	if err := lib.Register("PR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register("PR"); err != ErrAlreadyRegistered {
+		t.Errorf("double register err = %v", err)
+	}
+
+	// Deregister blocked while a connection is open.
+	conn, err := lib.ConnCreate(hosts[2], hosts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Deregister(); err == nil {
+		t.Error("Deregister with open conns should fail")
+	}
+	if err := conn.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoAppsGetDistinctPLs(t *testing.T) {
+	addr, _, _ := rigService(t)
+	tr1, _ := DialController(addr, time.Second)
+	tr2, _ := DialController(addr, time.Second)
+	lr := New(tr1)
+	pr := New(tr2)
+	defer lr.Close()
+	defer pr.Close()
+	if err := lr.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Register("PR"); err != nil {
+		t.Fatal(err)
+	}
+	plLR, _ := lr.PL()
+	plPR, _ := pr.PL()
+	if plLR == plPR {
+		t.Errorf("LR and PR share PL %d despite distinct sensitivities", plLR)
+	}
+}
+
+func TestConnCreateUnroutable(t *testing.T) {
+	addr, top, _ := rigService(t)
+	tr, _ := DialController(addr, time.Second)
+	lib := New(tr)
+	defer lib.Close()
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.ConnCreate(top.Hosts()[0], topology.NodeID(9999)); err == nil {
+		t.Error("unroutable ConnCreate should surface the remote error")
+	}
+	if lib.OpenConns() != 0 {
+		t.Error("failed ConnCreate leaked a connection")
+	}
+}
+
+func TestDirectTransport(t *testing.T) {
+	// The in-process transport used by the simulation harness behaves
+	// identically to the RPC path.
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 4, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	tab := profiler.NewTable()
+	tab.Put(profiler.Entry{Name: "X", Degree: 1, Coeffs: []float64{3, -2}})
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: netsim.NewWFQ(net), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(&DirectTransport{API: ctrl})
+	if err := lib.Register("X"); err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	conn, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialControllerFailure(t *testing.T) {
+	if _, err := DialController("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dialing a dead controller should fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim provides the discrete-event scaffolding under the fluid
+// network simulator: a monotonic virtual clock and a priority heap of
+// timed callbacks. The network engine interleaves flow-completion times
+// (computed analytically from fluid rates) with these scheduled events
+// (compute-phase completions, controller reconfigurations, job arrivals).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At  float64 // virtual seconds
+	Fn  func()
+	seq int64 // tie-breaker preserving scheduling order
+	idx int   // heap index; -1 when popped/cancelled
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq int64
+}
+
+// ErrPastEvent is returned when scheduling before the current time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Schedule enqueues fn to run at virtual time at. It returns a handle
+// usable with Cancel. Scheduling before now is the caller's bug; the
+// queue cannot know "now", so Engine wraps this with its clock check.
+func (q *Queue) Schedule(at float64, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op returning false.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.idx < 0 {
+		return false
+	}
+	heap.Remove(&q.h, e.idx)
+	e.idx = -1
+	return true
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// PeekTime returns the time of the earliest pending event. ok is false
+// when the queue is empty.
+func (q *Queue) PeekTime() (at float64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue) Pop() (*Event, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.idx = -1
+	return e, true
+}
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a monotonic virtual clock.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds.
+func (c *Clock) Advance(dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("sim: negative time advance %g", dt)
+	}
+	c.now += dt
+	return nil
+}
+
+// AdvanceTo moves the clock to the absolute time t (>= now).
+func (c *Clock) AdvanceTo(t float64) error {
+	if t < c.now {
+		return fmt.Errorf("%w: %g < now %g", ErrPastEvent, t, c.now)
+	}
+	c.now = t
+	return nil
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		q.Schedule(at, func() { got = append(got, at) })
+	}
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		e.Fn()
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestQueueTieBreakPreservesScheduleOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(7.0, func() { got = append(got, i) })
+	}
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		e.Fn()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestQueuePeekAndLen(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue should report !ok")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue should report !ok")
+	}
+	q.Schedule(9, func() {})
+	q.Schedule(2, func() {})
+	if at, ok := q.PeekTime(); !ok || at != 2 {
+		t.Errorf("PeekTime = %g,%v; want 2,true", at, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(1, func() { fired = true })
+	if !q.Cancel(e) {
+		t.Error("Cancel of pending event should return true")
+	}
+	if q.Cancel(e) {
+		t.Error("double Cancel should return false")
+	}
+	if q.Cancel(nil) {
+		t.Error("Cancel(nil) should return false")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("queue should be empty after cancel")
+	}
+	if fired {
+		t.Error("cancelled event must not fire")
+	}
+}
+
+func TestCancelMiddleKeepsHeapValid(t *testing.T) {
+	var q Queue
+	events := make([]*Event, 20)
+	for i := range events {
+		events[i] = q.Schedule(float64(i%7), func() {})
+	}
+	q.Cancel(events[3])
+	q.Cancel(events[10])
+	q.Cancel(events[19])
+	prev := -1.0
+	n := 0
+	for {
+		e, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if e.At < prev {
+			t.Fatalf("heap order violated after cancels: %g < %g", e.At, prev)
+		}
+		prev = e.At
+		n++
+	}
+	if n != 17 {
+		t.Errorf("popped %d events, want 17", n)
+	}
+}
+
+func TestQueuePopOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		n := rng.Intn(100)
+		for i := 0; i < n; i++ {
+			q.Schedule(rng.Float64()*100, func() {})
+		}
+		prev := -1.0
+		for {
+			e, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if e.At < prev {
+				return false
+			}
+			prev = e.At
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Errorf("zero clock Now = %g, want 0", c.Now())
+	}
+	if err := c.Advance(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != 4 {
+		t.Errorf("Now = %g, want 4", c.Now())
+	}
+	if err := c.Advance(-1); err == nil {
+		t.Error("negative Advance should fail")
+	}
+	if err := c.AdvanceTo(3); err == nil {
+		t.Error("AdvanceTo the past should fail")
+	}
+	if c.Now() != 4 {
+		t.Errorf("failed advances must not move the clock; Now = %g", c.Now())
+	}
+}

@@ -1,0 +1,68 @@
+package solver
+
+// MonotonePoly wraps a polynomial sensitivity model with its monotone
+// non-increasing envelope: D̂(w) = max over w' ∈ [w, hi] of D(w').
+//
+// Low-degree polynomial fits of kinked slowdown curves (a workload whose
+// communication hides under compute until some bandwidth threshold has a
+// perfectly flat region followed by a steep one) oscillate: they dip
+// below slowdown 1.0 and develop spurious bumps. A bump makes Eq. 2
+// believe giving an application more bandwidth would *hurt* it, which is
+// physically impossible — more bandwidth never slows a job. Enforcing
+// monotonicity restores that physical prior without changing the fit
+// itself. The envelope is precomputed on a dense grid and evaluated by
+// linear interpolation; derivatives are the interpolant's slopes.
+type MonotonePoly struct {
+	lo, hi float64
+	step   float64
+	vals   []float64 // envelope at lo + i·step
+}
+
+// monotoneGrid is the envelope resolution. 257 points over [0,1] put
+// grid error far below any sensitivity model's fidelity.
+const monotoneGrid = 257
+
+// NewMonotonePoly builds the envelope of the polynomial with the given
+// coefficients over [0, 1].
+func NewMonotonePoly(coeffs []float64) MonotonePoly {
+	p := PolyObjective{Coeffs: coeffs}
+	m := MonotonePoly{lo: 0, hi: 1}
+	m.step = (m.hi - m.lo) / (monotoneGrid - 1)
+	m.vals = make([]float64, monotoneGrid)
+	for i := range m.vals {
+		m.vals[i] = p.Value(m.lo + float64(i)*m.step)
+	}
+	// Suffix max makes the curve non-increasing left-to-right.
+	for i := monotoneGrid - 2; i >= 0; i-- {
+		if m.vals[i] < m.vals[i+1] {
+			m.vals[i] = m.vals[i+1]
+		}
+	}
+	return m
+}
+
+// Value implements Objective by interpolating the envelope.
+func (m MonotonePoly) Value(w float64) float64 {
+	if w <= m.lo {
+		return m.vals[0]
+	}
+	if w >= m.hi {
+		return m.vals[len(m.vals)-1]
+	}
+	f := (w - m.lo) / m.step
+	i := int(f)
+	frac := f - float64(i)
+	return m.vals[i]*(1-frac) + m.vals[i+1]*frac
+}
+
+// Deriv implements Objective with the interpolant's segment slope.
+func (m MonotonePoly) Deriv(w float64) float64 {
+	if w <= m.lo || w >= m.hi {
+		return 0
+	}
+	i := int((w - m.lo) / m.step)
+	if i >= len(m.vals)-1 {
+		i = len(m.vals) - 2
+	}
+	return (m.vals[i+1] - m.vals[i]) / m.step
+}

@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// Gbps converts gigabits/second to the bits/second capacities links use.
+const Gbps = 1e9
+
+// DefaultLinkCapacity matches the paper's 56 Gb/s InfiniBand links.
+const DefaultLinkCapacity = 56 * Gbps
+
+// SingleSwitchConfig describes the hardware testbed of §8.1: N servers
+// attached to one switch.
+type SingleSwitchConfig struct {
+	Hosts        int
+	LinkCapacity float64 // bits/sec; 0 selects DefaultLinkCapacity
+	Queues       int     // per-port queues; 0 selects 8 (the paper uses 8 of 9 VLs)
+}
+
+// NewSingleSwitch builds the testbed topology.
+func NewSingleSwitch(cfg SingleSwitchConfig) (*Topology, error) {
+	if cfg.Hosts < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 host, got %d", cfg.Hosts)
+	}
+	if cfg.LinkCapacity == 0 {
+		cfg.LinkCapacity = DefaultLinkCapacity
+	}
+	if cfg.LinkCapacity <= 0 {
+		return nil, fmt.Errorf("topology: invalid link capacity %g", cfg.LinkCapacity)
+	}
+	if cfg.Queues == 0 {
+		cfg.Queues = 8
+	}
+	if cfg.Queues < 1 {
+		return nil, fmt.Errorf("topology: invalid queue count %d", cfg.Queues)
+	}
+
+	var b builder
+	sw := b.addNode(Switch, "sw0", cfg.Queues)
+	hosts := make([]NodeID, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = b.addNode(Host, fmt.Sprintf("h%d", i), cfg.Queues)
+		b.addPair(hosts[i], sw, cfg.LinkCapacity)
+	}
+
+	// Forwarding: hosts send everything to the switch; the switch sends to
+	// the destination's access link.
+	t := &b.t
+	for _, h := range hosts {
+		t.lft[h] = make(map[NodeID]LinkID, cfg.Hosts-1)
+	}
+	t.lft[sw] = make(map[NodeID]LinkID, cfg.Hosts)
+	for _, h := range hosts {
+		up := t.out[h][0]
+		for _, dst := range hosts {
+			if dst != h {
+				t.lft[h][dst] = up
+			}
+		}
+		// Switch's port toward h is the link whose To == h.
+		for _, l := range t.out[sw] {
+			if t.links[l].To == h {
+				t.lft[sw][h] = l
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
+// SpineLeafConfig describes the three-tier fabric of §8.1's simulation: a
+// set of pods, each with ToR and leaf switches, plus a global spine layer
+// partitioned into planes (one plane per leaf position, standard
+// fabric-style striping). Every ToR connects to every leaf in its pod;
+// leaf i of every pod connects to the spines of plane i.
+type SpineLeafConfig struct {
+	Pods         int
+	ToRsPerPod   int
+	LeavesPerPod int
+	Spines       int
+	HostsPerToR  int
+	LinkCapacity float64 // 0 selects DefaultLinkCapacity
+	Queues       int     // 0 selects 16 (paper: 16 VLs per port in simulation)
+}
+
+// PaperScaleConfig returns the exact configuration of the paper's
+// simulated cluster: 54 spine, 102 leaf and 108 ToR switches with 18
+// servers per ToR — 1,944 servers total (§8.1).
+func PaperScaleConfig() SpineLeafConfig {
+	return SpineLeafConfig{
+		Pods:         6,
+		ToRsPerPod:   18, // 6×18 = 108 ToRs
+		LeavesPerPod: 17, // 6×17 = 102 leaves
+		Spines:       54, // 17 planes of 3-4 spines
+		HostsPerToR:  18, // 1,944 hosts
+		LinkCapacity: DefaultLinkCapacity,
+		Queues:       16,
+	}
+}
+
+// NewSpineLeaf builds the fabric.
+func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
+	if cfg.Pods < 1 || cfg.ToRsPerPod < 1 || cfg.LeavesPerPod < 1 || cfg.HostsPerToR < 1 {
+		return nil, fmt.Errorf("topology: invalid spine-leaf shape %+v", cfg)
+	}
+	if cfg.Spines < cfg.LeavesPerPod {
+		return nil, fmt.Errorf("topology: need at least one spine per plane (%d planes, %d spines)", cfg.LeavesPerPod, cfg.Spines)
+	}
+	if cfg.LinkCapacity == 0 {
+		cfg.LinkCapacity = DefaultLinkCapacity
+	}
+	if cfg.LinkCapacity <= 0 {
+		return nil, fmt.Errorf("topology: invalid link capacity %g", cfg.LinkCapacity)
+	}
+	if cfg.Queues == 0 {
+		cfg.Queues = 16
+	}
+	if cfg.Queues < 1 {
+		return nil, fmt.Errorf("topology: invalid queue count %d", cfg.Queues)
+	}
+
+	var b builder
+
+	// Spine planes: spine s belongs to plane s % LeavesPerPod.
+	spines := make([]NodeID, cfg.Spines)
+	for s := range spines {
+		spines[s] = b.addNode(Switch, fmt.Sprintf("spine%d", s), cfg.Queues)
+	}
+	planes := make([][]NodeID, cfg.LeavesPerPod)
+	for s, id := range spines {
+		p := s % cfg.LeavesPerPod
+		planes[p] = append(planes[p], id)
+	}
+
+	leaves := make([][]NodeID, cfg.Pods)  // [pod][leafIdx]
+	tors := make([][]NodeID, cfg.Pods)    // [pod][torIdx]
+	hosts := make([][][]NodeID, cfg.Pods) // [pod][torIdx][hostIdx]
+
+	for p := 0; p < cfg.Pods; p++ {
+		leaves[p] = make([]NodeID, cfg.LeavesPerPod)
+		for l := range leaves[p] {
+			leaves[p][l] = b.addNode(Switch, fmt.Sprintf("leaf%d-%d", p, l), cfg.Queues)
+			for _, sp := range planes[l] {
+				b.addPair(leaves[p][l], sp, cfg.LinkCapacity)
+			}
+		}
+		tors[p] = make([]NodeID, cfg.ToRsPerPod)
+		hosts[p] = make([][]NodeID, cfg.ToRsPerPod)
+		for r := range tors[p] {
+			tors[p][r] = b.addNode(Switch, fmt.Sprintf("tor%d-%d", p, r), cfg.Queues)
+			for l := range leaves[p] {
+				b.addPair(tors[p][r], leaves[p][l], cfg.LinkCapacity)
+			}
+			hosts[p][r] = make([]NodeID, cfg.HostsPerToR)
+			for h := range hosts[p][r] {
+				id := b.addNode(Host, fmt.Sprintf("h%d-%d-%d", p, r, h), cfg.Queues)
+				hosts[p][r][h] = id
+				b.addPair(id, tors[p][r], cfg.LinkCapacity)
+			}
+		}
+	}
+
+	t := &b.t
+	// Index: for each node, link to a given neighbor.
+	linkTo := make([]map[NodeID]LinkID, len(t.nodes))
+	for i := range linkTo {
+		linkTo[i] = make(map[NodeID]LinkID, len(t.out[i]))
+		for _, l := range t.out[i] {
+			linkTo[i][t.links[l].To] = l
+		}
+	}
+
+	// Populate LFTs for every destination host.
+	for i := range t.lft {
+		t.lft[NodeID(i)] = make(map[NodeID]LinkID)
+	}
+	for p := 0; p < cfg.Pods; p++ {
+		for r := 0; r < cfg.ToRsPerPod; r++ {
+			for _, dst := range hosts[p][r] {
+				dstToR := tors[p][r]
+				plane := int(hashDst(dst, 0x5aba)) % cfg.LeavesPerPod
+
+				// Hosts: single uplink to their ToR.
+				for hp := 0; hp < cfg.Pods; hp++ {
+					for hr := 0; hr < cfg.ToRsPerPod; hr++ {
+						for _, src := range hosts[hp][hr] {
+							if src != dst {
+								t.lft[src][dst] = linkTo[src][tors[hp][hr]]
+							}
+						}
+					}
+				}
+				// Destination ToR: down to the host.
+				t.lft[dstToR][dst] = linkTo[dstToR][dst]
+
+				// Other ToRs: up to the hashed leaf of their own pod.
+				for tp := 0; tp < cfg.Pods; tp++ {
+					for tr := 0; tr < cfg.ToRsPerPod; tr++ {
+						tor := tors[tp][tr]
+						if tor == dstToR {
+							continue
+						}
+						t.lft[tor][dst] = linkTo[tor][leaves[tp][plane]]
+					}
+				}
+
+				// Leaves: same pod → down to dst ToR; other pods → up to
+				// the hashed spine of the leaf's plane.
+				for lp := 0; lp < cfg.Pods; lp++ {
+					for li, leaf := range leaves[lp] {
+						if lp == p {
+							t.lft[leaf][dst] = linkTo[leaf][dstToR]
+							continue
+						}
+						pl := planes[li]
+						sp := pl[int(hashDst(dst, uint32(li)))%len(pl)]
+						t.lft[leaf][dst] = linkTo[leaf][sp]
+					}
+				}
+
+				// Spines: down to the destination pod's leaf in their plane.
+				for s, spID := range spines {
+					pli := s % cfg.LeavesPerPod
+					t.lft[spID][dst] = linkTo[spID][leaves[p][pli]]
+				}
+			}
+		}
+	}
+	return t, nil
+}

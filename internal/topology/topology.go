@@ -1,0 +1,210 @@
+// Package topology models the datacenter networks Saba runs on: hosts,
+// switches, directed links (one per physical port direction), and
+// destination-based linear forwarding tables (LFTs) like InfiniBand's
+// subnet manager installs. The controller's path detection (paper §7.2,
+// "gets the forwarding tables of switches in the network to detect the
+// path of each connection") walks these tables.
+//
+// Two builders are provided: the 32-server single-switch testbed of §8.1
+// and the three-tier spine-leaf fabric of the large-scale simulation
+// (54 spine / 102 leaf / 108 ToR switches, 18 hosts per ToR → 1,944
+// hosts), both parameterized so scaled-down variants can run in tests.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// NodeID identifies a host or switch.
+type NodeID int
+
+// LinkID identifies one directed link (an output port of its From node).
+type LinkID int
+
+// NodeKind distinguishes hosts from switches.
+type NodeKind int
+
+// Node kinds.
+const (
+	Host NodeKind = iota
+	Switch
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a network element.
+type Node struct {
+	ID     NodeID
+	Kind   NodeKind
+	Name   string
+	Queues int // per-output-port queue count (switches and host NICs)
+}
+
+// Link is a directed link: an output port of node From feeding node To.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	Capacity float64 // bits per second
+}
+
+// Topology is an immutable network graph with forwarding state.
+type Topology struct {
+	nodes []Node
+	links []Link
+	out   [][]LinkID          // out[node] = outgoing links
+	lft   []map[NodeID]LinkID // lft[node][dstHost] = out link (hosts have single uplink)
+	hosts []NodeID
+	sws   []NodeID
+}
+
+// Errors returned by topology operations.
+var (
+	ErrUnknownNode = errors.New("topology: unknown node")
+	ErrNotHost     = errors.New("topology: endpoint is not a host")
+	ErrNoRoute     = errors.New("topology: no route")
+)
+
+// builder assembles a Topology.
+type builder struct {
+	t Topology
+}
+
+func (b *builder) addNode(kind NodeKind, name string, queues int) NodeID {
+	id := NodeID(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, Node{ID: id, Kind: kind, Name: name, Queues: queues})
+	b.t.out = append(b.t.out, nil)
+	b.t.lft = append(b.t.lft, nil)
+	if kind == Host {
+		b.t.hosts = append(b.t.hosts, id)
+	} else {
+		b.t.sws = append(b.t.sws, id)
+	}
+	return id
+}
+
+// addPair adds both directions of a physical cable.
+func (b *builder) addPair(a, c NodeID, capacity float64) (LinkID, LinkID) {
+	l1 := b.addLink(a, c, capacity)
+	l2 := b.addLink(c, a, capacity)
+	return l1, l2
+}
+
+func (b *builder) addLink(from, to NodeID, capacity float64) LinkID {
+	id := LinkID(len(b.t.links))
+	b.t.links = append(b.t.links, Link{ID: id, From: from, To: to, Capacity: capacity})
+	b.t.out[from] = append(b.t.out[from], id)
+	return id
+}
+
+// Nodes returns all nodes in ID order.
+func (t *Topology) Nodes() []Node { return t.nodes }
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id NodeID) (Node, error) {
+	if int(id) < 0 || int(id) >= len(t.nodes) {
+		return Node{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return t.nodes[id], nil
+}
+
+// Hosts returns the IDs of all hosts.
+func (t *Topology) Hosts() []NodeID { return t.hosts }
+
+// Switches returns the IDs of all switches.
+func (t *Topology) Switches() []NodeID { return t.sws }
+
+// Links returns all directed links in ID order.
+func (t *Topology) Links() []Link { return t.links }
+
+// Link returns the link with the given ID.
+func (t *Topology) Link(id LinkID) (Link, error) {
+	if int(id) < 0 || int(id) >= len(t.links) {
+		return Link{}, fmt.Errorf("topology: unknown link %d", id)
+	}
+	return t.links[id], nil
+}
+
+// OutLinks returns the outgoing link IDs of a node (its output ports).
+func (t *Topology) OutLinks(n NodeID) []LinkID {
+	if int(n) < 0 || int(n) >= len(t.out) {
+		return nil
+	}
+	return t.out[n]
+}
+
+// ForwardingTable returns the LFT of a node: destination host → output
+// link. This is what the controller's path detection reads.
+func (t *Topology) ForwardingTable(n NodeID) map[NodeID]LinkID {
+	if int(n) < 0 || int(n) >= len(t.lft) {
+		return nil
+	}
+	return t.lft[n]
+}
+
+// QueuesAt returns the per-port queue count at the node that owns link id.
+func (t *Topology) QueuesAt(id LinkID) int {
+	l, err := t.Link(id)
+	if err != nil {
+		return 0
+	}
+	return t.nodes[l.From].Queues
+}
+
+// Route returns the directed links a flow from src to dst traverses,
+// following the forwarding tables hop by hop — exactly the path-detection
+// procedure of paper §7.2. src and dst must be hosts.
+func (t *Topology) Route(src, dst NodeID) ([]LinkID, error) {
+	sn, err := t.Node(src)
+	if err != nil {
+		return nil, err
+	}
+	dn, err := t.Node(dst)
+	if err != nil {
+		return nil, err
+	}
+	if sn.Kind != Host || dn.Kind != Host {
+		return nil, ErrNotHost
+	}
+	if src == dst {
+		return nil, nil // loopback traffic does not touch the network
+	}
+	var path []LinkID
+	cur := src
+	for cur != dst {
+		next, ok := t.lft[cur][dst]
+		if !ok {
+			return nil, fmt.Errorf("%w: from %d to %d (stuck at %d)", ErrNoRoute, src, dst, cur)
+		}
+		path = append(path, next)
+		cur = t.links[next].To
+		if len(path) > len(t.nodes) {
+			return nil, fmt.Errorf("topology: forwarding loop from %d to %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// hashDst provides the deterministic spreading the subnet manager applies
+// when several equal-cost uplinks exist: destination-based so that all
+// traffic to one host takes a stable path.
+func hashDst(dst NodeID, salt uint32) uint32 {
+	h := fnv.New32a()
+	var buf [8]byte
+	v := uint64(dst)<<32 | uint64(salt)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum32()
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"saba/internal/netsim"
+	"saba/internal/topology"
+)
+
+// DefaultFanOut bounds each node's shuffle partners per stage. All-to-all
+// is used when the job has at most DefaultFanOut+1 nodes; larger jobs
+// stripe their shuffle volume over this many peers, which keeps the
+// fluid simulation tractable at datacenter scale without changing any
+// node's egress volume.
+const DefaultFanOut = 8
+
+// Phase identifies a job-lifecycle moment reported to OnPhase.
+type Phase int
+
+// Phases.
+const (
+	PhaseComputeStart Phase = iota
+	PhaseCommStart
+	PhaseStageDone
+	PhaseJobDone
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseComputeStart:
+		return "compute-start"
+	case PhaseCommStart:
+		return "comm-start"
+	case PhaseStageDone:
+		return "stage-done"
+	case PhaseJobDone:
+		return "job-done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Job is a running instance of a workload: a Spec instantiated on a
+// concrete set of nodes, executed as a state machine on the fluid engine.
+type Job struct {
+	ID           int
+	Spec         Spec
+	Nodes        []topology.NodeID
+	App          netsim.AppID
+	PL           int
+	DatasetScale float64
+	FanOut       int // 0 selects DefaultFanOut
+	// ComputeStretch multiplies per-node compute time at runtime relative
+	// to profiling. The paper's co-location studies assign each job one
+	// core per server (§8.2) while the profiler ran on dedicated nodes,
+	// so runtime computation runs roughly coresPerServer times slower
+	// than profiled. 0 selects 1 (dedicated nodes).
+	ComputeStretch float64
+
+	// OnDone fires when the final stage completes.
+	OnDone func(e *netsim.Engine, j *Job)
+	// OnPhase (optional) observes stage transitions for tracing.
+	OnPhase func(t float64, stage int, p Phase)
+
+	StartTime float64
+	EndTime   float64
+
+	stages      []ScaledStage
+	stage       int
+	commPending int
+	computeDone bool
+	commDone    bool
+	running     bool
+}
+
+// Errors returned by Start.
+var (
+	ErrNoNodes    = errors.New("workload: job has no nodes")
+	ErrJobRunning = errors.New("workload: job already started")
+)
+
+// Start instantiates the job's stages and begins execution on the engine.
+func (j *Job) Start(e *netsim.Engine) error {
+	if j.running {
+		return ErrJobRunning
+	}
+	if len(j.Nodes) == 0 {
+		return ErrNoNodes
+	}
+	if j.DatasetScale == 0 {
+		j.DatasetScale = 1
+	}
+	stages, err := j.Spec.Instantiate(j.DatasetScale, len(j.Nodes))
+	if err != nil {
+		return err
+	}
+	if j.ComputeStretch > 0 && j.ComputeStretch != 1 {
+		for i := range stages {
+			stages[i].ComputeSeconds *= j.ComputeStretch
+		}
+	}
+	j.stages = stages
+	j.stage = 0
+	j.running = true
+	j.StartTime = e.Now()
+	j.EndTime = 0
+	j.startStage(e)
+	return nil
+}
+
+// Done reports whether the job has completed all stages.
+func (j *Job) Done() bool { return !j.running && j.EndTime > 0 }
+
+// CompletionTime returns the job's end-to-end duration; it is only
+// meaningful after completion.
+func (j *Job) CompletionTime() float64 { return j.EndTime - j.StartTime }
+
+// Stage returns the index of the stage currently executing.
+func (j *Job) Stage() int { return j.stage }
+
+// ScaledStages returns the concrete stage parameters of a started job
+// (nil before Start). Tracing uses it to reconstruct compute windows.
+func (j *Job) ScaledStages() []ScaledStage { return j.stages }
+
+func (j *Job) phase(t float64, p Phase) {
+	if j.OnPhase != nil {
+		j.OnPhase(t, j.stage, p)
+	}
+}
+
+func (j *Job) startStage(e *netsim.Engine) {
+	st := j.stages[j.stage]
+	j.computeDone = false
+	j.commDone = false
+	j.phase(e.Now(), PhaseComputeStart)
+
+	stage := j.stage // guard against events outliving the stage
+	if st.ComputeSeconds > 0 {
+		e.After(st.ComputeSeconds, func(e *netsim.Engine) {
+			if j.stage != stage || !j.running {
+				return
+			}
+			j.computeDone = true
+			j.maybeAdvance(e)
+		})
+	} else {
+		j.computeDone = true
+	}
+
+	commDelay := (1 - st.Overlap) * st.ComputeSeconds
+	if st.CommBytesPerNode > 0 && len(j.Nodes) > 1 {
+		e.After(commDelay, func(e *netsim.Engine) {
+			if j.stage != stage || !j.running {
+				return
+			}
+			j.launchShuffle(e, st)
+		})
+	} else {
+		j.commDone = true
+	}
+
+	// A stage that is instantly complete (e.g. a shuffle-only stage
+	// running on a single node, where Instantiate zeroed the shuffle)
+	// must still advance the state machine.
+	if j.computeDone && j.commDone {
+		e.After(0, func(e *netsim.Engine) {
+			if j.stage != stage || !j.running {
+				return
+			}
+			j.maybeAdvance(e)
+		})
+	}
+}
+
+// launchShuffle starts the stage's flows: each node sends an equal slice
+// of its per-node volume to its next FanOut ring neighbors.
+func (j *Job) launchShuffle(e *netsim.Engine, st ScaledStage) {
+	n := len(j.Nodes)
+	fan := j.FanOut
+	if fan <= 0 {
+		fan = DefaultFanOut
+	}
+	if fan > n-1 {
+		fan = n - 1
+	}
+	connFactor := j.Spec.ConnFactor
+	if connFactor <= 0 {
+		connFactor = 1
+	}
+	// The ConnFactor parallel connections to one peer are simulated as a
+	// single flow with multiplicity ConnFactor: identical rates, far
+	// fewer simulation events.
+	perPeerBits := st.CommBytesPerNode * 8 / float64(fan)
+	coflow := netsim.CoflowID(j.ID*10_000 + j.stage)
+	j.commPending = 0
+	j.phase(e.Now(), PhaseCommStart)
+	for i, src := range j.Nodes {
+		for k := 1; k <= fan; k++ {
+			dst := j.Nodes[(i+k)%n]
+			_, err := e.AddFlow(netsim.FlowSpec{
+				Src: src, Dst: dst, Bits: perPeerBits,
+				App: j.App, PL: j.PL, Mult: connFactor, Coflow: coflow,
+			}, j.flowDone)
+			if err != nil {
+				// Routing failures are programming errors in the
+				// harness; a stuck job would hide them, so panic.
+				panic(fmt.Sprintf("workload %s: add flow: %v", j.Spec.Name, err))
+			}
+			j.commPending++
+		}
+	}
+	if j.commPending == 0 {
+		j.commDone = true
+		j.maybeAdvance(e)
+	}
+}
+
+func (j *Job) flowDone(e *netsim.Engine, _ netsim.FlowID) {
+	j.commPending--
+	if j.commPending == 0 {
+		j.commDone = true
+		j.maybeAdvance(e)
+	}
+}
+
+func (j *Job) maybeAdvance(e *netsim.Engine) {
+	if !j.computeDone || !j.commDone || !j.running {
+		return
+	}
+	j.phase(e.Now(), PhaseStageDone)
+	j.stage++
+	if j.stage >= len(j.stages) {
+		j.running = false
+		j.EndTime = e.Now()
+		j.phase(e.Now(), PhaseJobDone)
+		if j.OnDone != nil {
+			j.OnDone(e, j)
+		}
+		return
+	}
+	j.startStage(e)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Placement is one job of a cluster setup: which catalog workload runs,
+// at what dataset scale, on which server indices.
+type Placement struct {
+	Spec         Spec
+	DatasetScale float64
+	Servers      []int // indices into the cluster's host list
+}
+
+// Setup is one randomized co-location scenario of the testbed study
+// (paper §8.2): 16 jobs drawn with replacement from the catalog, each
+// with a random dataset scale and instance count, placed on the servers
+// under the paper's two constraints (at most one instance of a job per
+// server; at most MaxJobsPerServer jobs per server).
+type Setup struct {
+	Jobs []Placement
+}
+
+// SetupConfig parameterizes NewSetup.
+type SetupConfig struct {
+	Servers          int       // cluster size; 0 selects 32
+	JobsPerSetup     int       // 0 selects 16
+	DatasetScales    []float64 // nil selects {0.1, 1, 10}
+	MinInstanceScale float64   // instances = scale × RefNodes; 0 selects 0.5
+	MaxInstanceScale float64   // 0 selects 4
+	MaxJobsPerServer int       // 0 selects 16
+}
+
+func (c *SetupConfig) fill() {
+	if c.Servers == 0 {
+		c.Servers = 32
+	}
+	if c.JobsPerSetup == 0 {
+		c.JobsPerSetup = 16
+	}
+	if c.DatasetScales == nil {
+		c.DatasetScales = []float64{0.1, 1, 10}
+	}
+	if c.MinInstanceScale == 0 {
+		c.MinInstanceScale = 0.5
+	}
+	if c.MaxInstanceScale == 0 {
+		c.MaxInstanceScale = 4
+	}
+	if c.MaxJobsPerServer == 0 {
+		c.MaxJobsPerServer = 16
+	}
+}
+
+// NewSetup draws one cluster setup. Placement retries until the
+// constraints are satisfied; the configuration is always satisfiable for
+// the paper's parameters (16 jobs × ≤32 instances on 32 servers with 16
+// slots each).
+func NewSetup(cfg SetupConfig, rng *rand.Rand) (Setup, error) {
+	cfg.fill()
+	catalog := Catalog()
+	load := make([]int, cfg.Servers)
+	var setup Setup
+	for j := 0; j < cfg.JobsPerSetup; j++ {
+		spec := catalog[rng.Intn(len(catalog))]
+		scale := cfg.DatasetScales[rng.Intn(len(cfg.DatasetScales))]
+		// Instance count: uniform over {0.5x, 1x, 2x, 3x, 4x}-style
+		// multiples of RefNodes, like the paper's study.
+		span := cfg.MaxInstanceScale - cfg.MinInstanceScale
+		instScale := cfg.MinInstanceScale + span*rng.Float64()
+		instances := int(instScale*RefNodes + 0.5)
+		if instances < 2 {
+			instances = 2
+		}
+		if instances > cfg.Servers {
+			instances = cfg.Servers
+		}
+		servers, err := placeInstances(instances, load, cfg.MaxJobsPerServer, rng)
+		if err != nil {
+			return Setup{}, fmt.Errorf("setup job %d (%s): %w", j, spec.Name, err)
+		}
+		setup.Jobs = append(setup.Jobs, Placement{
+			Spec:         spec,
+			DatasetScale: scale,
+			Servers:      servers,
+		})
+	}
+	return setup, nil
+}
+
+// placeInstances picks `instances` distinct servers with remaining
+// capacity, preferring the least-loaded (with random tie-breaking) so the
+// paper's per-server job cap is always honored when capacity exists.
+func placeInstances(instances int, load []int, maxLoad int, rng *rand.Rand) ([]int, error) {
+	type slot struct {
+		server int
+		load   int
+		key    float64
+	}
+	var free []slot
+	for s, l := range load {
+		if l < maxLoad {
+			free = append(free, slot{server: s, load: l, key: rng.Float64()})
+		}
+	}
+	if len(free) < instances {
+		return nil, fmt.Errorf("workload: need %d servers, only %d have capacity", instances, len(free))
+	}
+	// Least-loaded first, random among equals.
+	for i := 1; i < len(free); i++ {
+		for k := i; k > 0 && (free[k].load < free[k-1].load ||
+			(free[k].load == free[k-1].load && free[k].key < free[k-1].key)); k-- {
+			free[k], free[k-1] = free[k-1], free[k]
+		}
+	}
+	servers := make([]int, instances)
+	for i := 0; i < instances; i++ {
+		servers[i] = free[i].server
+		load[free[i].server]++
+	}
+	return servers, nil
+}

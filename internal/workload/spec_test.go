@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d workloads, want 10", len(cat))
+	}
+	wantNames := []string{"LR", "RF", "GBT", "SVM", "NW", "NI", "PR", "SQL", "WC", "Sort"}
+	for i, s := range cat {
+		if s.Name != wantNames[i] {
+			t.Errorf("catalog[%d] = %s, want %s", i, s.Name, wantNames[i])
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog %s invalid: %v", s.Name, err)
+		}
+		if s.DatasetDesc == "" || s.Class == "" {
+			t.Errorf("catalog %s missing Table 1 metadata", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("LR")
+	if !ok || s.Name != "LR" {
+		t.Errorf("ByName(LR) = %v,%v", s.Name, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should report !ok")
+	}
+	if len(Names()) != 10 {
+		t.Error("Names() should list 10 workloads")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Stages: []Stage{{ComputeSeconds: 1}}},
+		{Name: "x"},
+		{Name: "x", Stages: []Stage{{}}},
+		{Name: "x", Stages: []Stage{{ComputeSeconds: -1}}},
+		{Name: "x", Stages: []Stage{{ComputeSeconds: 1, Overlap: 1.5}}},
+		{Name: "x", Stages: []Stage{{ComputeSeconds: 1, Overlap: -0.1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	good := Spec{Name: "ok", Stages: []Stage{{ComputeSeconds: 1, CommBytesPerNode: 5, Overlap: 0.5}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestInstantiateScaling(t *testing.T) {
+	spec := Spec{Name: "x", Stages: []Stage{{ComputeSeconds: 10, CommBytesPerNode: 1e9}}}
+	base, err := spec.Instantiate(1, RefNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base[0].ComputeSeconds-10) > 1e-9 || math.Abs(base[0].CommBytesPerNode-1e9) > 1 {
+		t.Errorf("reference instantiation changed parameters: %+v", base[0])
+	}
+
+	// Larger dataset: both grow, comm slightly faster (super-linear).
+	big, _ := spec.Instantiate(10, RefNodes)
+	if big[0].ComputeSeconds <= base[0].ComputeSeconds {
+		t.Error("compute should grow with dataset")
+	}
+	if big[0].CommBytesPerNode <= 10*base[0].CommBytesPerNode*0.99 {
+		t.Error("comm should grow super-linearly with dataset")
+	}
+
+	// More nodes: per-node work shrinks, but a barrier penalty appears.
+	wide, _ := spec.Instantiate(1, RefNodes*4)
+	if wide[0].CommBytesPerNode >= base[0].CommBytesPerNode {
+		t.Error("per-node comm should shrink with more nodes")
+	}
+	ideal := base[0].ComputeSeconds / 4
+	if wide[0].ComputeSeconds <= ideal {
+		t.Error("barrier penalty should make 4x-node compute worse than ideal scaling")
+	}
+
+	// Single node: no shuffle partners.
+	solo, _ := spec.Instantiate(1, 1)
+	if solo[0].CommBytesPerNode != 0 {
+		t.Error("single-node instantiation should have no comm")
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	spec := Spec{Name: "x", Stages: []Stage{{ComputeSeconds: 1}}}
+	if _, err := spec.Instantiate(0, 8); err == nil {
+		t.Error("zero dataset scale should fail")
+	}
+	if _, err := spec.Instantiate(1, 0); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad := Spec{Name: "x"}
+	if _, err := bad.Instantiate(1, 8); err == nil {
+		t.Error("invalid spec should fail to instantiate")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	spec := Spec{Name: "x", Stages: []Stage{
+		{ComputeSeconds: 2, CommBytesPerNode: 10},
+		{ComputeSeconds: 3, CommBytesPerNode: 20},
+	}}
+	if got := spec.TotalComputeSeconds(); got != 5 {
+		t.Errorf("TotalComputeSeconds = %g, want 5", got)
+	}
+	if got := spec.TotalCommBytesPerNode(); got != 30 {
+		t.Errorf("TotalCommBytesPerNode = %g, want 30", got)
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	// The catalog must order the workloads by bandwidth sensitivity
+	// consistently with Fig. 1a: LR most sensitive, Sort least. Use the
+	// analytic stage-model slowdown at 25% bandwidth as the metric:
+	// s(b) = Σ((1-o)c + max(oc, uc/b)) / Σ((1-o)c + max(oc, uc)).
+	ratio := func(name string) float64 {
+		s, _ := ByName(name)
+		full, quarter := 0.0, 0.0
+		for _, st := range s.Stages {
+			c := st.ComputeSeconds
+			commFull := st.CommBytesPerNode / hostRate
+			full += (1-st.Overlap)*c + math.Max(st.Overlap*c, commFull)
+			quarter += (1-st.Overlap)*c + math.Max(st.Overlap*c, commFull/0.25)
+		}
+		return quarter / full
+	}
+	order := []string{"LR", "RF", "SVM", "GBT", "NW", "NI", "PR", "SQL", "WC", "Sort"}
+	for i := 1; i < len(order); i++ {
+		if ratio(order[i]) > ratio(order[i-1])+1e-9 {
+			t.Errorf("sensitivity ordering violated: %s (%.3f) > %s (%.3f)",
+				order[i], ratio(order[i]), order[i-1], ratio(order[i-1]))
+		}
+	}
+}
+
+func TestSyntheticGenerator(t *testing.T) {
+	specs := Synthetic(SynthConfig{}, rand.New(rand.NewSource(42)))
+	if len(specs) != 20 {
+		t.Fatalf("default synthetic count = %d, want 20", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("synthetic %s invalid: %v", s.Name, err)
+		}
+		if len(s.Stages) < 2 || len(s.Stages) > 12 {
+			t.Errorf("synthetic %s has %d stages, want 2..12", s.Name, len(s.Stages))
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := Synthetic(SynthConfig{}, rand.New(rand.NewSource(42)))
+	for i := range specs {
+		if specs[i].Name != again[i].Name || len(specs[i].Stages) != len(again[i].Stages) {
+			t.Fatal("synthetic generation not deterministic")
+		}
+		if specs[i].Stages[0].CommBytesPerNode != again[i].Stages[0].CommBytesPerNode {
+			t.Fatal("synthetic stage parameters not deterministic")
+		}
+	}
+	// Sensitivity diversity: both comm-light and comm-heavy workloads.
+	light, heavy := false, false
+	for _, s := range specs {
+		u := s.TotalCommBytesPerNode() / hostRate / s.TotalComputeSeconds()
+		if u < 0.3 {
+			light = true
+		}
+		if u > 1.5 {
+			heavy = true
+		}
+	}
+	if !light || !heavy {
+		t.Error("synthetic mix lacks sensitivity diversity")
+	}
+}
+
+func TestNewSetupConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		setup, err := NewSetup(SetupConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(setup.Jobs) != 16 {
+			t.Fatalf("setup has %d jobs, want 16", len(setup.Jobs))
+		}
+		load := map[int]int{}
+		for _, p := range setup.Jobs {
+			seen := map[int]bool{}
+			for _, s := range p.Servers {
+				if s < 0 || s >= 32 {
+					t.Fatalf("server index %d out of range", s)
+				}
+				if seen[s] {
+					t.Fatal("job placed twice on the same server")
+				}
+				seen[s] = true
+				load[s]++
+			}
+			if len(p.Servers) < 2 {
+				t.Fatalf("job %s has %d instances", p.Spec.Name, len(p.Servers))
+			}
+			okScale := false
+			for _, ds := range []float64{0.1, 1, 10} {
+				if p.DatasetScale == ds {
+					okScale = true
+				}
+			}
+			if !okScale {
+				t.Fatalf("unexpected dataset scale %g", p.DatasetScale)
+			}
+		}
+		for s, l := range load {
+			if l > 16 {
+				t.Fatalf("server %d hosts %d jobs, cap is 16", s, l)
+			}
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p := PhaseComputeStart; p <= PhaseJobDone; p++ {
+		if p.String() == "" {
+			t.Errorf("Phase(%d).String empty", p)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase should still render")
+	}
+}

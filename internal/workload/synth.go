@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SynthConfig parameterizes the synthetic workload generator used by the
+// large-scale simulation study (§8.1: 20 distinct synthetic workloads
+// whose computation, communication and stage counts vary to emulate
+// varying degrees of bandwidth sensitivity).
+type SynthConfig struct {
+	Count       int     // number of workloads; 0 selects 20
+	MinStages   int     // 0 selects 2
+	MaxStages   int     // 0 selects 12
+	MinCommComp float64 // minimum comm/comp ratio u; 0 selects 0.05
+	MaxCommComp float64 // maximum comm/comp ratio u; 0 selects 4.0
+	MaxOverlap  float64 // maximum overlap; 0 selects 0.6
+	// TargetRuntime is the rough unthrottled completion time in seconds;
+	// 0 selects 240.
+	TargetRuntime float64
+}
+
+func (c *SynthConfig) fill() {
+	if c.Count == 0 {
+		c.Count = 20
+	}
+	if c.MinStages == 0 {
+		c.MinStages = 2
+	}
+	if c.MaxStages == 0 {
+		c.MaxStages = 12
+	}
+	if c.MinCommComp == 0 {
+		c.MinCommComp = 0.05
+	}
+	if c.MaxCommComp == 0 {
+		c.MaxCommComp = 4.0
+	}
+	if c.MaxOverlap == 0 {
+		c.MaxOverlap = 0.6
+	}
+	if c.TargetRuntime == 0 {
+		c.TargetRuntime = 240
+	}
+}
+
+// Synthetic generates cfg.Count workload specs spanning a wide range of
+// bandwidth sensitivities, deterministically for a given rng seed. The
+// comm/comp ratio is sampled log-uniformly so insensitive and highly
+// sensitive workloads are equally represented, mirroring the paper's mix.
+func Synthetic(cfg SynthConfig, rng *rand.Rand) []Spec {
+	cfg.fill()
+	specs := make([]Spec, cfg.Count)
+	for i := range specs {
+		nStages := cfg.MinStages + rng.Intn(cfg.MaxStages-cfg.MinStages+1)
+		// Log-uniform comm/comp ratio.
+		lo, hi := cfg.MinCommComp, cfg.MaxCommComp
+		u := lo * math.Pow(hi/lo, rng.Float64())
+		overlap := rng.Float64() * cfg.MaxOverlap
+		// Split the runtime target across stages: unthrottled stage time
+		// is roughly c·((1-o) + max(o, u)).
+		perStage := cfg.TargetRuntime / float64(nStages)
+		denom := (1 - overlap) + math.Max(overlap, u)
+		c := perStage / denom
+		sts := make([]Stage, nStages)
+		for s := range sts {
+			// ±25% deterministic variation across stages.
+			jitter := 0.75 + 0.5*rng.Float64()
+			sts[s] = Stage{
+				ComputeSeconds:   c * jitter,
+				CommBytesPerNode: u * c * jitter * hostRate,
+				Overlap:          overlap,
+			}
+		}
+		specs[i] = Spec{
+			Name:        fmt.Sprintf("synth-%02d", i),
+			Class:       "Synthetic",
+			DatasetDesc: fmt.Sprintf("u=%.2f o=%.2f stages=%d", u, overlap, nStages),
+			Stages:      sts,
+			ConnFactor:  1 + rng.Intn(3),
+		}
+	}
+	return specs
+}
