@@ -5,11 +5,16 @@
 // Server:
 //
 //	sabactl serve -listen :7700 -table table.json -hosts 32
+//	sabactl serve -listen :7700 -table table.json -shards 4   # sharded mesh
 //
 // Client:
 //
 //	sabactl register -addr localhost:7700 -app LR
 //	sabactl conn -addr localhost:7700 -app-id 1 -src 1 -dst 2
+//
+// Client commands retry transient transport failures (-retries, -timeout)
+// and rely on the server's per-session request dedup for exactly-once
+// semantics across reconnects.
 package main
 
 import (
@@ -53,14 +58,16 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sabactl serve    -listen ADDR -table FILE [-hosts N] [-queues Q] [-pls P]
-  sabactl register -addr ADDR -app NAME
-  sabactl conn     -addr ADDR -app NAME -src HOST -dst HOST`)
+  sabactl serve    -listen ADDR -table FILE [-hosts N] [-queues Q] [-pls P] [-shards S]
+  sabactl register -addr ADDR -app NAME [-timeout D] [-retries N]
+  sabactl conn     -addr ADDR -app NAME -src HOST -dst HOST [-timeout D] [-retries N]`)
 }
 
-// serve starts a centralized controller over a single-switch topology of
-// the given size (path detection and enforcement operate on its
-// forwarding tables; the data plane is the in-process WFQ model).
+// serve starts a controller over the in-process WFQ data plane. With
+// -shards 1 (the default) it is the centralized controller on a
+// single-switch topology; with -shards > 1 it runs the §5.2 sharded mesh
+// over a two-pod spine-leaf fabric, each shard owning a slice of the
+// switches.
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7700", "RPC listen address")
@@ -68,6 +75,7 @@ func serve(args []string) error {
 	hosts := fs.Int("hosts", 32, "testbed host count")
 	queues := fs.Int("queues", 8, "per-port queues")
 	pls := fs.Int("pls", 16, "priority levels")
+	shards := fs.Int("shards", 1, "controller shards (1 = centralized, >1 = mesh on a spine-leaf fabric)")
 	fs.Parse(args)
 
 	table := profiler.NewTable()
@@ -78,30 +86,78 @@ func serve(args []string) error {
 		}
 		table = t
 	}
-	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: *hosts, Queues: *queues})
-	if err != nil {
-		return err
+
+	var api controller.API
+	var topDesc string
+	var hostIDs []topology.NodeID
+	switch {
+	case *shards < 1:
+		return fmt.Errorf("-shards must be >= 1")
+	case *shards == 1:
+		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: *hosts, Queues: *queues})
+		if err != nil {
+			return err
+		}
+		ctrl, err := controller.NewCentralized(controller.Config{
+			Topology: top,
+			Table:    table,
+			Enforcer: netsim.NewWFQ(netsim.NewNetwork(top)),
+			PLs:      *pls,
+		})
+		if err != nil {
+			return err
+		}
+		api = ctrl
+		topDesc = fmt.Sprintf("single switch, %d hosts", *hosts)
+		hostIDs = top.Hosts()
+	default:
+		// The mesh resolves PLs from an offline-built mapping database, so
+		// a sensitivity table is mandatory.
+		if table.Len() == 0 {
+			return fmt.Errorf("-shards > 1 requires a non-empty -table (the mesh maps apps from the offline database)")
+		}
+		// Size the fabric so it carries at least the requested host count.
+		perPod := *hosts / 2
+		if perPod < 1 {
+			perPod = 1
+		}
+		tors := (perPod + 3) / 4 // 4 hosts per ToR within each pod
+		if tors < 1 {
+			tors = 1
+		}
+		top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+			Pods: 2, ToRsPerPod: tors, LeavesPerPod: tors, Spines: 2,
+			HostsPerToR: 4, Queues: *queues,
+		})
+		if err != nil {
+			return err
+		}
+		db, err := controller.BuildMappingDB(table, *pls, *queues, 1)
+		if err != nil {
+			return err
+		}
+		m, err := controller.NewMesh(top, db, netsim.NewWFQ(netsim.NewNetwork(top)), *shards, 1, 0.01)
+		if err != nil {
+			return err
+		}
+		api = m
+		topDesc = fmt.Sprintf("spine-leaf, %d hosts, %d shards", len(top.Hosts()), *shards)
+		hostIDs = top.Hosts()
 	}
-	net := netsim.NewNetwork(top)
-	ctrl, err := controller.NewCentralized(controller.Config{
-		Topology: top,
-		Table:    table,
-		Enforcer: netsim.NewWFQ(net),
-		PLs:      *pls,
-	})
-	if err != nil {
-		return err
-	}
+
 	srv := rpc.NewServer()
-	if err := controller.Serve(srv, ctrl); err != nil {
+	if err := controller.Serve(srv, api); err != nil {
 		return err
 	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("saba controller listening on %s (%d hosts, %d queues, table entries: %d)\n",
-		addr, *hosts, *queues, table.Len())
+	fmt.Printf("saba controller listening on %s (%s, %d queues, table entries: %d)\n",
+		addr, topDesc, *queues, table.Len())
+	if len(hostIDs) > 0 {
+		fmt.Printf("host node IDs (use with conn -src/-dst): %v\n", hostIDs)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -110,20 +166,30 @@ func serve(args []string) error {
 	return srv.Close()
 }
 
+// clientFlags registers the flags shared by every client subcommand and
+// returns a function that builds the retrying transport.
+func clientFlags(fs *flag.FlagSet) func() *sabalib.RPCTransport {
+	addr := fs.String("addr", "127.0.0.1:7700", "controller address")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline")
+	retries := fs.Int("retries", 3, "max retries for transient transport failures")
+	return func() *sabalib.RPCTransport {
+		return sabalib.DialControllerOptions(*addr, rpc.Options{
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+		})
+	}
+}
+
 // register performs the Fig. 7 registration round-trip.
 func register(args []string) error {
 	fs := flag.NewFlagSet("register", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7700", "controller address")
+	dial := clientFlags(fs)
 	app := fs.String("app", "", "application name (sensitivity table key)")
 	fs.Parse(args)
 	if *app == "" {
 		return fmt.Errorf("-app is required")
 	}
-	tr, err := sabalib.DialController(*addr, 5*time.Second)
-	if err != nil {
-		return err
-	}
-	lib := sabalib.New(tr)
+	lib := sabalib.New(dial())
 	defer lib.Close()
 	if err := lib.Register(*app); err != nil {
 		return err
@@ -138,7 +204,7 @@ func register(args []string) error {
 // tears everything down — the full lifecycle against a live controller.
 func conn(args []string) error {
 	fs := flag.NewFlagSet("conn", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7700", "controller address")
+	dial := clientFlags(fs)
 	app := fs.String("app", "", "application name")
 	src := fs.Int("src", 1, "source host node ID")
 	dst := fs.Int("dst", 2, "destination host node ID")
@@ -146,11 +212,7 @@ func conn(args []string) error {
 	if *app == "" {
 		return fmt.Errorf("-app is required")
 	}
-	tr, err := sabalib.DialController(*addr, 5*time.Second)
-	if err != nil {
-		return err
-	}
-	lib := sabalib.New(tr)
+	lib := sabalib.New(dial())
 	defer lib.Close()
 	if err := lib.Register(*app); err != nil {
 		return err

@@ -40,6 +40,22 @@ type Enforcer interface {
 	Configure(port topology.LinkID, cfg netsim.PortConfig) error
 }
 
+// Deconfigurer is the optional enforcer extension for clearing a port's
+// configuration when its last Saba connection leaves, reverting it to
+// baseline per-flow fairness (netsim.WFQ implements it). Controllers
+// call it best-effort; an enforcer without it just keeps the stale
+// (harmless) last config.
+type Deconfigurer interface {
+	Deconfigure(port topology.LinkID)
+}
+
+// deconfigure clears a port's config if the enforcer supports it.
+func deconfigure(e Enforcer, port topology.LinkID) {
+	if d, ok := e.(Deconfigurer); ok {
+		d.Deconfigure(port)
+	}
+}
+
 // Config parameterizes a controller.
 type Config struct {
 	Topology *topology.Topology
@@ -252,14 +268,7 @@ func (c *Centralized) PreloadConn(id AppID, src, dst topology.NodeID) (ConnID, e
 	c.nextConn++
 	c.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
 	app.conns++
-	for _, l := range path {
-		ps := c.ports[l]
-		if ps == nil {
-			ps = &portState{appConns: map[AppID]int{}}
-			c.ports[l] = ps
-		}
-		ps.appConns[id]++
-	}
+	c.addPathLocked(id, path)
 	return cid, nil
 }
 
@@ -302,6 +311,9 @@ func (c *Centralized) PL(id AppID) (int, error) {
 
 // ConnCreate records a connection (Fig. 7 steps ④-⑦): it detects the
 // path from the forwarding tables and reconfigures every port on it.
+// The operation is transactional: if any port's enforcement fails, the
+// port counters are rolled back, the touched ports are re-enforced with
+// their pre-call membership, and no connection state is committed.
 func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -313,10 +325,45 @@ func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, er
 	if err != nil {
 		return 0, fmt.Errorf("controller: path detection: %w", err)
 	}
+	c.addPathLocked(id, path)
+	if err := c.enforcePortsLocked(path); err != nil {
+		c.removePathLocked(id, path)
+		c.reenforceBestEffortLocked(path)
+		return 0, err
+	}
 	cid := c.nextConn
 	c.nextConn++
 	c.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
 	app.conns++
+	return cid, nil
+}
+
+// ConnDestroy removes a connection (Fig. 7 steps ⑧-⑪) and reallocates the
+// ports it crossed. On an enforcement failure the port counters are
+// restored and the connection stays tracked.
+func (c *Centralized) ConnDestroy(cid ConnID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, ok := c.conns[cid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
+	}
+	c.removePathLocked(conn.app, conn.path)
+	if err := c.enforcePortsLocked(conn.path); err != nil {
+		c.addPathLocked(conn.app, conn.path)
+		c.reenforceBestEffortLocked(conn.path)
+		return err
+	}
+	delete(c.conns, cid)
+	if app, ok := c.apps[conn.app]; ok {
+		app.conns--
+	}
+	return nil
+}
+
+// addPathLocked increments the per-port membership of an app's
+// connection along a path.
+func (c *Centralized) addPathLocked(id AppID, path []topology.LinkID) {
 	for _, l := range path {
 		ps := c.ports[l]
 		if ps == nil {
@@ -325,39 +372,34 @@ func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, er
 		}
 		ps.appConns[id]++
 	}
-	if err := c.enforcePortsLocked(path); err != nil {
-		return 0, err
-	}
-	return cid, nil
 }
 
-// ConnDestroy removes a connection (Fig. 7 steps ⑧-⑪) and reallocates the
-// ports it crossed.
-func (c *Centralized) ConnDestroy(cid ConnID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	conn, ok := c.conns[cid]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
-	}
-	delete(c.conns, cid)
-	if app, ok := c.apps[conn.app]; ok {
-		app.conns--
-	}
-	for _, l := range conn.path {
+// removePathLocked undoes addPathLocked, deconfiguring emptied ports.
+func (c *Centralized) removePathLocked(id AppID, path []topology.LinkID) {
+	for _, l := range path {
 		ps := c.ports[l]
 		if ps == nil {
 			continue
 		}
-		ps.appConns[conn.app]--
-		if ps.appConns[conn.app] <= 0 {
-			delete(ps.appConns, conn.app)
+		ps.appConns[id]--
+		if ps.appConns[id] <= 0 {
+			delete(ps.appConns, id)
 		}
 		if len(ps.appConns) == 0 {
 			delete(c.ports, l)
+			deconfigure(c.cfg.Enforcer, l)
 		}
 	}
-	return c.enforcePortsLocked(conn.path)
+}
+
+// reenforceBestEffortLocked re-pushes the current (rolled-back) state of
+// a path's ports, ignoring enforcement errors.
+func (c *Centralized) reenforceBestEffortLocked(path []topology.LinkID) {
+	for _, l := range path {
+		if c.ports[l] != nil {
+			_ = c.enforcePortLocked(l)
+		}
+	}
 }
 
 // Apps returns the registered application count.

@@ -120,6 +120,7 @@ type Distributed struct {
 	csaba    float64
 	minShare float64
 	solCache map[string][]float64
+	dead     bool
 }
 
 // Mesh is the collective of distributed controller shards plus the shared
@@ -233,6 +234,9 @@ func (m *Mesh) PL(id AppID) (int, error) {
 
 // ConnCreate detects the path and walks it shard by shard: each shard
 // updates and enforces the ports it owns, then hands off to the next.
+// The walk is transactional: if any hop fails, the hops already applied
+// are un-enforced and no mesh state is committed, so a mid-path
+// enforcement failure cannot leak connection or port state.
 func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -243,22 +247,32 @@ func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("controller: path detection: %w", err)
 	}
+	start := time.Now()
+	hops := shardHops(m.ownerOf, m.topo, path)
+	var applied []shardHop
+	for _, hop := range hops {
+		if err := hop.shard.addConn(id, hop.ports); err != nil {
+			for k := len(applied) - 1; k >= 0; k-- {
+				// Best-effort unwind; addConn already rolled back the
+				// failing hop's own partial ports.
+				_ = applied[k].shard.removeConn(id, applied[k].ports)
+			}
+			m.lastCalc = time.Since(start)
+			return 0, err
+		}
+		applied = append(applied, hop)
+	}
 	cid := m.nextConn
 	m.nextConn++
 	m.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
 	m.appConns[id]++
-	start := time.Now()
-	for _, hop := range shardHops(m.ownerOf, m.topo, path) {
-		if err := hop.shard.addConn(id, hop.ports); err != nil {
-			m.lastCalc = time.Since(start)
-			return 0, err
-		}
-	}
 	m.lastCalc = time.Since(start)
 	return cid, nil
 }
 
 // ConnDestroy removes a connection and re-enforces the affected shards.
+// Like ConnCreate, it is transactional: a failed hop re-applies the hops
+// already removed and keeps the connection tracked.
 func (m *Mesh) ConnDestroy(cid ConnID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -266,17 +280,113 @@ func (m *Mesh) ConnDestroy(cid ConnID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
 	}
-	delete(m.conns, cid)
-	m.appConns[conn.app]--
 	start := time.Now()
-	for _, hop := range shardHops(m.ownerOf, m.topo, conn.path) {
+	hops := shardHops(m.ownerOf, m.topo, conn.path)
+	var removed []shardHop
+	for _, hop := range hops {
 		if err := hop.shard.removeConn(conn.app, hop.ports); err != nil {
+			for k := len(removed) - 1; k >= 0; k-- {
+				_ = removed[k].shard.addConn(conn.app, removed[k].ports)
+			}
 			m.lastCalc = time.Since(start)
 			return err
 		}
+		removed = append(removed, hop)
+	}
+	delete(m.conns, cid)
+	m.appConns[conn.app]--
+	if m.appConns[conn.app] <= 0 {
+		delete(m.appConns, conn.app)
 	}
 	m.lastCalc = time.Since(start)
 	return nil
+}
+
+// Errors returned by the failover path.
+var (
+	ErrShardDead = errors.New("controller: shard is dead")
+	ErrLastShard = errors.New("controller: cannot kill the last live shard")
+)
+
+// KillShard marks a shard dead and fails its switches over to the
+// surviving shards: ownership is reassigned round-robin and the affected
+// port state is replayed from the mesh's connection log (`conns` is the
+// recovery source of truth), so every moved port ends up enforced with
+// exactly the weights it had before the failure.
+func (m *Mesh) KillShard(idx int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx < 0 || idx >= len(m.shards) {
+		return fmt.Errorf("controller: no shard %d", idx)
+	}
+	victim := m.shards[idx]
+	if victim.isDead() {
+		return fmt.Errorf("%w: %d", ErrShardDead, idx)
+	}
+	var survivors []*Distributed
+	for _, sh := range m.shards {
+		if sh != victim && !sh.isDead() {
+			survivors = append(survivors, sh)
+		}
+	}
+	if len(survivors) == 0 {
+		return ErrLastShard
+	}
+	victim.kill()
+	// Reassign the victim's nodes round-robin across survivors.
+	moved := map[topology.NodeID]bool{}
+	i := 0
+	for _, n := range m.topo.Nodes() {
+		if m.ownerOf[n.ID] != victim {
+			continue
+		}
+		heir := survivors[i%len(survivors)]
+		i++
+		m.ownerOf[n.ID] = heir
+		heir.own(n.ID)
+		moved[n.ID] = true
+	}
+	// Replay the moved ports from the connection log.
+	var firstErr error
+	for _, conn := range m.conns {
+		for _, l := range conn.path {
+			lk, err := m.topo.Link(l)
+			if err != nil || !moved[lk.From] {
+				continue
+			}
+			if err := m.ownerOf[lk.From].addConn(conn.app, []topology.LinkID{l}); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("controller: failover replay of port %d: %w", l, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// AliveShards counts the shards still serving.
+func (m *Mesh) AliveShards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, sh := range m.shards {
+		if !sh.isDead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Apps returns the registered application count.
+func (m *Mesh) Apps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.apps)
+}
+
+// Conns returns the tracked connection count.
+func (m *Mesh) Conns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.conns)
 }
 
 // LastCalcDuration reports the most recent allocation walk's duration.
@@ -330,11 +440,41 @@ func (d *Distributed) evict(id AppID) {
 	clear(d.solCache)
 }
 
+// isDead reports whether the shard has been killed.
+func (d *Distributed) isDead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// kill marks the shard dead and drops its port state: its switches are
+// about to be re-owned and replayed by the survivors.
+func (d *Distributed) kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead = true
+	d.owned = map[topology.NodeID]bool{}
+	d.ports = map[topology.LinkID]*portState{}
+	clear(d.solCache)
+}
+
+// own transfers a node to this shard during failover.
+func (d *Distributed) own(n topology.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owned[n] = true
+}
+
 // addConn registers a connection on the shard's ports and re-enforces.
+// On an enforcement failure it rolls back its own partial port updates,
+// so a hop is all-or-nothing.
 func (d *Distributed) addConn(id AppID, ports []topology.LinkID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, l := range ports {
+	if d.dead {
+		return fmt.Errorf("%w: %d", ErrShardDead, d.id)
+	}
+	for i, l := range ports {
 		ps := d.ports[l]
 		if ps == nil {
 			ps = &portState{appConns: map[AppID]int{}}
@@ -342,16 +482,16 @@ func (d *Distributed) addConn(id AppID, ports []topology.LinkID) error {
 		}
 		ps.appConns[id]++
 		if err := d.enforcePortLocked(l); err != nil {
+			d.rollbackAddLocked(id, ports[:i+1])
 			return err
 		}
 	}
 	return nil
 }
 
-// removeConn drops a connection from the shard's ports and re-enforces.
-func (d *Distributed) removeConn(id AppID, ports []topology.LinkID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// rollbackAddLocked undoes addConn's increments on the given ports,
+// re-enforcing (or deconfiguring) each best-effort.
+func (d *Distributed) rollbackAddLocked(id AppID, ports []topology.LinkID) {
 	for _, l := range ports {
 		ps := d.ports[l]
 		if ps == nil {
@@ -363,9 +503,47 @@ func (d *Distributed) removeConn(id AppID, ports []topology.LinkID) error {
 		}
 		if len(ps.appConns) == 0 {
 			delete(d.ports, l)
+			deconfigure(d.enforcer, l)
+			continue
+		}
+		_ = d.enforcePortLocked(l)
+	}
+}
+
+// removeConn drops a connection from the shard's ports and re-enforces.
+// On an enforcement failure it re-applies the ports already removed, so
+// a hop is all-or-nothing.
+func (d *Distributed) removeConn(id AppID, ports []topology.LinkID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return fmt.Errorf("%w: %d", ErrShardDead, d.id)
+	}
+	for i, l := range ports {
+		ps := d.ports[l]
+		if ps == nil {
+			continue
+		}
+		ps.appConns[id]--
+		if ps.appConns[id] <= 0 {
+			delete(ps.appConns, id)
+		}
+		if len(ps.appConns) == 0 {
+			delete(d.ports, l)
+			deconfigure(d.enforcer, l)
 			continue
 		}
 		if err := d.enforcePortLocked(l); err != nil {
+			// Re-apply the decrements made so far (including this port's).
+			for _, r := range ports[:i+1] {
+				ps := d.ports[r]
+				if ps == nil {
+					ps = &portState{appConns: map[AppID]int{}}
+					d.ports[r] = ps
+				}
+				ps.appConns[id]++
+				_ = d.enforcePortLocked(r)
+			}
 			return err
 		}
 	}

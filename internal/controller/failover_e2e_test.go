@@ -1,0 +1,250 @@
+// End-to-end fault-tolerance acceptance test: a sharded mesh served over
+// the real TCP RPC stack, with ~20% of control-plane traffic dropped or
+// reset and one shard killed mid-run, must converge to exactly the port
+// state a fault-free run produces, leaking nothing.
+//
+// This lives in an external test package so it can compose faults (which
+// imports controller) with sabalib (which faults must not import).
+package controller_test
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/faults"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/rpc"
+	"saba/internal/sabalib"
+	"saba/internal/topology"
+)
+
+func e2eTable(t *testing.T) *profiler.Table {
+	t.Helper()
+	tab := profiler.NewTable()
+	entries := []profiler.Entry{
+		{Name: "steep", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}, R2: 0.95},
+		{Name: "flat", Degree: 2, Coeffs: []float64{1.5, -0.6, 0.1}, R2: 0.9},
+		{Name: "mid1", Degree: 2, Coeffs: []float64{2.8, -2.4, 0.6}, R2: 0.92},
+		{Name: "mid2", Degree: 2, Coeffs: []float64{3.2, -3.0, 0.8}, R2: 0.93},
+	}
+	for _, e := range entries {
+		if err := tab.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func e2eMesh(t *testing.T) (*controller.Mesh, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2, HostsPerToR: 3, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq := netsim.NewWFQ(netsim.NewNetwork(top))
+	db, err := controller.BuildMappingDB(e2eTable(t), 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := controller.NewMesh(top, db, wfq, 3, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, wfq, top
+}
+
+func configsEqual(a, b *netsim.PortConfig) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Weights) != len(b.Weights) || a.DefaultQueue != b.DefaultQueue || len(a.PLQueue) != len(b.PLQueue) {
+		return false
+	}
+	for i := range a.Weights {
+		if math.Abs(a.Weights[i]-b.Weights[i]) > 1e-9 {
+			return false
+		}
+	}
+	for pl, q := range a.PLQueue {
+		if b.PLQueue[pl] != q {
+			return false
+		}
+	}
+	return true
+}
+
+// e2eOp is one scripted control-plane action, replayed identically against
+// the faulty deployment and the fault-free reference.
+type e2eOp struct {
+	app      int // index into the app list
+	src, dst int // index into hosts
+	destroy  int // if >= 0, destroy the conn created by ops[destroy]
+}
+
+func TestFaultyMeshConvergesToFaultFreeState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection e2e is slow")
+	}
+	names := []string{"steep", "flat", "mid1", "mid2"}
+	// The scripted run: three conns per app, with two torn down again.
+	// Indices chosen to cross pods so every shard's ports participate.
+	// The 2-pod spine-leaf rig has 12 hosts: 0-5 in pod 0, 6-11 in pod 1.
+	ops := []e2eOp{
+		{app: 0, src: 0, dst: 11, destroy: -1},
+		{app: 1, src: 1, dst: 10, destroy: -1},
+		{app: 2, src: 2, dst: 9, destroy: -1},
+		{app: 3, src: 3, dst: 8, destroy: -1},
+		{app: 0, src: 4, dst: 7, destroy: -1},
+		{app: 1, src: 5, dst: 6, destroy: -1},
+		// KillShard(1) fires here, between ops[5] and ops[6].
+		{app: 2, src: 6, dst: 1, destroy: -1},
+		{app: 3, src: 7, dst: 0, destroy: -1},
+		{app: 0, src: 0, dst: 5, destroy: -1},
+		{destroy: 1}, // tears down ops[1]'s conn through the faulty network
+		{destroy: 2}, // tears down ops[2]'s conn
+		{app: 3, src: 8, dst: 2, destroy: -1},
+	}
+
+	// --- Faulty deployment: mesh behind RPC, listener injecting faults.
+	m, wfq, top := e2eMesh(t)
+	srv := rpc.NewServer()
+	if err := controller.Serve(srv, m); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(faults.Config{Seed: 99, DropRate: 0.2, ResetRate: 0.2})
+	addr, err := srv.Serve(inj.WrapListener(ln))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hosts := top.Hosts()
+	libs := make([]*sabalib.Library, len(names))
+	for i, name := range names {
+		tr := sabalib.DialControllerOptions(addr, rpc.Options{
+			Timeout:     250 * time.Millisecond,
+			MaxRetries:  30,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+			Seed:        int64(i + 1),
+		})
+		lib := sabalib.New(tr)
+		if err := lib.Register(name); err != nil {
+			t.Fatalf("register %s through faulty network: %v", name, err)
+		}
+		libs[i] = lib
+	}
+	conns := map[int]*sabalib.Conn{} // op index -> live conn
+	for i, op := range ops {
+		if i == 6 {
+			if err := m.KillShard(1); err != nil {
+				t.Fatalf("KillShard mid-run: %v", err)
+			}
+		}
+		if op.destroy >= 0 {
+			if err := conns[op.destroy].Destroy(); err != nil {
+				t.Fatalf("op %d destroy through faulty network: %v", i, err)
+			}
+			delete(conns, op.destroy)
+			continue
+		}
+		c, err := libs[op.app].ConnCreate(hosts[op.src], hosts[op.dst])
+		if err != nil {
+			t.Fatalf("op %d conn create through faulty network: %v", i, err)
+		}
+		conns[i] = c
+	}
+	st := inj.Stats()
+	if st.Drops == 0 || st.Resets == 0 {
+		t.Fatalf("fault injection never fired: %+v", st)
+	}
+	t.Logf("injected faults: %+v", st)
+
+	// --- Fault-free reference: same script against a direct mesh.
+	ref, refWFQ, refTop := e2eMesh(t)
+	refApps := make([]controller.AppID, len(names))
+	for i, name := range names {
+		id, _, err := ref.Register(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refApps[i] = id
+	}
+	refHosts := refTop.Hosts()
+	refConns := map[int]controller.ConnID{}
+	for i, op := range ops {
+		if op.destroy >= 0 {
+			if err := ref.ConnDestroy(refConns[op.destroy]); err != nil {
+				t.Fatal(err)
+			}
+			delete(refConns, op.destroy)
+			continue
+		}
+		cid, err := ref.ConnCreate(refApps[op.app], refHosts[op.src], refHosts[op.dst])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refConns[i] = cid
+	}
+
+	// --- Convergence: every port enforces exactly the reference config.
+	mismatches := 0
+	for _, l := range top.Links() {
+		if !configsEqual(refWFQ.Config(l.ID), wfq.Config(l.ID)) {
+			mismatches++
+			t.Errorf("port %d: faulty run config diverges from fault-free run", l.ID)
+		}
+	}
+	if mismatches == 0 {
+		t.Logf("all %d ports converged to the fault-free configuration", len(top.Links()))
+	}
+
+	// --- No leaked state despite retries, resets, and the dead shard.
+	if m.Conns() != ref.Conns() {
+		t.Errorf("faulty mesh tracks %d conns, reference %d", m.Conns(), ref.Conns())
+	}
+	if m.Conns() != len(conns) {
+		t.Errorf("mesh tracks %d conns, clients hold %d", m.Conns(), len(conns))
+	}
+	if m.Apps() != len(names) {
+		t.Errorf("Apps = %d, want %d", m.Apps(), len(names))
+	}
+	if m.AliveShards() != 2 {
+		t.Errorf("AliveShards = %d, want 2", m.AliveShards())
+	}
+
+	// Full teardown still works through the faulty network and returns
+	// every port to baseline fairness.
+	for _, c := range conns {
+		if err := c.Destroy(); err != nil {
+			t.Fatalf("teardown destroy: %v", err)
+		}
+	}
+	for _, lib := range libs {
+		if err := lib.Deregister(); err != nil {
+			t.Fatalf("teardown deregister: %v", err)
+		}
+		lib.Close()
+	}
+	if m.Conns() != 0 || m.Apps() != 0 {
+		t.Errorf("state leaked after teardown: %d conns, %d apps", m.Conns(), m.Apps())
+	}
+	for _, l := range top.Links() {
+		if wfq.Config(l.ID) != nil {
+			t.Errorf("port %d still configured after teardown", l.ID)
+		}
+	}
+}

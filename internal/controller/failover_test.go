@@ -1,0 +1,242 @@
+package controller
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/topology"
+)
+
+// failEnforcer wraps an enforcer and fails Configure on one armed port.
+type failEnforcer struct {
+	inner    Enforcer
+	failPort topology.LinkID
+	armed    bool
+}
+
+func (f *failEnforcer) Configure(port topology.LinkID, cfg netsim.PortConfig) error {
+	if f.armed && port == f.failPort {
+		return errors.New("enforcer: injected configure failure")
+	}
+	return f.inner.Configure(port, cfg)
+}
+
+func (f *failEnforcer) Deconfigure(port topology.LinkID) {
+	if d, ok := f.inner.(Deconfigurer); ok {
+		d.Deconfigure(port)
+	}
+}
+
+// sameConfig compares the controller-visible fields of two PortConfigs.
+func sameConfig(a, b *netsim.PortConfig) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Weights) != len(b.Weights) || a.DefaultQueue != b.DefaultQueue || len(a.PLQueue) != len(b.PLQueue) {
+		return false
+	}
+	for i := range a.Weights {
+		if math.Abs(a.Weights[i]-b.Weights[i]) > 1e-9 {
+			return false
+		}
+	}
+	for pl, q := range a.PLQueue {
+		if b.PLQueue[pl] != q {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMeshShardFailoverReplaysPortState(t *testing.T) {
+	m, wfq, top := rigMesh(t, 3)
+	hosts := top.Hosts()
+	a, _, err := m.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := m.Register("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-pod connections touch ports of every shard.
+	if _, err := m.ConnCreate(a, hosts[0], hosts[len(hosts)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnCreate(b, hosts[1], hosts[len(hosts)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnCreate(a, hosts[2], hosts[3]); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot every configured port.
+	before := map[topology.LinkID]*netsim.PortConfig{}
+	for _, l := range top.Links() {
+		if cfg := wfq.Config(l.ID); cfg != nil {
+			before[l.ID] = cfg
+		}
+	}
+	if len(before) == 0 {
+		t.Fatal("no ports configured before failover")
+	}
+
+	if err := m.KillShard(1); err != nil {
+		t.Fatalf("KillShard: %v", err)
+	}
+	if m.AliveShards() != 2 {
+		t.Errorf("AliveShards = %d, want 2", m.AliveShards())
+	}
+	// The replay from the connection log must reconstruct identical
+	// enforcement on every port.
+	for _, l := range top.Links() {
+		if !sameConfig(before[l.ID], wfq.Config(l.ID)) {
+			t.Errorf("port %d config changed across failover", l.ID)
+		}
+	}
+
+	// The mesh keeps serving: new connections and teardown work, with the
+	// dead shard's switches now owned by survivors.
+	cid, err := m.ConnCreate(b, hosts[0], hosts[len(hosts)-1])
+	if err != nil {
+		t.Fatalf("ConnCreate after failover: %v", err)
+	}
+	if err := m.ConnDestroy(cid); err != nil {
+		t.Fatalf("ConnDestroy after failover: %v", err)
+	}
+
+	// Double kill fails; killing all but one, then the last, fails.
+	if err := m.KillShard(1); !errors.Is(err, ErrShardDead) {
+		t.Errorf("double kill err = %v, want ErrShardDead", err)
+	}
+	if err := m.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillShard(2); !errors.Is(err, ErrLastShard) {
+		t.Errorf("killing last shard err = %v, want ErrLastShard", err)
+	}
+	if err := m.KillShard(7); err == nil {
+		t.Error("killing an unknown shard should fail")
+	}
+}
+
+func TestMeshConnCreateRollsBackOnEnforceFailure(t *testing.T) {
+	// Arm a failure on the last port of the path: shards before it have
+	// already enforced, so the walk must unwind them.
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2, HostsPerToR: 3, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	fe := &failEnforcer{inner: wfq}
+	db, err := BuildMappingDB(testTable(t), 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(top, db, fe, 3, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	a, _, err := m.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	path, _ := top.Route(src, dst)
+	fe.failPort = path[len(path)-1]
+	fe.armed = true
+
+	if _, err := m.ConnCreate(a, src, dst); err == nil {
+		t.Fatal("ConnCreate with failing enforcement should error")
+	}
+	// No state leaked: no tracked conns, the app can deregister (its conn
+	// count rolled back), and no port kept a config.
+	if m.Conns() != 0 {
+		t.Errorf("Conns = %d after failed create, want 0", m.Conns())
+	}
+	for _, l := range path {
+		if wfq.Config(l) != nil {
+			t.Errorf("port %d still configured after rollback", l)
+		}
+	}
+	if err := m.Deregister(a); err != nil {
+		t.Errorf("Deregister after rolled-back create: %v", err)
+	}
+
+	// Disarm: the identical create now succeeds end to end.
+	fe.armed = false
+	a2, _, err := m.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ConnCreate(a2, src, dst); err != nil {
+		t.Fatalf("ConnCreate after disarm: %v", err)
+	}
+	for _, l := range path {
+		if wfq.Config(l) == nil {
+			t.Errorf("port %d not configured after successful create", l)
+		}
+	}
+}
+
+func TestCentralizedConnCreateRollsBackOnEnforceFailure(t *testing.T) {
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 6, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	fe := &failEnforcer{inner: wfq}
+	c, err := NewCentralized(Config{Topology: top, Table: testTable(t), Enforcer: fe, PLs: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	a, _, err := c.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[1])
+	fe.failPort = path[len(path)-1]
+	fe.armed = true
+	if _, err := c.ConnCreate(a, hosts[0], hosts[1]); err == nil {
+		t.Fatal("ConnCreate with failing enforcement should error")
+	}
+	if c.Conns() != 0 {
+		t.Errorf("Conns = %d after failed create, want 0", c.Conns())
+	}
+	if err := c.Deregister(a); err != nil {
+		t.Errorf("Deregister after rolled-back create: %v", err)
+	}
+}
+
+func TestCentralizedDeconfiguresEmptiedPorts(t *testing.T) {
+	c, wfq, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	cid, err := c.ConnCreate(a, hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[1])
+	if wfq.Config(path[0]) == nil {
+		t.Fatal("port not configured")
+	}
+	if err := c.ConnDestroy(cid); err != nil {
+		t.Fatal(err)
+	}
+	// The last connection left: the port reverts to baseline fairness.
+	for _, l := range path {
+		if wfq.Config(l) != nil {
+			t.Errorf("port %d still configured after its last conn left", l)
+		}
+	}
+}

@@ -51,9 +51,9 @@ func TestMeshServedOverRPC(t *testing.T) {
 			t.Errorf("port %d not configured through RPC path", l)
 		}
 	}
-	// PL query round-trips.
-	var plReply RegisterReply
-	if err := cli.Call(MethodAppPL, DeregisterArgs{App: reg.App}, &plReply); err != nil {
+	// PL query round-trips (on its own wire types).
+	var plReply PLReply
+	if err := cli.Call(MethodAppPL, PLArgs{App: reg.App}, &plReply); err != nil {
 		t.Fatal(err)
 	}
 	if plReply.PL != reg.PL {

@@ -65,6 +65,18 @@ type (
 	ConnDestroyArgs struct {
 		Conn ConnID `json:"conn"`
 	}
+	// PLArgs requests an application's current priority level. The wire
+	// shape (just the "app" field) matches what DeregisterArgs used to
+	// carry for this method, so old and new peers interoperate.
+	PLArgs struct {
+		App AppID `json:"app"`
+	}
+	// PLReply returns the priority level (the "app"/"pl" field names keep
+	// compatibility with the RegisterReply this method used to reuse).
+	PLReply struct {
+		App AppID `json:"app"`
+		PL  int   `json:"pl"`
+	}
 )
 
 // Serve registers the controller API on an RPC server.
@@ -114,7 +126,7 @@ func Serve(srv *rpc.Server, api API) error {
 		return err
 	}
 	return srv.Handle(MethodAppPL, func(raw json.RawMessage) (any, error) {
-		var args DeregisterArgs // same shape: just the app ID
+		var args PLArgs
 		if err := json.Unmarshal(raw, &args); err != nil {
 			return nil, fmt.Errorf("controller: bad app_pl args: %w", err)
 		}
@@ -122,6 +134,6 @@ func Serve(srv *rpc.Server, api API) error {
 		if err != nil {
 			return nil, err
 		}
-		return RegisterReply{App: args.App, PL: pl}, nil
+		return PLReply{App: args.App, PL: pl}, nil
 	})
 }

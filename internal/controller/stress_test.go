@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"saba/internal/rpc"
+	"saba/internal/topology"
+)
+
+// stressService drives parallel Register/ConnCreate/ConnDestroy/Deregister
+// lifecycles through the RPC service and returns the worker error, if any.
+func stressService(t *testing.T, ctrl API, top *topology.Topology) {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := Serve(srv, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hosts := top.Hosts()
+	names := []string{"steep", "flat", "mid1", "mid2"}
+	const workers = 8
+	const rounds = 10
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli := rpc.NewClient(addr, rpc.Options{
+				Timeout:     2 * time.Second,
+				MaxRetries:  3,
+				BackoffBase: time.Millisecond,
+				Seed:        int64(w + 1),
+			})
+			defer cli.Close()
+			for r := 0; r < rounds; r++ {
+				var reg RegisterReply
+				if err := cli.Call(MethodAppRegister, RegisterArgs{Name: names[(w+r)%len(names)]}, &reg); err != nil {
+					errs <- fmt.Errorf("worker %d round %d register: %w", w, r, err)
+					return
+				}
+				src := hosts[(w*rounds+r)%len(hosts)]
+				dst := hosts[(w*rounds+r+1)%len(hosts)]
+				var cc ConnCreateReply
+				if err := cli.Call(MethodConnCreate, ConnCreateArgs{App: reg.App, Src: src, Dst: dst}, &cc); err != nil {
+					errs <- fmt.Errorf("worker %d round %d conn create: %w", w, r, err)
+					return
+				}
+				var plReply PLReply
+				if err := cli.Call(MethodAppPL, PLArgs{App: reg.App}, &plReply); err != nil {
+					errs <- fmt.Errorf("worker %d round %d pl: %w", w, r, err)
+					return
+				}
+				if err := cli.Call(MethodConnDestroy, ConnDestroyArgs{Conn: cc.Conn}, nil); err != nil {
+					errs <- fmt.Errorf("worker %d round %d conn destroy: %w", w, r, err)
+					return
+				}
+				if err := cli.Call(MethodAppDeregister, DeregisterArgs{App: reg.App}, nil); err != nil {
+					errs <- fmt.Errorf("worker %d round %d deregister: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestStressCentralizedOverRPC(t *testing.T) {
+	c, _, top := rigController(t, 8, 16)
+	stressService(t, c, top)
+	if c.Apps() != 0 {
+		t.Errorf("Apps = %d after full teardown, want 0", c.Apps())
+	}
+	if c.Conns() != 0 {
+		t.Errorf("Conns = %d after full teardown, want 0", c.Conns())
+	}
+}
+
+func TestStressMeshOverRPC(t *testing.T) {
+	m, wfq, top := rigMesh(t, 3)
+	stressService(t, m, top)
+	if m.Apps() != 0 {
+		t.Errorf("Apps = %d after full teardown, want 0", m.Apps())
+	}
+	if m.Conns() != 0 {
+		t.Errorf("Conns = %d after full teardown, want 0", m.Conns())
+	}
+	// Every port reverted to baseline fairness once its last conn left.
+	for _, l := range top.Links() {
+		if wfq.Config(l.ID) != nil {
+			t.Errorf("port %d still configured after full teardown", l.ID)
+		}
+	}
+}

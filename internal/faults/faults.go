@@ -1,0 +1,316 @@
+// Package faults is the fault-injection substrate the control-plane
+// robustness tests run on. It wraps net.Conn / net.Listener (and the
+// Saba library's controller transport) with an Injector that flips
+// seeded-random faults — dropped writes, delays, partial writes, and
+// connection resets — so any test can subject the RPC path to the
+// failure modes a production datacenter control plane actually sees,
+// deterministically.
+//
+// Injected errors are *net.OpError values carrying ECONNRESET/EPIPE, so
+// they classify as retryable by rpc.Retryable exactly like their
+// real-world counterparts.
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/topology"
+)
+
+// Config sets per-operation fault probabilities (each in [0,1]).
+type Config struct {
+	// Seed makes the fault sequence deterministic.
+	Seed int64
+	// DropRate is the probability a Write is silently swallowed: the
+	// caller sees success, the peer sees nothing and times out.
+	DropRate float64
+	// ResetRate is the probability an operation closes the connection
+	// abruptly and fails with ECONNRESET.
+	ResetRate float64
+	// PartialWriteRate is the probability a Write sends only a prefix of
+	// the payload and then fails with EPIPE, leaving a torn frame on the
+	// wire.
+	PartialWriteRate float64
+	// DelayRate is the probability an operation stalls for Delay first.
+	DelayRate float64
+	// Delay is the stall applied on a delay fault. 0 selects 5ms.
+	Delay time.Duration
+	// CallFailRate is the probability a FaultyTransport call fails before
+	// reaching the controller (the request never executed).
+	CallFailRate float64
+	// CallBlackholeRate is the probability a FaultyTransport call executes
+	// but its response is lost (the caller sees a transport error).
+	CallBlackholeRate float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Drops, Resets, PartialWrites, Delays, CallFails, Blackholes uint64
+}
+
+// Injector decides, from a seeded RNG, which operations fault.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   Config
+	stats Stats
+}
+
+// NewInjector creates an injector for the given fault mix.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	return &Injector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// SetConfig swaps the fault mix at runtime — tests use it to heal (or
+// degrade) the network mid-run. The seed/RNG stream is unchanged.
+func (i *Injector) SetConfig(cfg Config) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if cfg.Delay <= 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	cfg.Seed = i.cfg.Seed
+	i.cfg = cfg
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// roll draws one fault decision.
+func (i *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rng.Float64() < rate
+}
+
+// delayIfFaulted applies a delay fault, returning the chosen duration
+// so the caller sleeps outside the injector lock.
+func (i *Injector) delayIfFaulted() {
+	i.mu.Lock()
+	if i.cfg.DelayRate <= 0 || i.rng.Float64() >= i.cfg.DelayRate {
+		i.mu.Unlock()
+		return
+	}
+	i.stats.Delays++
+	d := i.cfg.Delay
+	i.mu.Unlock()
+	time.Sleep(d)
+}
+
+func (i *Injector) count(c *uint64) {
+	i.mu.Lock()
+	*c++
+	i.mu.Unlock()
+}
+
+func (i *Injector) cfgSnapshot() Config {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.cfg
+}
+
+// resetErr mimics a peer reset; pipeErr mimics a torn local write. Both
+// are net.OpErrors, so rpc.Retryable treats them like the real thing.
+func resetErr(op string) error { return &net.OpError{Op: op, Net: "tcp", Err: syscall.ECONNRESET} }
+func pipeErr(op string) error  { return &net.OpError{Op: op, Net: "tcp", Err: syscall.EPIPE} }
+
+// WrapConn wraps a connection with fault injection on Read and Write.
+func (i *Injector) WrapConn(c net.Conn) net.Conn {
+	return &FaultyConn{Conn: c, inj: i}
+}
+
+// FaultyConn injects faults into one connection's reads and writes.
+type FaultyConn struct {
+	net.Conn
+	inj *Injector
+}
+
+// Read delays or resets per the injector's fault mix.
+func (f *FaultyConn) Read(p []byte) (int, error) {
+	f.inj.delayIfFaulted()
+	cfg := f.inj.cfgSnapshot()
+	if f.inj.roll(cfg.ResetRate) {
+		f.inj.count(&f.inj.stats.Resets)
+		f.Conn.Close()
+		return 0, resetErr("read")
+	}
+	return f.Conn.Read(p)
+}
+
+// Write delays, drops, truncates, or resets per the fault mix.
+func (f *FaultyConn) Write(p []byte) (int, error) {
+	f.inj.delayIfFaulted()
+	cfg := f.inj.cfgSnapshot()
+	switch {
+	case f.inj.roll(cfg.ResetRate):
+		f.inj.count(&f.inj.stats.Resets)
+		f.Conn.Close()
+		return 0, resetErr("write")
+	case f.inj.roll(cfg.DropRate):
+		// Swallow the payload: the caller believes it was sent.
+		f.inj.count(&f.inj.stats.Drops)
+		return len(p), nil
+	case f.inj.roll(cfg.PartialWriteRate) && len(p) > 1:
+		f.inj.count(&f.inj.stats.PartialWrites)
+		n, _ := f.Conn.Write(p[:len(p)/2])
+		f.Conn.Close()
+		return n, pipeErr("write")
+	}
+	return f.Conn.Write(p)
+}
+
+// WrapListener returns a listener whose accepted connections are faulty —
+// the server-side interposition point (rpc.Server.Serve accepts it).
+func (i *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultyListener{Listener: ln, inj: i}
+}
+
+type faultyListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.WrapConn(c), nil
+}
+
+// Dialer returns an rpc.Options-compatible dial function whose
+// connections are faulty — the client-side interposition point.
+func (i *Injector) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return i.WrapConn(c), nil
+	}
+}
+
+// Transport mirrors sabalib.Transport structurally (declared here to
+// keep this package import-cycle-free with the library's tests), so a
+// *FaultyTransport satisfies sabalib.Transport and vice versa.
+type Transport interface {
+	Register(name string) (controller.AppID, int, error)
+	Deregister(id controller.AppID) error
+	ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error)
+	ConnDestroy(cid controller.ConnID) error
+	PL(id controller.AppID) (int, error)
+	Close() error
+}
+
+// FaultyTransport injects call-level faults above any controller
+// transport: CallFailRate fails the call before it executes,
+// CallBlackholeRate executes it but loses the response — the two ways a
+// real control-plane RPC can fail, which require different recovery.
+type FaultyTransport struct {
+	T   Transport
+	inj *Injector
+}
+
+// NewFaultyTransport wraps a transport with an injector.
+func NewFaultyTransport(t Transport, inj *Injector) *FaultyTransport {
+	return &FaultyTransport{T: t, inj: inj}
+}
+
+// fault decides the fate of one call: failed before execution, or
+// executed-then-blackholed.
+func (ft *FaultyTransport) fault() (failBefore, blackhole bool) {
+	ft.inj.delayIfFaulted()
+	cfg := ft.inj.cfgSnapshot()
+	if ft.inj.roll(cfg.CallFailRate) {
+		ft.inj.count(&ft.inj.stats.CallFails)
+		return true, false
+	}
+	if ft.inj.roll(cfg.CallBlackholeRate) {
+		ft.inj.count(&ft.inj.stats.Blackholes)
+		return false, true
+	}
+	return false, false
+}
+
+// Register implements Transport.
+func (ft *FaultyTransport) Register(name string) (controller.AppID, int, error) {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return 0, 0, resetErr("call")
+	}
+	id, pl, err := ft.T.Register(name)
+	if blackhole {
+		return 0, 0, resetErr("call")
+	}
+	return id, pl, err
+}
+
+// Deregister implements Transport.
+func (ft *FaultyTransport) Deregister(id controller.AppID) error {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return resetErr("call")
+	}
+	err := ft.T.Deregister(id)
+	if blackhole {
+		return resetErr("call")
+	}
+	return err
+}
+
+// ConnCreate implements Transport.
+func (ft *FaultyTransport) ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error) {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return 0, resetErr("call")
+	}
+	cid, err := ft.T.ConnCreate(id, src, dst)
+	if blackhole {
+		return 0, resetErr("call")
+	}
+	return cid, err
+}
+
+// ConnDestroy implements Transport.
+func (ft *FaultyTransport) ConnDestroy(cid controller.ConnID) error {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return resetErr("call")
+	}
+	err := ft.T.ConnDestroy(cid)
+	if blackhole {
+		return resetErr("call")
+	}
+	return err
+}
+
+// PL implements Transport.
+func (ft *FaultyTransport) PL(id controller.AppID) (int, error) {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return 0, resetErr("call")
+	}
+	pl, err := ft.T.PL(id)
+	if blackhole {
+		return 0, resetErr("call")
+	}
+	return pl, err
+}
+
+// Close implements Transport (never faulted: teardown must succeed).
+func (ft *FaultyTransport) Close() error { return ft.T.Close() }

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"saba/internal/rpc"
+)
+
+// startEcho runs a TCP server that echoes every byte it reads.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 1})
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("echo = %q", buf)
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Errorf("zero config injected faults: %+v", s)
+	}
+}
+
+func TestResetsAreRetryableNetErrors(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 42, ResetRate: 1})
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, werr := conn.Write([]byte("x"))
+	if werr == nil {
+		t.Fatal("write with ResetRate=1 should fail")
+	}
+	var ne net.Error
+	if !errors.As(werr, &ne) {
+		t.Errorf("injected error %v is not a net.Error", werr)
+	}
+	if !rpc.Retryable(werr) {
+		t.Errorf("injected reset %v should classify retryable", werr)
+	}
+	if inj.Stats().Resets == 0 {
+		t.Error("reset not counted")
+	}
+}
+
+func TestDropsSwallowWrites(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 7, DropRate: 1})
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("vanishes")); err != nil {
+		t.Fatalf("dropped write must report success, got %v", err)
+	}
+	// Nothing reached the peer: the echo read times out.
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("dropped write still produced an echo")
+	}
+	if inj.Stats().Drops == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestPartialWriteTearsFrame(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 3, PartialWriteRate: 1})
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	n, werr := conn.Write([]byte("0123456789"))
+	if werr == nil {
+		t.Fatal("partial write should error")
+	}
+	if n >= 10 || !rpc.Retryable(werr) {
+		t.Errorf("partial write: n=%d err=%v", n, werr)
+	}
+	if inj.Stats().PartialWrites == 0 {
+		t.Error("partial write not counted")
+	}
+}
+
+func TestDelayStalls(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 9, DelayRate: 1, Delay: 30 * time.Millisecond})
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	startT := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(startT); d < 25*time.Millisecond {
+		t.Errorf("delayed write returned in %v, want >= ~30ms", d)
+	}
+	if inj.Stats().Delays == 0 {
+		t.Error("delay not counted")
+	}
+}
+
+func TestSetConfigHealsTheNetwork(t *testing.T) {
+	addr := startEcho(t)
+	inj := NewInjector(Config{Seed: 11, ResetRate: 1})
+	d := inj.Dialer()
+	conn, err := d(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("pre-heal write should fail")
+	}
+	conn.Close()
+	inj.SetConfig(Config{})
+	conn2, err := d(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("y")); err != nil {
+		t.Errorf("post-heal write failed: %v", err)
+	}
+}
+
+func TestFaultySequencesAreDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := NewInjector(Config{Seed: 123, ResetRate: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = inj.roll(inj.cfgSnapshot().ResetRate)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault decision %d differs across identically-seeded runs", i)
+		}
+	}
+}
+
+func TestWrapListenerInjectsServerSide(t *testing.T) {
+	inj := NewInjector(Config{Seed: 5, ResetRate: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := inj.WrapListener(ln)
+	defer fl.Close()
+	go func() {
+		c, err := fl.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 8)
+		c.Read(buf) // injected reset fires here
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("x"))
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server-side reset should surface to the client")
+	}
+	if inj.Stats().Resets == 0 {
+		t.Error("server-side reset not counted")
+	}
+}

@@ -20,14 +20,24 @@ func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	sum := 0.0
+	logSum, sum := 0.0, 0.0
+	lo := math.Inf(1)
 	for _, x := range xs {
 		if x <= 0 {
 			return 0, fmt.Errorf("metrics: geometric mean requires positive values, got %g", x)
 		}
-		sum += math.Log(x)
+		logSum += math.Log(x)
+		sum += x
+		lo = math.Min(lo, x)
 	}
-	return math.Exp(sum / float64(len(xs))), nil
+	// AM-GM bounds the result in [min, arithmetic mean]; the exp/log
+	// round trip can drift outside (even overflowing to +Inf for inputs
+	// near MaxFloat64), so clamp it back into the mathematical range.
+	gm := math.Exp(logSum / float64(len(xs)))
+	if am := sum / float64(len(xs)); am < gm {
+		gm = am
+	}
+	return math.Max(lo, gm), nil
 }
 
 // Mean returns the arithmetic mean of xs.

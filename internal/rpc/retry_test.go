@@ -1,0 +1,279 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyListener closes the first `kills` accepted connections right
+// away, simulating a server whose conns keep resetting.
+type flakyListener struct {
+	net.Listener
+	kills int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if atomic.AddInt32(&l.kills, -1) >= 0 {
+		c.Close()
+	}
+	return c, nil
+}
+
+func TestConnNotReusedAfterTimeout(t *testing.T) {
+	// The old client kept the connection after a deadline expiry, so the
+	// late response of a timed-out call could be read as the answer to
+	// the next call. The conn must be discarded and redialed instead.
+	s := NewServer()
+	if err := s.Handle("slow", func(json.RawMessage) (any, error) {
+		time.Sleep(150 * time.Millisecond)
+		return echoArgs{Msg: "late"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("echo", func(args json.RawMessage) (any, error) {
+		var a echoArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := Dial(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("slow", nil, nil); err == nil {
+		t.Fatal("slow call should time out")
+	}
+	// Let the abandoned handler finish and emit its late response; with
+	// the old connection-reuse bug that response would sit buffered and
+	// be read as the answer to the next call.
+	time.Sleep(200 * time.Millisecond)
+	var reply echoArgs
+	if err := c.Call("echo", echoArgs{Msg: "fresh"}, &reply); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	if reply.Msg != "fresh" {
+		t.Errorf("reply = %q, want %q (stale response leaked)", reply.Msg, "fresh")
+	}
+	if c.Redials() == 0 {
+		t.Error("client should have redialed after discarding the timed-out conn")
+	}
+}
+
+func TestCallRetriesOverFreshConnections(t *testing.T) {
+	s := NewServer()
+	var calls int32
+	if err := s.Handle("echo", func(args json.RawMessage) (any, error) {
+		atomic.AddInt32(&calls, 1)
+		var a echoArgs
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln, kills: 2}
+	addr, err := s.Serve(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := NewClient(addr, Options{
+		Timeout:     200 * time.Millisecond,
+		MaxRetries:  5,
+		BackoffBase: time.Millisecond,
+		Seed:        1,
+	})
+	defer c.Close()
+	var reply echoArgs
+	if err := c.Call("echo", echoArgs{Msg: "persist", N: 7}, &reply); err != nil {
+		t.Fatalf("call with retries failed: %v", err)
+	}
+	if reply.N != 7 {
+		t.Errorf("reply = %+v", reply)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("handler ran %d times, want 1", got)
+	}
+	if c.Redials() < 3 {
+		t.Errorf("redials = %d, want >= 3 (two killed conns + success)", c.Redials())
+	}
+}
+
+func TestRemoteErrorsNeverRetried(t *testing.T) {
+	s := NewServer()
+	var calls int32
+	if err := s.Handle("fail", func(json.RawMessage) (any, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialOptions(addr, Options{Timeout: time.Second, MaxRetries: 5, BackoffBase: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("fail", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("handler ran %d times for a terminal error, want 1", got)
+	}
+}
+
+func TestServerDedupsRetriedRequest(t *testing.T) {
+	// A retried request (same session + id over a new connection) must
+	// not execute twice: the server replays the cached response.
+	s := NewServer()
+	var calls int32
+	if err := s.Handle("count", func(json.RawMessage) (any, error) {
+		return echoArgs{N: int(atomic.AddInt32(&calls, 1))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	send := func(sess, id uint64) echoArgs {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		frame, _ := json.Marshal(request{Session: sess, ID: id, Method: "count"})
+		if err := writeFrame(conn, frame); err != nil {
+			t.Fatal(err)
+		}
+		respFrame, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp response
+		if err := json.Unmarshal(respFrame, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("remote error: %s", resp.Error)
+		}
+		var a echoArgs
+		if err := json.Unmarshal(resp.Result, &a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	first := send(42, 1)
+	retry := send(42, 1) // same request over a new conn: dedup
+	next := send(42, 2)  // new request: executes
+	if first.N != 1 || retry.N != 1 || next.N != 2 {
+		t.Errorf("responses = %d, %d, %d; want 1, 1, 2", first.N, retry.N, next.N)
+	}
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Errorf("handler ran %d times, want 2", got)
+	}
+}
+
+func TestLazyClientConnectsWhenServerAppears(t *testing.T) {
+	// NewClient must not fail construction against a dead address; the
+	// first successful Call happens once the server is up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(addr, Options{Timeout: 200 * time.Millisecond, BackoffBase: time.Millisecond, Seed: 1})
+	defer c.Close()
+	if err := c.Call("echo", nil, nil); err == nil {
+		t.Fatal("call against a dead server should fail")
+	}
+
+	s := NewServer()
+	if err := s.Handle("echo", func(json.RawMessage) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer s.Close()
+	if err := c.Call("echo", nil, nil); err != nil {
+		t.Fatalf("call after server came up: %v", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&RemoteError{Method: "m", Msg: "boom"}, false},
+		{ErrClientClosed, false},
+		{ErrFrameTooLarge, false},
+		{ErrCorruptResponse, true},
+		{net.ErrClosed, true},
+		{&net.OpError{Op: "read", Err: errors.New("reset")}, true},
+	}
+	for i, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("case %d (%v): Retryable = %v, want %v", i, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c := NewClient("127.0.0.1:1", Options{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond, Seed: 7})
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := c.backoff(attempt)
+		ceil := 10 * time.Millisecond << attempt
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		if d < ceil/2 || d > ceil {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax > 80*time.Millisecond {
+		t.Errorf("backoff exceeded cap: %v", prevMax)
+	}
+}

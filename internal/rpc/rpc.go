@@ -4,6 +4,17 @@
 // length-prefixed JSON frames over TCP: simple, debuggable, and free of
 // schema registries. One request is outstanding per client at a time,
 // which matches the connection manager's synchronous call pattern.
+//
+// The client is fault tolerant: transport errors (dial failures,
+// timeouts, resets, half-read frames) discard the connection — it is
+// never reused, so a late response can't be mis-delivered to a later
+// call — and, when retries are enabled, the call is re-sent over a fresh
+// connection after an exponential backoff with jitter. Request IDs are
+// scoped to a client session that survives reconnection, and the server
+// deduplicates by (session, id): a retried request whose first execution
+// already completed is answered from the response cache instead of being
+// executed twice, giving effective exactly-once semantics for the
+// synchronous client.
 package rpc
 
 import (
@@ -12,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -21,11 +33,14 @@ import (
 // forcing huge allocations.
 const MaxFrameSize = 16 << 20
 
-// request is the wire format of a call.
+// request is the wire format of a call. Session scopes the ID space to
+// one client so the server can deduplicate retries across reconnects;
+// session 0 means "no dedup" (pre-session peers simply omit the field).
 type request struct {
-	ID     uint64          `json:"id"`
-	Method string          `json:"method"`
-	Args   json.RawMessage `json:"args,omitempty"`
+	Session uint64          `json:"sess,omitempty"`
+	ID      uint64          `json:"id"`
+	Method  string          `json:"method"`
+	Args    json.RawMessage `json:"args,omitempty"`
 }
 
 // response is the wire format of a reply.
@@ -42,18 +57,51 @@ var (
 	ErrUnknownMethod   = errors.New("rpc: unknown method")
 	ErrServerClosed    = errors.New("rpc: server closed")
 	ErrDuplicateMethod = errors.New("rpc: method already registered")
+	// ErrCorruptResponse marks a response frame that decoded to garbage or
+	// to the wrong request ID — symptoms of a torn write or a stale
+	// connection. The connection is discarded and the call is retryable.
+	ErrCorruptResponse = errors.New("rpc: corrupt response")
 )
+
+// Retryable classifies an error from Call: true means the failure is a
+// transport-level fault (dial failure, timeout, reset, EOF mid-frame,
+// corrupt response) that a retry over a fresh connection may fix; false
+// means the call was rejected by the remote handler (*RemoteError) or
+// failed locally in a way no retry can cure (encode errors, client
+// closed). Callers use this to decide between retrying / degrading and
+// surfacing the error.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrFrameTooLarge) {
+		return false
+	}
+	if errors.Is(err, ErrCorruptResponse) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// Header and payload go out in a single Write so a frame hits the wire
+	// (or is lost) atomically: a lost header with a delivered payload would
+	// desynchronize the peer's framing.
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -77,6 +125,20 @@ func readFrame(r io.Reader) ([]byte, error) {
 // returns a result value to be JSON-encoded (nil is allowed).
 type Handler func(args json.RawMessage) (any, error)
 
+// sessionState is the per-client dedup record: the highest request ID
+// seen and its cached marshaled response. Its mutex is held across
+// handler execution, so a duplicate of an in-flight request blocks until
+// the first execution completes and then reads the cached response.
+type sessionState struct {
+	mu     sync.Mutex
+	lastID uint64
+	resp   []byte
+}
+
+// maxSessions bounds the dedup table; oldest sessions are evicted FIFO.
+// An evicted session only loses dedup, not correctness of fresh calls.
+const maxSessions = 4096
+
 // Server dispatches calls to registered handlers.
 type Server struct {
 	mu       sync.RWMutex
@@ -85,6 +147,10 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	sessMu    sync.Mutex
+	sessions  map[uint64]*sessionState
+	sessOrder []uint64
 }
 
 // NewServer creates a server with no handlers.
@@ -92,6 +158,7 @@ func NewServer() *Server {
 	return &Server{
 		handlers: map[string]Handler{},
 		conns:    map[net.Conn]struct{}{},
+		sessions: map[uint64]*sessionState{},
 	}
 }
 
@@ -117,6 +184,13 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from an existing listener — the hook fault
+// injection uses to interpose a faulty transport between real client and
+// server. It returns the listener's address.
+func (s *Server) Serve(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -169,15 +243,59 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := json.Unmarshal(frame, &req); err != nil {
 			return // protocol violation: drop the connection
 		}
-		resp := s.dispatch(&req)
-		out, err := json.Marshal(resp)
-		if err != nil {
-			out, _ = json.Marshal(response{ID: req.ID, Error: "rpc: unencodable result"})
-		}
-		if err := writeFrame(conn, out); err != nil {
+		if err := writeFrame(conn, s.respond(&req)); err != nil {
 			return
 		}
 	}
+}
+
+// respond produces the marshaled response for a request, consulting and
+// updating the per-session dedup cache.
+func (s *Server) respond(req *request) []byte {
+	if req.Session == 0 {
+		return s.execute(req)
+	}
+	st := s.session(req.Session)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if req.ID == st.lastID && st.resp != nil {
+		return st.resp // retried request: replay the cached response
+	}
+	if req.ID < st.lastID {
+		out, _ := json.Marshal(response{ID: req.ID, Error: fmt.Sprintf("rpc: stale request id %d (session at %d)", req.ID, st.lastID)})
+		return out
+	}
+	out := s.execute(req)
+	st.lastID = req.ID
+	st.resp = out
+	return out
+}
+
+// session returns (creating if needed) the dedup state for a session.
+func (s *Server) session(id uint64) *sessionState {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	st := s.sessions[id]
+	if st == nil {
+		st = &sessionState{}
+		s.sessions[id] = st
+		s.sessOrder = append(s.sessOrder, id)
+		if len(s.sessOrder) > maxSessions {
+			delete(s.sessions, s.sessOrder[0])
+			s.sessOrder = s.sessOrder[1:]
+		}
+	}
+	return st
+}
+
+// execute dispatches the request and marshals the response.
+func (s *Server) execute(req *request) []byte {
+	resp := s.dispatch(req)
+	out, err := json.Marshal(resp)
+	if err != nil {
+		out, _ = json.Marshal(response{ID: req.ID, Error: "rpc: unencodable result"})
+	}
+	return out
 }
 
 func (s *Server) dispatch(req *request) response {
@@ -222,75 +340,229 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a synchronous RPC client.
+// Options configures a client's fault-tolerance behavior.
+type Options struct {
+	// Timeout bounds the dial and each call attempt's round trip.
+	// 0 selects 5 seconds.
+	Timeout time.Duration
+	// MaxRetries is how many additional attempts a Call makes after a
+	// retryable transport failure (0 = fail fast; the connection is still
+	// discarded so the next Call reconnects cleanly).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff; attempts double it up to
+	// BackoffMax, with ±50% jitter. 0 selects 10ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff. 0 selects 1 second.
+	BackoffMax time.Duration
+	// Seed makes the backoff jitter deterministic for tests. 0 draws a
+	// random seed.
+	Seed int64
+	// Dialer overrides how connections are established (fault injection
+	// wraps the returned conn). nil selects net.DialTimeout over TCP.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o *Options) fill() {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = rand.Int63()
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
+// Client is a synchronous RPC client with automatic reconnect.
 type Client struct {
 	mu      sync.Mutex
+	addr    string
+	opts    Options
 	conn    net.Conn
+	session uint64
 	nextID  uint64
-	timeout time.Duration
+	rng     *rand.Rand
+	redials uint64
 	closed  bool
 }
 
-// Dial connects to a server. timeout bounds both the dial and each call
-// round-trip; 0 selects 5 seconds.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+// newSession draws a nonzero session identifier.
+func newSession() uint64 {
+	for {
+		if s := rand.Uint64(); s != 0 {
+			return s
+		}
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+}
+
+// NewClient creates a client without connecting: the first Call dials
+// lazily. Use it when the server may not be reachable yet — the Saba
+// library's degraded mode depends on construction never failing.
+func NewClient(addr string, o Options) *Client {
+	o.fill()
+	return &Client{
+		addr:    addr,
+		opts:    o,
+		session: newSession(),
+		rng:     rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// Dial connects to a server. timeout bounds both the dial and each call
+// round-trip; 0 selects 5 seconds. Retries are disabled; use DialOptions
+// for a fault-tolerant client.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialOptions(addr, Options{Timeout: timeout})
+}
+
+// DialOptions connects to a server with explicit fault-tolerance
+// options, failing if the initial dial fails.
+func DialOptions(addr string, o Options) (*Client, error) {
+	c := NewClient(addr, o)
+	conn, err := c.opts.Dialer(addr, c.opts.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, timeout: timeout}, nil
+	c.conn = conn
+	return c, nil
 }
 
 // Call invokes method with args (JSON-encoded) and decodes the result
-// into reply (which may be nil to discard it). Remote errors come back as
-// *RemoteError.
+// into reply (which may be nil to discard it). Remote errors come back
+// as *RemoteError and are never retried; transport errors discard the
+// connection and, with MaxRetries > 0, the call is retried over a fresh
+// connection with exponential backoff. The request keeps its ID across
+// attempts, so the server can suppress duplicate execution.
 func (c *Client) Call(method string, args any, reply any) error {
+	var rawArgs json.RawMessage
+	if args != nil {
+		raw, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("rpc: encode args: %w", err)
+		}
+		rawArgs = raw
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClientClosed
 	}
 	c.nextID++
-	req := request{ID: c.nextID, Method: method}
-	if args != nil {
-		raw, err := json.Marshal(args)
-		if err != nil {
-			return fmt.Errorf("rpc: encode args: %w", err)
+	id := c.nextID
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.attemptLocked(id, method, rawArgs, reply)
+		if err == nil {
+			return nil
 		}
-		req.Args = raw
+		lastErr = err
+		if !Retryable(err) || attempt >= c.opts.MaxRetries {
+			return lastErr
+		}
+		time.Sleep(c.backoff(attempt))
+		if c.closed {
+			return ErrClientClosed
+		}
 	}
-	frame, err := json.Marshal(req)
+}
+
+// backoff returns the sleep before retry number attempt (0-based):
+// exponential from BackoffBase, capped at BackoffMax, with jitter drawn
+// uniformly from [d/2, d] to desynchronize retry storms.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 0; i < attempt && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// attemptLocked performs one round trip, (re)connecting if needed. On
+// any transport or protocol error the connection is closed and dropped:
+// a half-read frame or an unconsumed late response must never leak into
+// the next call.
+func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, reply any) error {
+	if c.conn == nil {
+		conn, err := c.opts.Dialer(c.addr, c.opts.Timeout)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		c.redials++
+	}
+	frame, err := json.Marshal(request{Session: c.session, ID: id, Method: method, Args: args})
 	if err != nil {
 		return err
 	}
-	deadline := time.Now().Add(c.timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	if err := c.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+		c.dropConnLocked()
 		return err
 	}
 	if err := writeFrame(c.conn, frame); err != nil {
+		c.dropConnLocked()
 		return err
 	}
 	respFrame, err := readFrame(c.conn)
 	if err != nil {
+		c.dropConnLocked()
+		if errors.Is(err, ErrFrameTooLarge) {
+			// An absurd length on the response stream means framing
+			// desynchronized (e.g. a torn write), not a real 16MB reply:
+			// treat it as corruption so the call retries on a fresh conn.
+			return ErrCorruptResponse
+		}
 		return err
 	}
 	var resp response
 	if err := json.Unmarshal(respFrame, &resp); err != nil {
-		return err
+		c.dropConnLocked()
+		return fmt.Errorf("%w: %v", ErrCorruptResponse, err)
 	}
-	if resp.ID != req.ID {
-		return fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID)
+	if resp.ID != id {
+		c.dropConnLocked()
+		return fmt.Errorf("%w: response id %d for request %d", ErrCorruptResponse, resp.ID, id)
 	}
 	if resp.Error != "" {
 		return &RemoteError{Method: method, Msg: resp.Error}
 	}
 	if reply != nil && resp.Result != nil {
-		return json.Unmarshal(resp.Result, reply)
+		if err := json.Unmarshal(resp.Result, reply); err != nil {
+			return fmt.Errorf("rpc: decode result: %v", err)
+		}
 	}
 	return nil
+}
+
+// dropConnLocked discards the connection after a transport error.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Redials reports how many times the client re-established its
+// connection (the first dial counts for clients created by NewClient).
+func (c *Client) Redials() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
 }
 
 // Close tears down the connection.
@@ -301,6 +573,9 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
 }
 

@@ -1,0 +1,265 @@
+// Graceful-degradation tests: the library over a transport whose calls
+// fail, falling back to local fair-share and replaying once healed.
+// External test package so it can import faults (which imports
+// controller, as sabalib does).
+package sabalib_test
+
+import (
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/faults"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/sabalib"
+	"saba/internal/topology"
+)
+
+// degradeRig wires a real centralized controller behind a fault-injecting
+// transport, with the library configured to degrade.
+func degradeRig(t *testing.T, cfg faults.Config, opts sabalib.Options) (*sabalib.Library, *faults.Injector, *controller.Centralized, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq := netsim.NewWFQ(netsim.NewNetwork(top))
+	tab := profiler.NewTable()
+	if err := tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, PLs: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(cfg)
+	ft := faults.NewFaultyTransport(&sabalib.DirectTransport{API: ctrl}, inj)
+	opts.Degrade = true
+	if opts.RetryInterval == 0 {
+		opts.RetryInterval = 5 * time.Millisecond
+	}
+	lib := sabalib.NewWithOptions(ft, opts)
+	t.Cleanup(func() { lib.Close() })
+	return lib, inj, ctrl, top
+}
+
+// waitHealthy polls until the library leaves degraded mode.
+func waitHealthy(t *testing.T, lib *sabalib.Library) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for lib.Degraded() || lib.PendingOps() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("library never recovered: degraded=%v pending=%d", lib.Degraded(), lib.PendingOps())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDegradeToFairShareAndReplay(t *testing.T) {
+	lib, inj, ctrl, top := degradeRig(t,
+		faults.Config{Seed: 1, CallFailRate: 1},
+		sabalib.Options{FallbackPL: 0},
+	)
+	hosts := top.Hosts()
+
+	// With every call failing, Register still succeeds — locally, in
+	// degraded mode, at the fallback PL.
+	if err := lib.Register("LR"); err != nil {
+		t.Fatalf("degraded register: %v", err)
+	}
+	if !lib.Degraded() {
+		t.Fatal("library should be degraded with CallFailRate=1")
+	}
+	pl, err := lib.PL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl != 0 {
+		t.Errorf("degraded PL = %d, want fallback 0 (fair share)", pl)
+	}
+
+	// Connections work too: provisional negative IDs, fallback SL.
+	c, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatalf("degraded conn create: %v", err)
+	}
+	if c.ID >= 0 {
+		t.Errorf("degraded conn ID = %d, want provisional (negative)", c.ID)
+	}
+	if c.SL != 0 {
+		t.Errorf("degraded conn SL = %d, want fallback 0", c.SL)
+	}
+	if ctrl.Apps() != 0 || ctrl.Conns() != 0 {
+		t.Fatalf("controller saw traffic while unreachable: %d apps %d conns", ctrl.Apps(), ctrl.Conns())
+	}
+
+	// Heal the network: the reconciler replays register + conn create.
+	inj.SetConfig(faults.Config{})
+	waitHealthy(t, lib)
+	if ctrl.Apps() != 1 {
+		t.Errorf("controller Apps = %d after replay, want 1", ctrl.Apps())
+	}
+	if ctrl.Conns() != 1 {
+		t.Errorf("controller Conns = %d after replay, want 1", ctrl.Conns())
+	}
+	if c.ID <= 0 {
+		t.Errorf("conn ID = %d after replay, want real (positive)", c.ID)
+	}
+	// The app now holds whatever PL the controller actually assigned.
+	id, err := lib.App()
+	if err != nil {
+		t.Fatalf("App after replay: %v", err)
+	}
+	ctrlPL, err := ctrl.PL(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl, err := lib.PL(); err != nil || pl != ctrlPL {
+		t.Errorf("post-replay PL = %d, %v; controller says %d", pl, err, ctrlPL)
+	}
+	// And normal teardown goes straight through.
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Apps() != 0 || ctrl.Conns() != 0 {
+		t.Errorf("leaked controller state: %d apps %d conns", ctrl.Apps(), ctrl.Conns())
+	}
+}
+
+func TestConnClosedBeforeHealNeverReachesController(t *testing.T) {
+	lib, inj, ctrl, top := degradeRig(t,
+		faults.Config{Seed: 2, CallFailRate: 1},
+		sabalib.Options{},
+	)
+	hosts := top.Hosts()
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app tears the provisional conn down before the network heals:
+	// the replay must skip it entirely.
+	if err := c.Destroy(); err != nil {
+		t.Fatalf("destroying provisional conn: %v", err)
+	}
+	if lib.OpenConns() != 0 {
+		t.Errorf("OpenConns = %d, want 0", lib.OpenConns())
+	}
+	inj.SetConfig(faults.Config{})
+	waitHealthy(t, lib)
+	if ctrl.Conns() != 0 {
+		t.Errorf("closed provisional conn leaked to controller: Conns = %d", ctrl.Conns())
+	}
+	if ctrl.Apps() != 1 {
+		t.Errorf("Apps = %d, want 1 (register still replays)", ctrl.Apps())
+	}
+}
+
+func TestDegradedDeregisterCancelsPendingRegister(t *testing.T) {
+	lib, inj, ctrl, _ := degradeRig(t,
+		faults.Config{Seed: 3, CallFailRate: 1},
+		sabalib.Options{},
+	)
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	// Register never reached the controller; deregistering while degraded
+	// cancels it locally — nothing should ever reach the controller.
+	if err := lib.Deregister(); err != nil {
+		t.Fatalf("degraded deregister: %v", err)
+	}
+	inj.SetConfig(faults.Config{})
+	time.Sleep(50 * time.Millisecond)
+	if ctrl.Apps() != 0 {
+		t.Errorf("cancelled registration leaked: Apps = %d", ctrl.Apps())
+	}
+}
+
+func TestMidRunOutageQueuesAndReplays(t *testing.T) {
+	lib, inj, ctrl, top := degradeRig(t,
+		faults.Config{Seed: 4},
+		sabalib.Options{},
+	)
+	hosts := top.Hosts()
+	// Healthy start: register and one conn go straight through.
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	healthyPL, err := lib.PL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Degraded() || c1.ID <= 0 {
+		t.Fatalf("healthy path degraded: %v id=%d", lib.Degraded(), c1.ID)
+	}
+	if c1.SL != healthyPL {
+		t.Errorf("healthy conn SL = %d, want %d", c1.SL, healthyPL)
+	}
+
+	// Outage: the next create degrades but still succeeds locally.
+	inj.SetConfig(faults.Config{CallFailRate: 1})
+	c2, err := lib.ConnCreate(hosts[2], hosts[3])
+	if err != nil {
+		t.Fatalf("create during outage: %v", err)
+	}
+	if !lib.Degraded() || c2.ID >= 0 {
+		t.Fatalf("outage not detected: degraded=%v id=%d", lib.Degraded(), c2.ID)
+	}
+	// Destroying a controller-known conn during the outage queues the
+	// destroy for replay.
+	if err := c1.Destroy(); err != nil {
+		t.Fatalf("destroy during outage: %v", err)
+	}
+
+	// Heal: c2 replays, c1's destroy replays.
+	inj.SetConfig(faults.Config{})
+	waitHealthy(t, lib)
+	if ctrl.Conns() != 1 {
+		t.Errorf("controller Conns = %d after replay, want 1 (c2 only)", ctrl.Conns())
+	}
+	if c2.ID <= 0 {
+		t.Errorf("c2 ID = %d after replay, want real", c2.ID)
+	}
+	if lib.DroppedOps() != 0 {
+		t.Errorf("DroppedOps = %d, want 0", lib.DroppedOps())
+	}
+}
+
+func TestNoDegradeOptionSurfacesErrors(t *testing.T) {
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 4, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq := netsim.NewWFQ(netsim.NewNetwork(top))
+	tab := profiler.NewTable()
+	if err := tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, PLs: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(faults.Config{Seed: 5, CallFailRate: 1})
+	lib := sabalib.New(faults.NewFaultyTransport(&sabalib.DirectTransport{API: ctrl}, inj))
+	defer lib.Close()
+	if err := lib.Register("LR"); err == nil {
+		t.Fatal("register over a dead transport without Degrade should fail")
+	}
+	if lib.Degraded() {
+		t.Error("library degraded without the Degrade option")
+	}
+}

@@ -6,6 +6,14 @@
 // conn_destroy, deregister). Connections are created with the cached PL
 // attached, so connection setup adds no control-plane round-trip beyond
 // the paper's "inform the controller" notification.
+//
+// The connection manager is fault tolerant: with Options.Degrade set,
+// a controller that stays unreachable after the transport's retries
+// does not block the application. The library falls back to a local
+// default PL — traffic lands in the switches' default queue, which is
+// exactly the baseline fair-share the paper's FECN baseline provides —
+// queues the registration and connection operations, and a background
+// reconciler replays them in order once the controller answers again.
 package sabalib
 
 import (
@@ -45,6 +53,14 @@ func DialController(addr string, timeout time.Duration) (*RPCTransport, error) {
 	return &RPCTransport{client: c}, nil
 }
 
+// DialControllerOptions creates a transport with explicit RPC
+// fault-tolerance options (retries, backoff, fault-injecting dialer).
+// The connection is lazy — a currently-unreachable controller does not
+// fail construction, which the degraded mode depends on.
+func DialControllerOptions(addr string, o rpc.Options) *RPCTransport {
+	return &RPCTransport{client: rpc.NewClient(addr, o)}
+}
+
 // Register implements Transport.
 func (t *RPCTransport) Register(name string) (controller.AppID, int, error) {
 	var reply controller.RegisterReply
@@ -77,8 +93,8 @@ func (t *RPCTransport) ConnDestroy(cid controller.ConnID) error {
 
 // PL implements Transport.
 func (t *RPCTransport) PL(id controller.AppID) (int, error) {
-	var reply controller.RegisterReply
-	err := t.client.Call(controller.MethodAppPL, controller.DeregisterArgs{App: id}, &reply)
+	var reply controller.PLReply
+	err := t.client.Call(controller.MethodAppPL, controller.PLArgs{App: id}, &reply)
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +136,9 @@ func (t *DirectTransport) PL(id controller.AppID) (int, error) { return t.API.PL
 func (t *DirectTransport) Close() error { return nil }
 
 // Conn is a Saba-managed connection: the application-visible handle plus
-// the Service Level (PL) the connection manager stamped on it.
+// the Service Level (PL) the connection manager stamped on it. While the
+// controller is unreachable, connections carry a provisional negative ID
+// until the reconciler replays them.
 type Conn struct {
 	ID       controller.ConnID
 	Src, Dst topology.NodeID
@@ -129,20 +147,67 @@ type Conn struct {
 	closed   bool
 }
 
+// Options configures the connection manager's failure handling.
+type Options struct {
+	// Degrade enables graceful degradation: when the controller is
+	// unreachable (transport errors rpc.Retryable classifies as such),
+	// registration and connection operations succeed locally at
+	// FallbackPL and are queued for replay. Off by default: without it,
+	// transport errors surface to the caller unchanged.
+	Degrade bool
+	// FallbackPL is the PL stamped on connections made while degraded.
+	// The default 0 is indistinguishable from unprioritized traffic: the
+	// switch's default queue serves it fair-share, the FECN baseline.
+	FallbackPL int
+	// RetryInterval is how often the background reconciler re-tries the
+	// controller. 0 selects 100ms.
+	RetryInterval time.Duration
+}
+
 // Library is the connection manager: one per application process.
 type Library struct {
 	mu         sync.Mutex
 	transport  Transport
+	opts       Options
 	app        controller.AppID
 	appName    string
 	pl         int
 	registered bool
 	conns      map[controller.ConnID]*Conn
+
+	// Degraded-mode state: queued operations in submission order plus the
+	// reconciler's lifecycle handles.
+	degraded     bool
+	pendingReg   bool
+	pendingConns []*Conn             // provisional conns awaiting replay
+	pendingDests []controller.ConnID // controller-known conns to destroy
+	pendingDereg bool
+	dropped      int // replay ops rejected by the controller (terminal)
+	nextLocal    controller.ConnID
+	reconRunning bool
+	stop         chan struct{}
+	wg           sync.WaitGroup
+	closed       bool
 }
 
-// New creates a library instance over a transport.
+// New creates a library instance over a transport with failure handling
+// disabled (errors surface to the caller).
 func New(t Transport) *Library {
-	return &Library{transport: t, conns: map[controller.ConnID]*Conn{}}
+	return NewWithOptions(t, Options{})
+}
+
+// NewWithOptions creates a library instance with explicit failure
+// handling.
+func NewWithOptions(t Transport, o Options) *Library {
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 100 * time.Millisecond
+	}
+	return &Library{
+		transport: t,
+		opts:      o,
+		conns:     map[controller.ConnID]*Conn{},
+		stop:      make(chan struct{}),
+	}
 }
 
 // Errors returned by the library.
@@ -151,10 +216,23 @@ var (
 	ErrAlreadyRegistered = errors.New("sabalib: application already registered")
 	ErrConnClosed        = errors.New("sabalib: connection already destroyed")
 	ErrLiveConns         = errors.New("sabalib: connections still open")
+	// ErrDegraded reports that the requested datum is unavailable while
+	// the controller is unreachable (e.g. the controller-assigned app ID
+	// before the registration has been replayed).
+	ErrDegraded = errors.New("sabalib: controller unreachable, running degraded at fair share")
 )
 
+// unreachableLocked reports whether err should trigger degradation
+// rather than surfacing.
+func (l *Library) unreachableLocked(err error) bool {
+	return l.opts.Degrade && rpc.Retryable(err)
+}
+
 // Register performs saba_app_register (Fig. 7 ①-③): it announces the
-// application and caches the PL for future connections.
+// application and caches the PL for future connections. With degradation
+// enabled, an unreachable controller leaves the application registered
+// locally at the fallback PL; the reconciler completes the registration
+// in the background.
 func (l *Library) Register(appName string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -162,17 +240,27 @@ func (l *Library) Register(appName string) error {
 		return ErrAlreadyRegistered
 	}
 	id, pl, err := l.transport.Register(appName)
-	if err != nil {
+	if err == nil {
+		l.app = id
+		l.appName = appName
+		l.pl = pl
+		l.registered = true
+		return nil
+	}
+	if !l.unreachableLocked(err) {
 		return fmt.Errorf("sabalib: register %s: %w", appName, err)
 	}
-	l.app = id
+	l.app = 0
 	l.appName = appName
-	l.pl = pl
+	l.pl = l.opts.FallbackPL
 	l.registered = true
+	l.degraded = true
+	l.pendingReg = true
+	l.startReconcilerLocked()
 	return nil
 }
 
-// PL returns the cached priority level.
+// PL returns the cached priority level (the fallback PL while degraded).
 func (l *Library) PL() (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -184,41 +272,92 @@ func (l *Library) PL() (int, error) {
 
 // RefreshPL re-reads the priority level from the controller: a burst of
 // registrations after ours can re-cluster and move us to a different PL.
+// While degraded it returns the cached PL without a round trip.
 func (l *Library) RefreshPL() (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.registered {
 		return 0, ErrNotRegistered
 	}
+	if l.degraded {
+		return l.pl, nil
+	}
 	pl, err := l.transport.PL(l.app)
 	if err != nil {
+		if l.unreachableLocked(err) {
+			l.enterDegradedLocked()
+			return l.pl, nil
+		}
 		return 0, fmt.Errorf("sabalib: refresh PL: %w", err)
 	}
 	l.pl = pl
 	return pl, nil
 }
 
-// App returns the controller-assigned application ID.
+// App returns the controller-assigned application ID. While the
+// registration is still queued it returns ErrDegraded.
 func (l *Library) App() (controller.AppID, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.registered {
 		return 0, ErrNotRegistered
 	}
+	if l.pendingReg {
+		return 0, ErrDegraded
+	}
 	return l.app, nil
+}
+
+// Degraded reports whether the library is currently in the fair-share
+// fallback mode.
+func (l *Library) Degraded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+// PendingOps returns how many queued operations await replay.
+func (l *Library) PendingOps() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.pendingConns) + len(l.pendingDests)
+	if l.pendingReg {
+		n++
+	}
+	if l.pendingDereg {
+		n++
+	}
+	return n
+}
+
+// DroppedOps returns how many queued operations the controller rejected
+// terminally during replay (e.g. an unroutable connection); these are
+// discarded rather than retried forever.
+func (l *Library) DroppedOps() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // ConnCreate performs saba_conn_create (Fig. 7 ④-⑦): the connection is
 // created with the cached PL (no extra latency on the data path) and the
-// controller is informed so it can reallocate.
+// controller is informed so it can reallocate. While degraded the
+// connection proceeds at the fallback PL and the notification is queued.
 func (l *Library) ConnCreate(src, dst topology.NodeID) (*Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if !l.registered {
 		return nil, ErrNotRegistered
 	}
+	if l.degraded {
+		return l.localConnLocked(src, dst), nil
+	}
 	cid, err := l.transport.ConnCreate(l.app, src, dst)
 	if err != nil {
+		if l.unreachableLocked(err) {
+			l.enterDegradedLocked()
+			return l.localConnLocked(src, dst), nil
+		}
 		return nil, fmt.Errorf("sabalib: conn_create: %w", err)
 	}
 	c := &Conn{ID: cid, Src: src, Dst: dst, SL: l.pl, lib: l}
@@ -226,7 +365,28 @@ func (l *Library) ConnCreate(src, dst topology.NodeID) (*Conn, error) {
 	return c, nil
 }
 
-// Destroy performs saba_conn_destroy (Fig. 7 ⑧-⑪).
+// localConnLocked creates a provisional connection while degraded: it
+// gets a negative local ID and the current cached PL (the fallback if we
+// never reached the controller), and queues the create for replay.
+func (l *Library) localConnLocked(src, dst topology.NodeID) *Conn {
+	l.nextLocal--
+	c := &Conn{ID: l.nextLocal, Src: src, Dst: dst, SL: l.pl, lib: l}
+	l.conns[c.ID] = c
+	l.pendingConns = append(l.pendingConns, c)
+	return c
+}
+
+// enterDegradedLocked flips to degraded mode and ensures the reconciler
+// is running.
+func (l *Library) enterDegradedLocked() {
+	l.degraded = true
+	l.startReconcilerLocked()
+}
+
+// Destroy performs saba_conn_destroy (Fig. 7 ⑧-⑪). A provisional
+// connection that never reached the controller is torn down locally; a
+// controller-known connection whose destroy can't be delivered is
+// closed locally and the destroy queued.
 func (c *Conn) Destroy() error {
 	l := c.lib
 	l.mu.Lock()
@@ -234,8 +394,21 @@ func (c *Conn) Destroy() error {
 	if c.closed {
 		return ErrConnClosed
 	}
+	if c.ID < 0 {
+		// Still provisional: the reconciler skips closed pending conns.
+		c.closed = true
+		delete(l.conns, c.ID)
+		return nil
+	}
 	if err := l.transport.ConnDestroy(c.ID); err != nil {
-		return fmt.Errorf("sabalib: conn_destroy: %w", err)
+		if !l.unreachableLocked(err) {
+			return fmt.Errorf("sabalib: conn_destroy: %w", err)
+		}
+		c.closed = true
+		delete(l.conns, c.ID)
+		l.pendingDests = append(l.pendingDests, c.ID)
+		l.enterDegradedLocked()
+		return nil
 	}
 	c.closed = true
 	delete(l.conns, c.ID)
@@ -250,7 +423,8 @@ func (l *Library) OpenConns() int {
 }
 
 // Deregister performs saba_app_deregister (Fig. 7 ⑫-⑬). All connections
-// must have been destroyed first.
+// must have been destroyed first. While degraded the deregistration is
+// queued behind the other replays.
 func (l *Library) Deregister() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -260,23 +434,195 @@ func (l *Library) Deregister() error {
 	if len(l.conns) > 0 {
 		return fmt.Errorf("%w: %d", ErrLiveConns, len(l.conns))
 	}
+	if l.degraded {
+		if l.pendingReg && len(l.pendingConns) == 0 && len(l.pendingDests) == 0 {
+			// The controller never saw us: nothing to undo remotely.
+			l.pendingReg = false
+		} else {
+			l.pendingDereg = true
+		}
+		l.registered = false
+		return nil
+	}
 	if err := l.transport.Deregister(l.app); err != nil {
+		if l.unreachableLocked(err) {
+			l.pendingDereg = true
+			l.registered = false
+			l.enterDegradedLocked()
+			return nil
+		}
 		return fmt.Errorf("sabalib: deregister: %w", err)
 	}
 	l.registered = false
 	return nil
 }
 
-// Close releases the transport. A registered application is deregistered
-// best-effort first.
+// Close stops the reconciler and releases the transport. A registered
+// application is deregistered best-effort first.
 func (l *Library) Close() error {
 	l.mu.Lock()
-	registered := l.registered && len(l.conns) == 0
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.stop)
+	registered := l.registered && !l.degraded && len(l.conns) == 0
 	app := l.app
 	l.mu.Unlock()
+	l.wg.Wait()
 	if registered {
 		// Best effort; the controller GCs state on connection loss anyway.
 		_ = l.transport.Deregister(app)
 	}
 	return l.transport.Close()
+}
+
+// startReconcilerLocked launches the background replay goroutine if it
+// isn't already running.
+func (l *Library) startReconcilerLocked() {
+	if l.reconRunning || l.closed {
+		return
+	}
+	l.reconRunning = true
+	l.wg.Add(1)
+	go l.reconcile()
+}
+
+// reconcile periodically replays queued operations until the queue
+// drains, then exits (a later failure starts a fresh reconciler).
+func (l *Library) reconcile() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.opts.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			l.mu.Lock()
+			l.reconRunning = false
+			l.mu.Unlock()
+			return
+		case <-ticker.C:
+		}
+		if l.reconcileStep() {
+			return
+		}
+	}
+}
+
+// reconcileStep attempts one full replay sweep. It returns true once
+// everything is drained and the library has left degraded mode.
+func (l *Library) reconcileStep() bool {
+	// 1. Registration first: replayed conns need the app ID.
+	l.mu.Lock()
+	pendingReg, name := l.pendingReg, l.appName
+	l.mu.Unlock()
+	if pendingReg {
+		id, pl, err := l.transport.Register(name)
+		if err != nil {
+			return false // still unreachable (or rejected): keep trying
+		}
+		l.mu.Lock()
+		l.app = id
+		// Future connections get the controller's PL; connections made
+		// while degraded keep the fallback SL their packets already carry.
+		l.pl = pl
+		l.pendingReg = false
+		if !l.registered {
+			// Deregistered locally while the replay was in flight: undo
+			// the registration that just landed.
+			l.pendingDereg = true
+		}
+		l.mu.Unlock()
+	}
+	// 2. Connection creates, in submission order.
+	for {
+		l.mu.Lock()
+		if len(l.pendingConns) == 0 {
+			l.mu.Unlock()
+			break
+		}
+		c := l.pendingConns[0]
+		if c.closed {
+			// Destroyed before it ever reached the controller.
+			l.pendingConns = l.pendingConns[1:]
+			l.mu.Unlock()
+			continue
+		}
+		app := l.app
+		l.mu.Unlock()
+		cid, err := l.transport.ConnCreate(app, c.Src, c.Dst)
+		l.mu.Lock()
+		if err != nil {
+			if rpc.Retryable(err) {
+				l.mu.Unlock()
+				return false
+			}
+			// Terminal rejection (e.g. unroutable): drop the op.
+			l.pendingConns = l.pendingConns[1:]
+			delete(l.conns, c.ID)
+			c.closed = true
+			l.dropped++
+			l.mu.Unlock()
+			continue
+		}
+		l.pendingConns = l.pendingConns[1:]
+		if c.closed {
+			// Raced with Destroy while the create was in flight.
+			l.pendingDests = append(l.pendingDests, cid)
+		} else {
+			delete(l.conns, c.ID)
+			c.ID = cid
+			l.conns[cid] = c
+		}
+		l.mu.Unlock()
+	}
+	// 3. Destroys of controller-known connections.
+	for {
+		l.mu.Lock()
+		if len(l.pendingDests) == 0 {
+			l.mu.Unlock()
+			break
+		}
+		cid := l.pendingDests[0]
+		l.mu.Unlock()
+		err := l.transport.ConnDestroy(cid)
+		l.mu.Lock()
+		if err != nil && rpc.Retryable(err) {
+			l.mu.Unlock()
+			return false
+		}
+		if err != nil {
+			l.dropped++
+		}
+		l.pendingDests = l.pendingDests[1:]
+		l.mu.Unlock()
+	}
+	// 4. Deregistration last.
+	l.mu.Lock()
+	pendingDereg, app := l.pendingDereg, l.app
+	l.mu.Unlock()
+	if pendingDereg {
+		err := l.transport.Deregister(app)
+		if err != nil && rpc.Retryable(err) {
+			return false
+		}
+		l.mu.Lock()
+		if err != nil {
+			l.dropped++
+		}
+		l.pendingDereg = false
+		l.mu.Unlock()
+	}
+	// 5. Drained? Leave degraded mode atomically with the check, so an
+	// operation queued concurrently is either seen here or issued
+	// directly by its caller.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pendingReg || len(l.pendingConns) > 0 || len(l.pendingDests) > 0 || l.pendingDereg {
+		return false
+	}
+	l.degraded = false
+	l.reconRunning = false
+	return true
 }
