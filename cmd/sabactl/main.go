@@ -30,6 +30,7 @@ import (
 	"saba/internal/profiler"
 	"saba/internal/rpc"
 	"saba/internal/sabalib"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -58,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  sabactl serve    -listen ADDR -table FILE [-hosts N] [-queues Q] [-pls P] [-shards S]
+  sabactl serve    -listen ADDR -table FILE [-hosts N] [-queues Q] [-pls P] [-shards S] [-metrics-addr ADDR]
   sabactl register -addr ADDR -app NAME [-timeout D] [-retries N]
   sabactl conn     -addr ADDR -app NAME -src HOST -dst HOST [-timeout D] [-retries N]`)
 }
@@ -76,6 +77,7 @@ func serve(args []string) error {
 	queues := fs.Int("queues", 8, "per-port queues")
 	pls := fs.Int("pls", 16, "priority levels")
 	shards := fs.Int("shards", 1, "controller shards (1 = centralized, >1 = mesh on a spine-leaf fabric)")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP debug endpoint (Prometheus /metrics, /snapshot, expvar, pprof); empty = disabled")
 	fs.Parse(args)
 
 	table := profiler.NewTable()
@@ -152,6 +154,14 @@ func serve(args []string) error {
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		dbg, err := telemetry.ListenAndServe(*metricsAddr, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("metrics endpoint on http://%s/metrics (also /snapshot, /debug/vars, /debug/pprof/)\n", dbg.Addr)
 	}
 	fmt.Printf("saba controller listening on %s (%s, %d queues, table entries: %d)\n",
 		addr, topDesc, *queues, table.Len())

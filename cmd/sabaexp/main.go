@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"saba/internal/experiments"
+	"saba/internal/telemetry"
 )
 
 func main() {
@@ -23,12 +24,30 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
 	out := flag.String("out", "", "directory for CSV outputs (fig 2)")
+	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	flag.Parse()
 
-	if err := run(*fig, *setups, *seed, *full, *out); err != nil {
+	err := run(*fig, *setups, *seed, *full, *out)
+	if *showMetrics {
+		if merr := printMetrics(); err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sabaexp:", err)
 		os.Exit(1)
 	}
+}
+
+// printMetrics dumps the process-wide telemetry snapshot so runs can be
+// diffed (solver time, simulator event counts) across policies or seeds.
+func printMetrics() error {
+	b, err := telemetry.Default.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 func run(fig string, setups int, seed int64, full bool, out string) error {

@@ -16,6 +16,7 @@ import (
 	"saba/internal/core"
 	"saba/internal/metrics"
 	"saba/internal/profiler"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 	"saba/internal/workload"
 )
@@ -36,12 +37,30 @@ func main() {
 	compare := flag.String("compare", "", "also run this policy and report speedups")
 	seed := flag.Int64("seed", 1, "scenario seed")
 	queues := flag.Int("queues", 8, "per-port queues")
+	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	flag.Parse()
 
-	if err := run(*hosts, *jobs, *policy, *compare, *seed, *queues); err != nil {
+	err := run(*hosts, *jobs, *policy, *compare, *seed, *queues)
+	if *showMetrics {
+		if merr := printMetrics(); err == nil {
+			err = merr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sabasim:", err)
 		os.Exit(1)
 	}
+}
+
+// printMetrics dumps the process-wide telemetry snapshot (simulator event
+// counts, solve-time histogram, port configurations) after the run.
+func printMetrics() error {
+	b, err := telemetry.Default.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 func policyNames() []string {

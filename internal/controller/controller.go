@@ -23,8 +23,43 @@ import (
 	"saba/internal/netsim"
 	"saba/internal/profiler"
 	"saba/internal/solver"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
+
+// ctrlMetrics holds the controller instruments (resolved once; the
+// enforcement hot path touches only atomics). Both deployments report
+// the same inventory so dashboards work across §5.4 variants.
+type ctrlMetrics struct {
+	solve        *telemetry.Histogram // Eq. 2 full-recompute wall time (Fig. 12)
+	ports        *telemetry.Counter   // port configurations pushed
+	reclusters   *telemetry.Counter   // app→PL k-means reruns
+	rollbacks    *telemetry.Counter   // transactional conn op unwinds
+	registers    *telemetry.Counter
+	deregisters  *telemetry.Counter
+	connCreates  *telemetry.Counter
+	connDestroys *telemetry.Counter
+	failovers    *telemetry.Counter // shard failovers (mesh only)
+	apps         *telemetry.Gauge
+	conns        *telemetry.Gauge
+}
+
+func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
+	l := func(name string) string { return telemetry.Label(name, "deploy", deploy) }
+	return ctrlMetrics{
+		solve:        reg.Histogram(l("controller.solve_seconds")),
+		ports:        reg.Counter(l("controller.ports_configured")),
+		reclusters:   reg.Counter(l("controller.reclusters")),
+		rollbacks:    reg.Counter(l("controller.rollbacks")),
+		registers:    reg.Counter(l("controller.registers")),
+		deregisters:  reg.Counter(l("controller.deregisters")),
+		connCreates:  reg.Counter(l("controller.conn_creates")),
+		connDestroys: reg.Counter(l("controller.conn_destroys")),
+		failovers:    reg.Counter(l("controller.failovers")),
+		apps:         reg.Gauge(l("controller.apps")),
+		conns:        reg.Gauge(l("controller.conns")),
+	}
+}
 
 // AppID identifies a registered application (matches the data plane's
 // netsim.AppID space so flows can carry it).
@@ -81,6 +116,9 @@ type Config struct {
 	// solved over only the applications present at each port) instead of
 	// the default hop-consistent global solve. See enforcePortLocked.
 	PerPortWeights bool
+	// Telemetry is the registry the controller reports into. nil selects
+	// telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fill() error {
@@ -108,6 +146,9 @@ func (c *Config) fill() error {
 	if c.DefaultCoeffs == nil {
 		// A moderate sensitivity: slowdown 2x at 25% bandwidth.
 		c.DefaultCoeffs = []float64{2.4, -1.87, 0.47}
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default
 	}
 	return nil
 }
@@ -159,9 +200,11 @@ type Centralized struct {
 	solCache map[string][]float64
 	globalW  map[AppID]float64
 
-	// LastCalcDuration is how long the most recent full weight
-	// recomputation took (the Fig. 12 metric).
+	// lastCalc is how long the most recent full weight recomputation
+	// took; the same durations feed tel.solve, whose histogram is the
+	// durable Fig. 12 record (LastCalcDuration only sees the latest).
 	lastCalc time.Duration
+	tel      ctrlMetrics
 }
 
 // NewCentralized creates a centralized controller.
@@ -188,6 +231,7 @@ func NewCentralized(cfg Config) (*Centralized, error) {
 		nextConn:  1,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		solCache:  map[string][]float64{},
+		tel:       newCtrlMetrics(cfg.Telemetry, "centralized"),
 	}, nil
 }
 
@@ -218,6 +262,8 @@ func (c *Centralized) Register(name string) (AppID, int, error) {
 	if err := c.enforceAllLocked(); err != nil {
 		return 0, 0, err
 	}
+	c.tel.registers.Inc()
+	c.tel.apps.Set(float64(len(c.apps)))
 	return id, c.apps[id].pl, nil
 }
 
@@ -246,6 +292,8 @@ func (c *Centralized) RegisterBatch(names []string) ([]AppID, error) {
 		}
 		return nil, err
 	}
+	c.tel.registers.Add(uint64(len(ids)))
+	c.tel.apps.Set(float64(len(c.apps)))
 	return ids, c.enforceAllLocked()
 }
 
@@ -295,6 +343,8 @@ func (c *Centralized) Deregister(id AppID) error {
 	}
 	clear(c.solCache)
 	c.globalW = nil
+	c.tel.deregisters.Inc()
+	c.tel.apps.Set(float64(len(c.apps)))
 	return c.enforceAllLocked()
 }
 
@@ -329,12 +379,15 @@ func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, er
 	if err := c.enforcePortsLocked(path); err != nil {
 		c.removePathLocked(id, path)
 		c.reenforceBestEffortLocked(path)
+		c.tel.rollbacks.Inc()
 		return 0, err
 	}
 	cid := c.nextConn
 	c.nextConn++
 	c.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
 	app.conns++
+	c.tel.connCreates.Inc()
+	c.tel.conns.Set(float64(len(c.conns)))
 	return cid, nil
 }
 
@@ -352,12 +405,15 @@ func (c *Centralized) ConnDestroy(cid ConnID) error {
 	if err := c.enforcePortsLocked(conn.path); err != nil {
 		c.addPathLocked(conn.app, conn.path)
 		c.reenforceBestEffortLocked(conn.path)
+		c.tel.rollbacks.Inc()
 		return err
 	}
 	delete(c.conns, cid)
 	if app, ok := c.apps[conn.app]; ok {
 		app.conns--
 	}
+	c.tel.connDestroys.Inc()
+	c.tel.conns.Set(float64(len(c.conns)))
 	return nil
 }
 
@@ -443,6 +499,7 @@ func (c *Centralized) reclusterLocked() error {
 	if len(c.apps) == 0 {
 		return nil
 	}
+	c.tel.reclusters.Inc()
 	ids := make([]AppID, 0, len(c.apps))
 	for id := range c.apps {
 		ids = append(ids, id)
@@ -477,29 +534,34 @@ func (c *Centralized) reclusterLocked() error {
 	return nil
 }
 
-// enforceAllLocked recomputes every active port, timing the calculation.
+// enforceAllLocked recomputes every active port, timing the calculation
+// into both LastCalcDuration and the solve-time histogram (Fig. 12).
 func (c *Centralized) enforceAllLocked() error {
 	start := time.Now()
+	defer func() {
+		c.lastCalc = time.Since(start)
+		c.tel.solve.Observe(c.lastCalc.Seconds())
+	}()
 	for l := range c.ports {
 		if err := c.enforcePortLocked(l); err != nil {
-			c.lastCalc = time.Since(start)
 			return err
 		}
 	}
-	c.lastCalc = time.Since(start)
 	return nil
 }
 
 // enforcePortsLocked recomputes the unique ports of a path.
 func (c *Centralized) enforcePortsLocked(path []topology.LinkID) error {
 	start := time.Now()
+	defer func() {
+		c.lastCalc = time.Since(start)
+		c.tel.solve.Observe(c.lastCalc.Seconds())
+	}()
 	for _, l := range path {
 		if err := c.enforcePortLocked(l); err != nil {
-			c.lastCalc = time.Since(start)
 			return err
 		}
 	}
-	c.lastCalc = time.Since(start)
 	return nil
 }
 
@@ -576,11 +638,15 @@ func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
 			def = q
 		}
 	}
-	return c.cfg.Enforcer.Configure(port, netsim.PortConfig{
+	if err := c.cfg.Enforcer.Configure(port, netsim.PortConfig{
 		Weights:      qWeights,
 		PLQueue:      plToQueue,
 		DefaultQueue: def,
-	})
+	}); err != nil {
+		return err
+	}
+	c.tel.ports.Inc()
+	return nil
 }
 
 // weightsLocked returns the Eq. 2 weights for the given (sorted) apps at

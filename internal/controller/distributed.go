@@ -11,6 +11,7 @@ import (
 	"saba/internal/netsim"
 	"saba/internal/profiler"
 	"saba/internal/solver"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -121,6 +122,7 @@ type Distributed struct {
 	minShare float64
 	solCache map[string][]float64
 	dead     bool
+	tel      *ctrlMetrics // shared with the owning Mesh
 }
 
 // Mesh is the collective of distributed controller shards plus the shared
@@ -138,6 +140,20 @@ type Mesh struct {
 	nextApp  AppID
 	nextConn ConnID
 	lastCalc time.Duration
+	tel      ctrlMetrics
+}
+
+// SetTelemetry rebinds the mesh's (and its shards') instruments to a
+// registry; call it right after NewMesh, before serving traffic.
+func (m *Mesh) SetTelemetry(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tel = newCtrlMetrics(reg, "mesh")
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.tel = &m.tel
+		sh.mu.Unlock()
+	}
 }
 
 // NewMesh builds `shards` distributed controllers over the topology,
@@ -160,6 +176,7 @@ func NewMesh(topo *topology.Topology, db *MappingDB, enforcer Enforcer, shards i
 		conns:    map[ConnID]connState{},
 		nextApp:  1,
 		nextConn: 1,
+		tel:      newCtrlMetrics(telemetry.Default, "mesh"),
 	}
 	for i := 0; i < shards; i++ {
 		m.shards = append(m.shards, &Distributed{
@@ -174,6 +191,7 @@ func NewMesh(topo *topology.Topology, db *MappingDB, enforcer Enforcer, shards i
 			csaba:    csaba,
 			minShare: minShare,
 			solCache: map[string][]float64{},
+			tel:      &m.tel,
 		})
 	}
 	// Hosts' egress ports are owned alongside their switch? Assign every
@@ -199,6 +217,8 @@ func (m *Mesh) Register(name string) (AppID, int, error) {
 	for _, sh := range m.shards {
 		sh.admit(id, pl, coeffs)
 	}
+	m.tel.registers.Inc()
+	m.tel.apps.Set(float64(len(m.apps)))
 	return id, pl, nil
 }
 
@@ -217,6 +237,8 @@ func (m *Mesh) Deregister(id AppID) error {
 	for _, sh := range m.shards {
 		sh.evict(id)
 	}
+	m.tel.deregisters.Inc()
+	m.tel.apps.Set(float64(len(m.apps)))
 	return nil
 }
 
@@ -248,6 +270,10 @@ func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 		return 0, fmt.Errorf("controller: path detection: %w", err)
 	}
 	start := time.Now()
+	defer func() {
+		m.lastCalc = time.Since(start)
+		m.tel.solve.Observe(m.lastCalc.Seconds())
+	}()
 	hops := shardHops(m.ownerOf, m.topo, path)
 	var applied []shardHop
 	for _, hop := range hops {
@@ -257,7 +283,7 @@ func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 				// failing hop's own partial ports.
 				_ = applied[k].shard.removeConn(id, applied[k].ports)
 			}
-			m.lastCalc = time.Since(start)
+			m.tel.rollbacks.Inc()
 			return 0, err
 		}
 		applied = append(applied, hop)
@@ -266,7 +292,8 @@ func (m *Mesh) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 	m.nextConn++
 	m.conns[cid] = connState{app: id, src: src, dst: dst, path: path}
 	m.appConns[id]++
-	m.lastCalc = time.Since(start)
+	m.tel.connCreates.Inc()
+	m.tel.conns.Set(float64(len(m.conns)))
 	return cid, nil
 }
 
@@ -281,6 +308,10 @@ func (m *Mesh) ConnDestroy(cid ConnID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
 	}
 	start := time.Now()
+	defer func() {
+		m.lastCalc = time.Since(start)
+		m.tel.solve.Observe(m.lastCalc.Seconds())
+	}()
 	hops := shardHops(m.ownerOf, m.topo, conn.path)
 	var removed []shardHop
 	for _, hop := range hops {
@@ -288,7 +319,7 @@ func (m *Mesh) ConnDestroy(cid ConnID) error {
 			for k := len(removed) - 1; k >= 0; k-- {
 				_ = removed[k].shard.addConn(conn.app, removed[k].ports)
 			}
-			m.lastCalc = time.Since(start)
+			m.tel.rollbacks.Inc()
 			return err
 		}
 		removed = append(removed, hop)
@@ -298,7 +329,8 @@ func (m *Mesh) ConnDestroy(cid ConnID) error {
 	if m.appConns[conn.app] <= 0 {
 		delete(m.appConns, conn.app)
 	}
-	m.lastCalc = time.Since(start)
+	m.tel.connDestroys.Inc()
+	m.tel.conns.Set(float64(len(m.conns)))
 	return nil
 }
 
@@ -333,6 +365,7 @@ func (m *Mesh) KillShard(idx int) error {
 		return ErrLastShard
 	}
 	victim.kill()
+	m.tel.failovers.Inc()
 	// Reassign the victim's nodes round-robin across survivors.
 	moved := map[topology.NodeID]bool{}
 	i := 0
@@ -613,9 +646,13 @@ func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
 			def = q
 		}
 	}
-	return d.enforcer.Configure(port, netsim.PortConfig{
+	if err := d.enforcer.Configure(port, netsim.PortConfig{
 		Weights:      qWeights,
 		PLQueue:      plToQueue,
 		DefaultQueue: def,
-	})
+	}); err != nil {
+		return err
+	}
+	d.tel.ports.Inc()
+	return nil
 }

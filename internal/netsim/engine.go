@@ -6,7 +6,56 @@ import (
 	"math"
 
 	"saba/internal/sim"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
 )
+
+// engineMetrics holds the simulator's telemetry instruments, resolved
+// once at construction so the event loop never does registry lookups.
+// flowSeconds records *virtual* durations (sim-time clock semantics):
+// under a fixed seed the histogram is bit-for-bit reproducible.
+type engineMetrics struct {
+	reg             *telemetry.Registry
+	events          *telemetry.Counter // netsim.events
+	rateRecomputes  *telemetry.Counter // netsim.rate_recomputes
+	flowCompletions *telemetry.Counter // netsim.flow_completions
+	flowsActive     *telemetry.Gauge   // netsim.flows_active
+	flowSeconds     *telemetry.Histogram
+
+	// Per-allocator port-utilization gauges, cached by allocator name
+	// (allocators can be swapped mid-run via SetAllocator).
+	utilMax  map[string]*telemetry.Gauge // netsim.port_util_max{alloc=...}
+	utilMean map[string]*telemetry.Gauge // netsim.port_util_mean{alloc=...}
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:             reg,
+		events:          reg.Counter("netsim.events"),
+		rateRecomputes:  reg.Counter("netsim.rate_recomputes"),
+		flowCompletions: reg.Counter("netsim.flow_completions"),
+		flowsActive:     reg.Gauge("netsim.flows_active"),
+		flowSeconds:     reg.Histogram("netsim.flow_seconds"),
+		utilMax:         map[string]*telemetry.Gauge{},
+		utilMean:        map[string]*telemetry.Gauge{},
+	}
+}
+
+// utilGauges returns the utilization gauges for the named allocator,
+// creating them on first use.
+func (m *engineMetrics) utilGauges(alloc string) (max, mean *telemetry.Gauge) {
+	max = m.utilMax[alloc]
+	if max == nil {
+		max = m.reg.Gauge(telemetry.Label("netsim.port_util_max", "alloc", alloc))
+		m.utilMax[alloc] = max
+	}
+	mean = m.utilMean[alloc]
+	if mean == nil {
+		mean = m.reg.Gauge(telemetry.Label("netsim.port_util_mean", "alloc", alloc))
+		m.utilMean[alloc] = mean
+	}
+	return max, mean
+}
 
 // Engine is the fluid discrete-event driver: it alternates between
 // recomputing flow rates (whenever the flow set changes) and advancing
@@ -18,6 +67,7 @@ type Engine struct {
 	events sim.Queue
 	dirty  bool
 	onDone map[FlowID]func(*Engine, FlowID)
+	tel    *engineMetrics
 
 	// OnAdvance, when set, observes every time advance [t0, t1) with the
 	// flow rates that were in force during it — the hook used by the
@@ -41,7 +91,14 @@ func NewEngine(net *Network, alloc Allocator) *Engine {
 		net:    net,
 		alloc:  alloc,
 		onDone: map[FlowID]func(*Engine, FlowID){},
+		tel:    newEngineMetrics(telemetry.Default),
 	}
+}
+
+// SetTelemetry rebinds the engine's instruments to reg (tests use this to
+// isolate from the process-wide default registry).
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	e.tel = newEngineMetrics(reg)
 }
 
 // Now returns the current virtual time in seconds.
@@ -74,6 +131,7 @@ func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, e
 		e.onDone[id] = onDone
 	}
 	e.dirty = true
+	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return id, nil
 }
 
@@ -84,6 +142,7 @@ func (e *Engine) CancelFlow(id FlowID) error {
 	}
 	delete(e.onDone, id)
 	e.dirty = true
+	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return nil
 }
 
@@ -134,9 +193,12 @@ func (e *Engine) RunUntil(horizon float64, pred func() bool) error {
 // step performs one event iteration: reallocate if needed, advance to the
 // next completion/event, fire callbacks.
 func (e *Engine) step(horizon float64) error {
+	e.tel.events.Inc()
 	if e.dirty {
 		e.alloc.Allocate(e.net)
 		e.dirty = false
+		e.tel.rateRecomputes.Inc()
+		e.observeUtilization()
 	}
 
 	// Earliest flow completion.
@@ -189,13 +251,20 @@ func (e *Engine) step(horizon float64) error {
 	for _, id := range e.done {
 		fn := e.onDone[id]
 		delete(e.onDone, id)
+		if f, err := e.net.Flow(id); err == nil {
+			e.tel.flowSeconds.Observe(e.Now() - f.Start)
+		}
 		if err := e.net.RemoveFlow(id); err != nil {
 			return err
 		}
+		e.tel.flowCompletions.Inc()
 		e.dirty = true
 		if fn != nil {
 			fn(e, id)
 		}
+	}
+	if len(e.done) > 0 {
+		e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	}
 
 	// Fire all events due now.
@@ -208,6 +277,33 @@ func (e *Engine) step(horizon float64) error {
 		ev.Fn()
 	}
 	return nil
+}
+
+// observeUtilization refreshes the per-allocator port-utilization gauges
+// after a rate recomputation: the max and mean utilization across all
+// links carrying at least one flow (idle links are excluded so sparse
+// topologies don't drown the mean).
+func (e *Engine) observeUtilization() {
+	var sum, max float64
+	n := 0
+	for l := range e.net.linkFlows {
+		if len(e.net.linkFlows[l]) == 0 {
+			continue
+		}
+		u := e.net.LinkUtilization(topology.LinkID(l))
+		sum += u
+		if u > max {
+			max = u
+		}
+		n++
+	}
+	gMax, gMean := e.tel.utilGauges(e.alloc.Name())
+	gMax.Set(max)
+	if n > 0 {
+		gMean.Set(sum / float64(n))
+	} else {
+		gMean.Set(0)
+	}
 }
 
 // timeSlack absorbs floating-point drift when comparing event times.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -51,14 +52,25 @@ func (p *PortConfig) validate() error {
 type WFQ struct {
 	filler *Filler
 	ports  []*PortConfig // dense, indexed by LinkID; nil = unconfigured
+
+	portsConfigured   *telemetry.Counter // netsim.ports_configured
+	portsDeconfigured *telemetry.Counter // netsim.ports_deconfigured
 }
 
 // NewWFQ creates the WFQ allocator with an initially empty configuration.
 func NewWFQ(net *Network) *WFQ {
-	return &WFQ{
+	w := &WFQ{
 		filler: NewFiller(net),
 		ports:  make([]*PortConfig, len(net.Topology().Links())),
 	}
+	w.SetTelemetry(telemetry.Default)
+	return w
+}
+
+// SetTelemetry rebinds the allocator's instruments to reg.
+func (w *WFQ) SetTelemetry(reg *telemetry.Registry) {
+	w.portsConfigured = reg.Counter("netsim.ports_configured")
+	w.portsDeconfigured = reg.Counter("netsim.ports_deconfigured")
 }
 
 // Name implements Allocator.
@@ -100,6 +112,7 @@ func (w *WFQ) Configure(port topology.LinkID, cfg PortConfig) error {
 		cp.specs[q] = ClassSpec{Weight: wt, PerFlow: false}
 	}
 	w.ports[port] = &cp
+	w.portsConfigured.Inc()
 	return nil
 }
 
@@ -107,6 +120,9 @@ func (w *WFQ) Configure(port topology.LinkID, cfg PortConfig) error {
 // fairness.
 func (w *WFQ) Deconfigure(port topology.LinkID) {
 	if int(port) >= 0 && int(port) < len(w.ports) {
+		if w.ports[port] != nil {
+			w.portsDeconfigured.Inc()
+		}
 		w.ports[port] = nil
 	}
 }

@@ -27,6 +27,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"saba/internal/telemetry"
 )
 
 // MaxFrameSize bounds a single message to keep a malformed peer from
@@ -125,6 +127,53 @@ func readFrame(r io.Reader) ([]byte, error) {
 // returns a result value to be JSON-encoded (nil is allowed).
 type Handler func(args json.RawMessage) (any, error)
 
+// clientMetrics holds the client-side instruments, resolved once at
+// construction so the call path touches only atomics.
+type clientMetrics struct {
+	calls   *telemetry.Counter
+	retries *telemetry.Counter
+	redials *telemetry.Counter
+	errors  *telemetry.Counter
+	txBytes *telemetry.Counter
+	rxBytes *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry) clientMetrics {
+	return clientMetrics{
+		calls:   reg.Counter("rpc.client.calls"),
+		retries: reg.Counter("rpc.client.retries"),
+		redials: reg.Counter("rpc.client.redials"),
+		errors:  reg.Counter("rpc.client.errors"),
+		txBytes: reg.Counter("rpc.client.tx_bytes"),
+		rxBytes: reg.Counter("rpc.client.rx_bytes"),
+		latency: reg.Histogram("rpc.client.call_seconds"),
+	}
+}
+
+// serverMetrics holds the server-side instruments.
+type serverMetrics struct {
+	calls     *telemetry.Counter
+	dedupHits *telemetry.Counter
+	errors    *telemetry.Counter
+	rxBytes   *telemetry.Counter
+	txBytes   *telemetry.Counter
+	conns     *telemetry.Gauge
+	handle    *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		calls:     reg.Counter("rpc.server.calls"),
+		dedupHits: reg.Counter("rpc.server.dedup_hits"),
+		errors:    reg.Counter("rpc.server.errors"),
+		rxBytes:   reg.Counter("rpc.server.rx_bytes"),
+		txBytes:   reg.Counter("rpc.server.tx_bytes"),
+		conns:     reg.Gauge("rpc.server.conns"),
+		handle:    reg.Histogram("rpc.server.handle_seconds"),
+	}
+}
+
 // sessionState is the per-client dedup record: the highest request ID
 // seen and its cached marshaled response. Its mutex is held across
 // handler execution, so a duplicate of an in-flight request blocks until
@@ -151,15 +200,27 @@ type Server struct {
 	sessMu    sync.Mutex
 	sessions  map[uint64]*sessionState
 	sessOrder []uint64
+
+	tel serverMetrics
 }
 
-// NewServer creates a server with no handlers.
+// NewServer creates a server with no handlers, reporting telemetry to
+// the default registry.
 func NewServer() *Server {
 	return &Server{
 		handlers: map[string]Handler{},
 		conns:    map[net.Conn]struct{}{},
 		sessions: map[uint64]*sessionState{},
+		tel:      newServerMetrics(telemetry.Default),
 	}
+}
+
+// SetTelemetry rebinds the server's instruments to a registry; call it
+// before Listen/Serve (tests use isolated registries).
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = newServerMetrics(reg)
 }
 
 // Handle registers a handler for a method name.
@@ -228,7 +289,12 @@ func (s *Server) Serve(ln net.Listener) (string, error) {
 
 // serveConn processes requests from one connection sequentially.
 func (s *Server) serveConn(conn net.Conn) {
+	s.mu.RLock()
+	tel := s.tel
+	s.mu.RUnlock()
+	tel.conns.Add(1)
 	defer func() {
+		tel.conns.Add(-1)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -239,11 +305,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		tel.rxBytes.Add(uint64(len(frame)) + 4)
 		var req request
 		if err := json.Unmarshal(frame, &req); err != nil {
 			return // protocol violation: drop the connection
 		}
-		if err := writeFrame(conn, s.respond(&req)); err != nil {
+		tel.calls.Inc()
+		out := s.respond(&req)
+		tel.txBytes.Add(uint64(len(out)) + 4)
+		if err := writeFrame(conn, out); err != nil {
 			return
 		}
 	}
@@ -259,6 +329,7 @@ func (s *Server) respond(req *request) []byte {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if req.ID == st.lastID && st.resp != nil {
+		s.tel.dedupHits.Inc()
 		return st.resp // retried request: replay the cached response
 	}
 	if req.ID < st.lastID {
@@ -303,10 +374,14 @@ func (s *Server) dispatch(req *request) response {
 	h, ok := s.handlers[req.Method]
 	s.mu.RUnlock()
 	if !ok {
+		s.tel.errors.Inc()
 		return response{ID: req.ID, Error: fmt.Sprintf("%v: %s", ErrUnknownMethod, req.Method)}
 	}
+	start := time.Now()
 	result, err := h(req.Args)
+	s.tel.handle.Observe(time.Since(start).Seconds())
 	if err != nil {
+		s.tel.errors.Inc()
 		return response{ID: req.ID, Error: err.Error()}
 	}
 	if result == nil {
@@ -360,6 +435,9 @@ type Options struct {
 	// Dialer overrides how connections are established (fault injection
 	// wraps the returned conn). nil selects net.DialTimeout over TCP.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Telemetry is the registry the client reports into. nil selects
+	// telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -383,6 +461,9 @@ func (o *Options) fill() {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.Default
+	}
 }
 
 // Client is a synchronous RPC client with automatic reconnect.
@@ -396,6 +477,7 @@ type Client struct {
 	rng     *rand.Rand
 	redials uint64
 	closed  bool
+	tel     clientMetrics
 }
 
 // newSession draws a nonzero session identifier.
@@ -417,6 +499,7 @@ func NewClient(addr string, o Options) *Client {
 		opts:    o,
 		session: newSession(),
 		rng:     rand.New(rand.NewSource(o.Seed)),
+		tel:     newClientMetrics(o.Telemetry),
 	}
 }
 
@@ -461,16 +544,21 @@ func (c *Client) Call(method string, args any, reply any) error {
 	}
 	c.nextID++
 	id := c.nextID
+	c.tel.calls.Inc()
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		err := c.attemptLocked(id, method, rawArgs, reply)
 		if err == nil {
+			c.tel.latency.Observe(time.Since(start).Seconds())
 			return nil
 		}
 		lastErr = err
 		if !Retryable(err) || attempt >= c.opts.MaxRetries {
+			c.tel.errors.Inc()
 			return lastErr
 		}
+		c.tel.retries.Inc()
 		time.Sleep(c.backoff(attempt))
 		if c.closed {
 			return ErrClientClosed
@@ -505,6 +593,7 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		}
 		c.conn = conn
 		c.redials++
+		c.tel.redials.Inc()
 	}
 	frame, err := json.Marshal(request{Session: c.session, ID: id, Method: method, Args: args})
 	if err != nil {
@@ -518,6 +607,7 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		c.dropConnLocked()
 		return err
 	}
+	c.tel.txBytes.Add(uint64(len(frame)) + 4)
 	respFrame, err := readFrame(c.conn)
 	if err != nil {
 		c.dropConnLocked()
@@ -529,6 +619,7 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		}
 		return err
 	}
+	c.tel.rxBytes.Add(uint64(len(respFrame)) + 4)
 	var resp response
 	if err := json.Unmarshal(respFrame, &resp); err != nil {
 		c.dropConnLocked()

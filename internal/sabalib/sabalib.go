@@ -24,8 +24,26 @@ import (
 
 	"saba/internal/controller"
 	"saba/internal/rpc"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
+
+// libMetrics holds the connection manager's instruments.
+type libMetrics struct {
+	degradedEntries *telemetry.Counter // transitions into fair-share fallback
+	queuedOps       *telemetry.Counter // operations queued while degraded
+	replayedOps     *telemetry.Counter // queued operations the reconciler landed
+	droppedOps      *telemetry.Counter // replays the controller rejected terminally
+}
+
+func newLibMetrics(reg *telemetry.Registry) libMetrics {
+	return libMetrics{
+		degradedEntries: reg.Counter("sabalib.degraded_entries"),
+		queuedOps:       reg.Counter("sabalib.queued_ops"),
+		replayedOps:     reg.Counter("sabalib.replayed_ops"),
+		droppedOps:      reg.Counter("sabalib.dropped_ops"),
+	}
+}
 
 // Transport abstracts how the connection manager reaches the controller:
 // over the wire (RPCTransport) or in-process for simulations
@@ -162,6 +180,9 @@ type Options struct {
 	// RetryInterval is how often the background reconciler re-tries the
 	// controller. 0 selects 100ms.
 	RetryInterval time.Duration
+	// Telemetry is the registry the library reports into. nil selects
+	// telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 // Library is the connection manager: one per application process.
@@ -188,6 +209,7 @@ type Library struct {
 	stop         chan struct{}
 	wg           sync.WaitGroup
 	closed       bool
+	tel          libMetrics
 }
 
 // New creates a library instance over a transport with failure handling
@@ -202,11 +224,15 @@ func NewWithOptions(t Transport, o Options) *Library {
 	if o.RetryInterval <= 0 {
 		o.RetryInterval = 100 * time.Millisecond
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.Default
+	}
 	return &Library{
 		transport: t,
 		opts:      o,
 		conns:     map[controller.ConnID]*Conn{},
 		stop:      make(chan struct{}),
+		tel:       newLibMetrics(o.Telemetry),
 	}
 }
 
@@ -254,8 +280,12 @@ func (l *Library) Register(appName string) error {
 	l.appName = appName
 	l.pl = l.opts.FallbackPL
 	l.registered = true
-	l.degraded = true
+	if !l.degraded {
+		l.degraded = true
+		l.tel.degradedEntries.Inc()
+	}
 	l.pendingReg = true
+	l.tel.queuedOps.Inc()
 	l.startReconcilerLocked()
 	return nil
 }
@@ -373,13 +403,17 @@ func (l *Library) localConnLocked(src, dst topology.NodeID) *Conn {
 	c := &Conn{ID: l.nextLocal, Src: src, Dst: dst, SL: l.pl, lib: l}
 	l.conns[c.ID] = c
 	l.pendingConns = append(l.pendingConns, c)
+	l.tel.queuedOps.Inc()
 	return c
 }
 
 // enterDegradedLocked flips to degraded mode and ensures the reconciler
 // is running.
 func (l *Library) enterDegradedLocked() {
-	l.degraded = true
+	if !l.degraded {
+		l.degraded = true
+		l.tel.degradedEntries.Inc()
+	}
 	l.startReconcilerLocked()
 }
 
@@ -407,6 +441,7 @@ func (c *Conn) Destroy() error {
 		c.closed = true
 		delete(l.conns, c.ID)
 		l.pendingDests = append(l.pendingDests, c.ID)
+		l.tel.queuedOps.Inc()
 		l.enterDegradedLocked()
 		return nil
 	}
@@ -440,6 +475,7 @@ func (l *Library) Deregister() error {
 			l.pendingReg = false
 		} else {
 			l.pendingDereg = true
+			l.tel.queuedOps.Inc()
 		}
 		l.registered = false
 		return nil
@@ -447,6 +483,7 @@ func (l *Library) Deregister() error {
 	if err := l.transport.Deregister(l.app); err != nil {
 		if l.unreachableLocked(err) {
 			l.pendingDereg = true
+			l.tel.queuedOps.Inc()
 			l.registered = false
 			l.enterDegradedLocked()
 			return nil
@@ -528,10 +565,12 @@ func (l *Library) reconcileStep() bool {
 		// while degraded keep the fallback SL their packets already carry.
 		l.pl = pl
 		l.pendingReg = false
+		l.tel.replayedOps.Inc()
 		if !l.registered {
 			// Deregistered locally while the replay was in flight: undo
 			// the registration that just landed.
 			l.pendingDereg = true
+			l.tel.queuedOps.Inc()
 		}
 		l.mu.Unlock()
 	}
@@ -563,13 +602,16 @@ func (l *Library) reconcileStep() bool {
 			delete(l.conns, c.ID)
 			c.closed = true
 			l.dropped++
+			l.tel.droppedOps.Inc()
 			l.mu.Unlock()
 			continue
 		}
 		l.pendingConns = l.pendingConns[1:]
+		l.tel.replayedOps.Inc()
 		if c.closed {
 			// Raced with Destroy while the create was in flight.
 			l.pendingDests = append(l.pendingDests, cid)
+			l.tel.queuedOps.Inc()
 		} else {
 			delete(l.conns, c.ID)
 			c.ID = cid
@@ -594,6 +636,9 @@ func (l *Library) reconcileStep() bool {
 		}
 		if err != nil {
 			l.dropped++
+			l.tel.droppedOps.Inc()
+		} else {
+			l.tel.replayedOps.Inc()
 		}
 		l.pendingDests = l.pendingDests[1:]
 		l.mu.Unlock()
@@ -610,6 +655,9 @@ func (l *Library) reconcileStep() bool {
 		l.mu.Lock()
 		if err != nil {
 			l.dropped++
+			l.tel.droppedOps.Inc()
+		} else {
+			l.tel.replayedOps.Inc()
 		}
 		l.pendingDereg = false
 		l.mu.Unlock()

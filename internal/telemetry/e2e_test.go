@@ -1,0 +1,191 @@
+package telemetry_test
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/rpc"
+	"saba/internal/sabalib"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+// TestEndToEndScrape drives the full stack — centralized controller
+// behind a real TCP RPC endpoint, several applications registering and
+// creating connections through sabalib, and a netsim engine run — all
+// reporting into one registry, then scrapes the HTTP debug endpoint and
+// asserts the RPC, solver, and simulator instruments are live.
+func TestEndToEndScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	// Control plane: controller + RPC server on a shared registry.
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simNet := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(simNet)
+	wfq.SetTelemetry(reg)
+	tab := profiler.NewTable()
+	tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}})
+	tab.Put(profiler.Entry{Name: "PR", Degree: 2, Coeffs: []float64{1.5, -0.6, 0.1}})
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, PLs: 16, Seed: 1,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	srv.SetTelemetry(reg)
+	if err := controller.Serve(srv, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Debug endpoint under scrape.
+	dbg, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	// Multiple applications exercise the RPC and solver paths.
+	hosts := top.Hosts()
+	for i, app := range []string{"LR", "PR", "LR"} {
+		tr := sabalib.DialControllerOptions(addr, rpc.Options{
+			Timeout: time.Second, MaxRetries: 2, Telemetry: reg,
+		})
+		lib := sabalib.New(tr)
+		if err := lib.Register(app); err != nil {
+			t.Fatalf("register %s: %v", app, err)
+		}
+		c, err := lib.ConnCreate(hosts[2*i], hosts[2*i+1])
+		if err != nil {
+			t.Fatalf("conn %s: %v", app, err)
+		}
+		if err := c.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Deregister(); err != nil {
+			t.Fatal(err)
+		}
+		lib.Close()
+	}
+
+	// Data plane: a short engine run over the same WFQ allocator.
+	eng := netsim.NewEngine(simNet, wfq)
+	eng.SetTelemetry(reg)
+	for i := 0; i < 4; i++ {
+		_, err := eng.AddFlow(netsim.FlowSpec{
+			Src: hosts[i], Dst: hosts[7-i], Bits: 1e6,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape and parse the Prometheus exposition.
+	metrics := scrape(t, "http://"+dbg.Addr+"/metrics")
+	for _, m := range []string{
+		"rpc_client_calls",
+		"rpc_server_calls",
+		`controller_solve_seconds_count{deploy="centralized"}`,
+		`controller_registers{deploy="centralized"}`,
+		"netsim_events",
+		"netsim_rate_recomputes",
+		"netsim_flow_completions",
+		"netsim_ports_configured",
+	} {
+		if metrics[m] <= 0 {
+			t.Errorf("metric %s = %g, want > 0", m, metrics[m])
+		}
+	}
+	if v := metrics[`netsim_port_util_max{alloc="saba-wfq"}`]; v <= 0 || v > 1+1e-9 {
+		t.Errorf(`netsim_port_util_max{alloc="saba-wfq"} = %g, want in (0, 1]`, v)
+	}
+	if got, want := metrics["netsim_flow_completions"], 4.0; got != want {
+		t.Errorf("netsim_flow_completions = %g, want %g", got, want)
+	}
+
+	// The other debug surfaces respond.
+	for _, path := range []string{"/snapshot", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + dbg.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+var promLine = regexp.MustCompile(`^([A-Za-z_:][A-Za-z0-9_:]*(?:\{[^}]*\})?) (\S+)$`)
+
+// scrape fetches a Prometheus endpoint and returns series → value.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range splitLines(string(body)) {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil && m[2] != "+Inf" && m[2] != "-Inf" && m[2] != "NaN" {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[m[1]] = v
+	}
+	if len(out) == 0 {
+		t.Fatal("scrape returned no series")
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: values are binned by their binary exponent
+// (math.Ilogb), giving log2-spaced buckets with no configuration and an
+// O(1), division-free hot path. Bucket i (1 <= i <= histExpRange) holds
+// values in [2^(e), 2^(e+1)) for e = histMinExp+i-1; bucket 0 catches
+// everything below 2^histMinExp (including zero and negatives), the last
+// bucket everything at or above 2^(histMaxExp+1).
+//
+// With histMinExp = -30 the finest bucket starts near 1ns (in seconds)
+// and with histMaxExp = 33 the coarsest ends near 1.7e10 — wide enough
+// for byte counts and sub-microsecond latencies alike.
+const (
+	histMinExp   = -30
+	histMaxExp   = 33
+	histExpRange = histMaxExp - histMinExp + 1
+	histBuckets  = histExpRange + 2 // + underflow + overflow
+)
+
+// Histogram is a lock-free log-bucketed histogram. Observe performs one
+// atomic add on a bucket, one on the total count, and CAS loops on the
+// sum/min/max — no locks, no allocation.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	minEnc  atomic.Uint64 // Float64bits+1; 0 = no sample yet
+	maxEnc  atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histMinVal is the lower bound of the first exponent bucket.
+var histMinVal = math.Ldexp(1, histMinExp)
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if !(v >= histMinVal) { // catches NaN, <=0, tiny
+		return 0
+	}
+	e := math.Ilogb(v)
+	if e > histMaxExp {
+		return histBuckets - 1
+	}
+	return e - histMinExp + 1
+}
+
+// BucketBound returns the exclusive upper bound of bucket i;
+// +Inf for the overflow bucket.
+func BucketBound(i int) float64 {
+	if i < 0 {
+		return math.Inf(-1)
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	if !math.IsNaN(v) {
+		casExtremum(&h.minEnc, v, func(cur, v float64) bool { return v < cur })
+		casExtremum(&h.maxEnc, v, func(cur, v float64) bool { return v > cur })
+	}
+}
+
+// addFloat atomically adds d to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casExtremum replaces the stored extremum with v when better(cur, v).
+// The encoding is Float64bits+1, leaving 0 free as the "no sample yet"
+// sentinel, so first-sample seeding needs no separate init flag.
+func casExtremum(enc *atomic.Uint64, v float64, better func(cur, v float64) bool) {
+	nv := math.Float64bits(v) + 1
+	for {
+		old := enc.Load()
+		if old != 0 && !better(math.Float64frombits(old-1), v) {
+			return
+		}
+		if enc.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Min returns the smallest observed sample (0 before any Observe).
+func (h *Histogram) Min() float64 {
+	enc := h.minEnc.Load()
+	if enc == 0 {
+		return 0
+	}
+	return math.Float64frombits(enc - 1)
+}
+
+// Max returns the largest observed sample (0 before any Observe).
+func (h *Histogram) Max() float64 {
+	enc := h.maxEnc.Load()
+	if enc == 0 {
+		return 0
+	}
+	return math.Float64frombits(enc - 1)
+}
+
+// Mean returns the arithmetic mean (0 before any Observe).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// boundaries: it returns the upper bound of the bucket containing the
+// q-th sample — an upper estimate within one power of two.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}

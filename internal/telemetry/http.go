@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders every instrument of the registry in the
+// Prometheus text exposition format (version 0.0.4). Dotted instrument
+// names become underscore-separated metric names; Label-encoded label
+// blocks pass through. Histograms expose the conventional cumulative
+// `_bucket{le=...}`, `_sum` and `_count` series.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+
+	names := s.CounterNames()
+	for _, n := range names {
+		base, labels := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", base, base, labels, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	gnames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		base, labels := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", base, base, labels, promFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		if err := writePromHist(w, n, s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram with cumulative buckets.
+func writePromHist(w io.Writer, name string, h HistSnapshot) error {
+	base, labels := promName(name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+		return err
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, promAddLabel(labels, "le", promFloat(b.LE)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, promAddLabel(labels, "le", "+Inf"), h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", base, labels, promFloat(h.Sum), base, labels, h.Count)
+	return err
+}
+
+// promName converts a canonical instrument name to a Prometheus metric
+// name plus a rendered label block ("" or `{k="v"}`).
+func promName(name string) (base, labels string) {
+	b, l := splitLabels(name)
+	var sb strings.Builder
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if l == "" {
+		return sb.String(), ""
+	}
+	return sb.String(), "{" + l + "}"
+}
+
+// promAddLabel appends one label pair to a rendered label block.
+func promAddLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	// %g already drops trailing fractional zeros ("0.75", "100", "0").
+	return fmt.Sprintf("%.9g", v)
+}
+
+// Handler returns the debug mux for a registry:
+//
+//	/metrics          Prometheus text format
+//	/snapshot         the diffable JSON Snapshot
+//	/debug/vars       expvar (Go runtime memstats + the registry)
+//	/debug/pprof/...  net/http/pprof profiles
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out, err := r.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(out)
+	})
+	publishExpvar(r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvar.Publish panics on duplicate names, so each registry is
+// published at most once under "saba" (first one wins; later registries
+// are still fully served by /metrics and /snapshot).
+var expvarOnce sync.Once
+
+func publishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("saba", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// DebugServer is a running metrics/debug HTTP endpoint.
+type DebugServer struct {
+	Addr string // bound address, e.g. "127.0.0.1:39041"
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ListenAndServe starts the debug endpoint on addr (":0" picks a free
+// port) serving Handler(r) in a background goroutine.
+func ListenAndServe(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(r)},
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Bucket is one non-empty histogram bucket in a snapshot: the exclusive
+// upper bound and the (non-cumulative) sample count at or below it but
+// above the previous bound.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistSnapshot is the point-in-time view of one histogram.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// It marshals to stable JSON (sorted keys via map marshaling) and
+// supports Delta for diffing two snapshots of the same registry — the
+// machine-readable view tests and cmd/sabaexp consume.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = snapshotHist(h)
+	}
+	return s
+}
+
+// snapshotHist copies one histogram's atomics. Concurrent Observe calls
+// can land between the loads, so the parts may be off by a sample from
+// each other — acceptable for monitoring, and each field is internally
+// consistent.
+func snapshotHist(h *Histogram) HistSnapshot {
+	hs := HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{LE: BucketBound(i), Count: c})
+		}
+	}
+	return hs
+}
+
+// Delta returns the change from prev to s: counters and histogram
+// counts subtract; gauges keep their current value (a gauge is a level,
+// not a flow). Instruments absent from prev appear unchanged.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		d.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		p, ok := prev.Histograms[n]
+		if !ok {
+			d.Histograms[n] = h
+			continue
+		}
+		dh := HistSnapshot{
+			Count: h.Count - p.Count,
+			Sum:   h.Sum - p.Sum,
+			Min:   h.Min,
+			Max:   h.Max,
+			P50:   h.P50,
+			P99:   h.P99,
+		}
+		if dh.Count > 0 {
+			dh.Mean = dh.Sum / float64(dh.Count)
+		}
+		prevAt := map[float64]uint64{}
+		for _, b := range p.Buckets {
+			prevAt[b.LE] = b.Count
+		}
+		for _, b := range h.Buckets {
+			if c := b.Count - prevAt[b.LE]; c > 0 {
+				dh.Buckets = append(dh.Buckets, Bucket{LE: b.LE, Count: c})
+			}
+		}
+		d.Histograms[n] = dh
+	}
+	return d
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON with sorted
+// keys — the format the -metrics flags print.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CounterNames returns the sorted counter names in the snapshot.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

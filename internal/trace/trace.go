@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"saba/internal/netsim"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -22,13 +23,25 @@ type Point struct {
 
 // Recorder accumulates utilization into fixed-width time buckets for a
 // set of traced nodes.
+//
+// By default the whole timeline is retained; SetMaxSamples switches the
+// recorder into ring-buffer mode with bounded memory, keeping only the
+// most recent buckets.
 type Recorder struct {
 	interval float64
 	nodes    map[topology.NodeID]bool
 	capacity float64 // per-node egress capacity, bits/sec
 
+	// Both series share the same base offset: bucket i of either slice
+	// covers [ (base+i)·interval, (base+i+1)·interval ).
+	base    int
 	cpuBusy []float64 // busy node-seconds per bucket
 	netBits []float64 // egress bits per bucket
+
+	maxSamples int // > 0: ring-buffer mode, retain at most this many buckets
+	dropped    int // buckets discarded by the sliding window
+
+	droppedCtr *telemetry.Counter // trace.buckets_dropped
 }
 
 // NewRecorder traces the given nodes with buckets of `interval` seconds.
@@ -47,8 +60,22 @@ func NewRecorder(interval float64, nodes []topology.NodeID, capacity float64) (*
 	for _, n := range nodes {
 		set[n] = true
 	}
-	return &Recorder{interval: interval, nodes: set, capacity: capacity}, nil
+	return &Recorder{
+		interval:   interval,
+		nodes:      set,
+		capacity:   capacity,
+		droppedCtr: telemetry.Default.Counter("trace.buckets_dropped"),
+	}, nil
 }
+
+// SetMaxSamples bounds the retained timeline to the most recent n
+// buckets (a sliding window of n×interval seconds): once the simulation
+// advances past the window, the oldest buckets are discarded and memory
+// stays O(n). n <= 0 restores the default unbounded mode.
+func (r *Recorder) SetMaxSamples(n int) { r.maxSamples = n }
+
+// Dropped returns how many buckets the sliding window has discarded.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Attach hooks the recorder into the engine's advance callback, chaining
 // any previously installed hook.
@@ -99,7 +126,16 @@ func (r *Recorder) spread(buckets *[]float64, from, to, value float64) {
 	if last < first {
 		last = first
 	}
-	if needed := last + 1; needed > len(*buckets) {
+	if r.maxSamples > 0 && last-r.base >= r.maxSamples {
+		r.advanceBase(last + 1 - r.maxSamples)
+	}
+	if last < r.base {
+		return // entirely before the retained window
+	}
+	if first < r.base {
+		first = r.base
+	}
+	if needed := last - r.base + 1; needed > len(*buckets) {
 		grown := make([]float64, needed)
 		copy(grown, *buckets)
 		*buckets = grown
@@ -116,12 +152,35 @@ func (r *Recorder) spread(buckets *[]float64, from, to, value float64) {
 			hi = bEnd
 		}
 		if hi > lo {
-			(*buckets)[b] += value * (hi - lo)
+			(*buckets)[b-r.base] += value * (hi - lo)
 		}
 	}
 }
 
-// Series returns the normalized timeline: CPU% and Net% per bucket.
+// advanceBase slides the retained window forward so its first bucket is
+// newBase, trimming both series in place (they share the base offset).
+func (r *Recorder) advanceBase(newBase int) {
+	d := newBase - r.base
+	if d <= 0 {
+		return
+	}
+	trim := func(s []float64) []float64 {
+		if d >= len(s) {
+			return s[:0]
+		}
+		copy(s, s[d:])
+		return s[:len(s)-d]
+	}
+	r.cpuBusy = trim(r.cpuBusy)
+	r.netBits = trim(r.netBits)
+	r.base = newBase
+	r.dropped += d
+	r.droppedCtr.Add(uint64(d))
+}
+
+// Series returns the normalized timeline: CPU% and Net% per bucket. In
+// ring-buffer mode it covers only the retained window; each Point's Time
+// is still the absolute bucket start.
 func (r *Recorder) Series() []Point {
 	n := len(r.cpuBusy)
 	if len(r.netBits) > n {
@@ -130,7 +189,7 @@ func (r *Recorder) Series() []Point {
 	pts := make([]Point, n)
 	nodeCount := float64(len(r.nodes))
 	for b := 0; b < n; b++ {
-		pts[b].Time = float64(b) * r.interval
+		pts[b].Time = float64(r.base+b) * r.interval
 		if b < len(r.cpuBusy) {
 			pts[b].CPU = 100 * r.cpuBusy[b] / (nodeCount * r.interval)
 		}

@@ -150,6 +150,70 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestRingBufferBoundedMemory(t *testing.T) {
+	r, err := NewRecorder(1, []topology.NodeID{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 64
+	r.SetMaxSamples(cap)
+	// Drive the recorder far past the window: 10k seconds of activity on
+	// both series, one second at a time.
+	for s := 0; s < 10000; s++ {
+		from, to := float64(s), float64(s)+1
+		r.MarkCPU(from, to, 1)
+		r.spread(&r.netBits, from, to, 100) // full line rate
+	}
+	if len(r.cpuBusy) > cap || len(r.netBits) > cap {
+		t.Fatalf("buckets exceed cap: cpu=%d net=%d, cap=%d",
+			len(r.cpuBusy), len(r.netBits), cap)
+	}
+	pts := r.Series()
+	if len(pts) > cap {
+		t.Fatalf("series has %d points, cap %d", len(pts), cap)
+	}
+	// The retained window must be the most recent buckets, with absolute
+	// timestamps and intact data on both series.
+	if got, want := pts[len(pts)-1].Time, float64(9999); got != want {
+		t.Errorf("last bucket time = %g, want %g", got, want)
+	}
+	if got, want := pts[0].Time, float64(10000-cap); got != want {
+		t.Errorf("first bucket time = %g, want %g", got, want)
+	}
+	for _, p := range pts {
+		if math.Abs(p.CPU-100) > 1e-9 || math.Abs(p.Net-100) > 1e-9 {
+			t.Fatalf("bucket t=%g: CPU=%g Net=%g, want 100/100", p.Time, p.CPU, p.Net)
+		}
+	}
+	if r.Dropped() != 10000-cap {
+		t.Errorf("Dropped() = %d, want %d", r.Dropped(), 10000-cap)
+	}
+}
+
+func TestRingBufferSpanningWrite(t *testing.T) {
+	// A single interval wider than the window keeps only its tail.
+	r, _ := NewRecorder(1, []topology.NodeID{1}, 100)
+	r.SetMaxSamples(4)
+	r.MarkCPU(0, 100, 1)
+	pts := r.Series()
+	if len(pts) != 4 {
+		t.Fatalf("series has %d points, want 4", len(pts))
+	}
+	if pts[0].Time != 96 {
+		t.Errorf("first bucket time = %g, want 96", pts[0].Time)
+	}
+	for _, p := range pts {
+		if math.Abs(p.CPU-100) > 1e-9 {
+			t.Errorf("bucket t=%g CPU=%g, want 100", p.Time, p.CPU)
+		}
+	}
+	// Writes entirely before the window are dropped silently.
+	r.MarkCPU(0, 1, 1)
+	if got := r.Series()[0].CPU; math.Abs(got-100) > 1e-9 {
+		t.Errorf("stale write corrupted window: CPU=%g", got)
+	}
+}
+
 func TestSeriesClampsAt100(t *testing.T) {
 	r, _ := NewRecorder(1, []topology.NodeID{1}, 100)
 	r.MarkCPU(0, 1, 5) // 5 busy nodes reported for 1 traced node
