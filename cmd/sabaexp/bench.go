@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"saba/internal/experiments"
+	"saba/internal/telemetry"
+)
+
+// BenchResult is one benchmark's machine-readable outcome. EventsPerSec
+// is the simulator's end-to-end throughput — discrete events processed
+// per wall-clock second — the metric the CI regression gate tracks.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  float64 `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchReport is the schema of BENCH_netsim.json.
+type BenchReport struct {
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// maxEventsPerSecDrop is how far a benchmark's events/sec may fall below
+// the committed baseline before the comparison fails. Machine-to-machine
+// variance on shared CI runners is real; 30% is well past noise for a
+// workload this long.
+const maxEventsPerSecDrop = 0.30
+
+// benchSuite lists the benchmarks the JSON report covers. Fig. 10 at
+// scale is the incremental engine's headline workload: 1,944 hosts'
+// worth of traffic on the reduced spine-leaf fabric across five
+// allocation disciplines.
+var benchSuite = []struct {
+	name string
+	fn   func() error
+}{
+	{"Fig10AtScale", func() error {
+		_, err := experiments.Fig10(experiments.ScaleConfig{})
+		return err
+	}},
+}
+
+// runBenchJSON runs the suite, writes the report to outPath, and — when
+// baselinePath is set — fails if any benchmark's events/sec regressed.
+func runBenchJSON(outPath, baselinePath string) error {
+	report := BenchReport{}
+	events := telemetry.Default.Counter("netsim.events")
+	for _, bm := range benchSuite {
+		var benchErr error
+		var evDelta uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			start := events.Value()
+			for i := 0; i < b.N; i++ {
+				if err := bm.fn(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+			evDelta = events.Value() - start
+		})
+		if benchErr != nil {
+			return fmt.Errorf("bench %s: %w", bm.name, benchErr)
+		}
+		res := BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			EventsPerOp: float64(evDelta) / float64(r.N),
+		}
+		if s := r.T.Seconds(); s > 0 {
+			res.EventsPerSec = float64(evDelta) / s
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%s\t%d iters\t%.0f ns/op\t%d allocs/op\t%.0f events/op\t%.0f events/sec\n",
+			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.EventsPerOp, res.EventsPerSec)
+	}
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(outPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		return compareBaseline(report, baselinePath)
+	}
+	return nil
+}
+
+// compareBaseline checks the fresh report against a committed baseline,
+// failing when any shared benchmark's events/sec dropped by more than
+// maxEventsPerSecDrop. Benchmarks present on only one side are reported
+// but not fatal, so the suite can grow without breaking old baselines.
+func compareBaseline(fresh BenchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	baseBy := map[string]BenchResult{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var failed bool
+	for _, f := range fresh.Benchmarks {
+		b, ok := baseBy[f.Name]
+		if !ok {
+			fmt.Printf("%s: no baseline entry, skipping comparison\n", f.Name)
+			continue
+		}
+		if b.EventsPerSec <= 0 {
+			fmt.Printf("%s: baseline has no events/sec, skipping comparison\n", f.Name)
+			continue
+		}
+		ratio := f.EventsPerSec / b.EventsPerSec
+		fmt.Printf("%s: %.0f events/sec vs baseline %.0f (%.2fx)\n",
+			f.Name, f.EventsPerSec, b.EventsPerSec, ratio)
+		if ratio < 1-maxEventsPerSecDrop {
+			fmt.Printf("%s: REGRESSION: events/sec dropped %.0f%% (budget %.0f%%)\n",
+				f.Name, (1-ratio)*100, maxEventsPerSecDrop*100)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("bench regression against %s", path)
+	}
+	return nil
+}

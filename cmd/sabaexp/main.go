@@ -6,6 +6,9 @@
 //	sabaexp -fig 8 -setups 500  # the paper-sized testbed study
 //	sabaexp -fig 10 -full       # the 1,944-server simulation
 //	sabaexp -fig 2 -out dir     # write the Fig. 2 timelines as CSV
+//	sabaexp -bench-json BENCH_netsim.json            # machine-readable bench
+//	sabaexp -bench-json out.json -bench-baseline BENCH_netsim.json
+//	                            # regression gate: fail on >30% events/sec drop
 package main
 
 import (
@@ -25,7 +28,17 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
 	out := flag.String("out", "", "directory for CSV outputs (fig 2)")
 	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
+	benchJSON := flag.String("bench-json", "", "run the simulator benchmark suite and write results as JSON to this file")
+	benchBaseline := flag.String("bench-baseline", "", "compare fresh bench results against this baseline JSON; exit nonzero on regression")
 	flag.Parse()
+
+	if *benchJSON != "" || *benchBaseline != "" {
+		if err := runBenchJSON(*benchJSON, *benchBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "sabaexp:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	err := run(*fig, *setups, *seed, *full, *out)
 	if *showMetrics {

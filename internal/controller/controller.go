@@ -170,9 +170,16 @@ type connState struct {
 	path []topology.LinkID
 }
 
-// portState tracks the applications whose connections cross a port.
+// portState tracks the applications whose connections cross a port,
+// plus a memo of the last successfully enforced input signature: the
+// port's sorted app set and the clustering epoch it was computed under.
+// A re-enforcement with the same signature is a no-op by construction
+// (the Eq. 2 weights and PL→queue mapping depend on nothing else), so
+// enforcePortLocked skips it outright.
 type portState struct {
-	appConns map[AppID]int // connection count per app
+	appConns  map[AppID]int // connection count per app
+	lastKey   []byte        // appSetKey of the last enforced membership
+	lastEpoch uint64        // solEpoch of the last enforcement
 }
 
 // Centralized is the centralized controller of §5.4: a single instance
@@ -199,6 +206,13 @@ type Centralized struct {
 	// invalidated whenever the registered set or PL assignment changes.
 	solCache map[string][]float64
 	globalW  map[AppID]float64
+	// solEpoch versions the global inputs of a port enforcement (PL
+	// assignment, hierarchy, and — under the global strategy — the
+	// registered set). Ports remember the epoch they were enforced under;
+	// see portState.
+	solEpoch uint64
+	idsBuf   []AppID // enforcePortLocked scratch
+	keyBuf   []byte  // enforcePortLocked scratch
 
 	// lastCalc is how long the most recent full weight recomputation
 	// took; the same durations feed tel.solve, whose histogram is the
@@ -343,6 +357,11 @@ func (c *Centralized) Deregister(id AppID) error {
 	}
 	clear(c.solCache)
 	c.globalW = nil
+	if !c.cfg.PerPortWeights {
+		// The global solve spans every registered app, so departures
+		// change the surviving apps' weights at unchanged ports.
+		c.solEpoch++
+	}
 	c.tel.deregisters.Inc()
 	c.tel.apps.Set(float64(len(c.apps)))
 	return c.enforceAllLocked()
@@ -485,6 +504,7 @@ func (c *Centralized) LastCalcDuration() time.Duration {
 func (c *Centralized) RecomputeAll() (time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.solEpoch++ // force: bypass every port's enforcement memo
 	if err := c.enforceAllLocked(); err != nil {
 		return 0, err
 	}
@@ -531,6 +551,7 @@ func (c *Centralized) reclusterLocked() error {
 		return fmt.Errorf("controller: PL hierarchy: %w", err)
 	}
 	c.hier = hier
+	c.solEpoch++
 	return nil
 }
 
@@ -584,11 +605,17 @@ func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
 		return nil
 	}
 	// Applications with flows through this port, in deterministic order.
-	ids := make([]AppID, 0, len(ps.appConns))
+	ids := c.idsBuf[:0]
 	for id := range ps.appConns {
 		ids = append(ids, id)
 	}
 	sortAppIDs(ids)
+	c.idsBuf = ids
+	key := appendAppSetKey(c.keyBuf[:0], ids)
+	c.keyBuf = key
+	if ps.lastEpoch == c.solEpoch && string(ps.lastKey) == string(key) {
+		return nil // same apps, same clustering: the config is already live
+	}
 
 	weights, err := c.weightsLocked(ids, port)
 	if err != nil {
@@ -645,6 +672,8 @@ func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
 	}); err != nil {
 		return err
 	}
+	ps.lastKey = append(ps.lastKey[:0], c.keyBuf...)
+	ps.lastEpoch = c.solEpoch
 	c.tel.ports.Inc()
 	return nil
 }
@@ -715,11 +744,15 @@ func (c *Centralized) globalWeightsLocked() (map[AppID]float64, error) {
 
 // appSetKey encodes a sorted application-ID set as a cache key.
 func appSetKey(ids []AppID) string {
-	b := make([]byte, 0, len(ids)*3)
+	return string(appendAppSetKey(make([]byte, 0, len(ids)*3), ids))
+}
+
+// appendAppSetKey appends the encoding of a sorted application-ID set.
+func appendAppSetKey(b []byte, ids []AppID) []byte {
 	for _, id := range ids {
 		b = appendVarint(b, uint64(id))
 	}
-	return string(b)
+	return b
 }
 
 func appendVarint(b []byte, v uint64) []byte {

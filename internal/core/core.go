@@ -92,6 +92,11 @@ type RunConfig struct {
 	Horizon float64
 	// Seed drives the controller's clustering determinism.
 	Seed int64
+	// FullRecompute disables the engine's scoped (dirty-component) rate
+	// recomputation, forcing a global allocator pass after every change —
+	// the escape hatch for validating the incremental path against the
+	// reference behavior.
+	FullRecompute bool
 }
 
 // Result reports a run.
@@ -179,6 +184,7 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 	}
 
 	e := netsim.NewEngine(net, alloc)
+	e.SetFullRecompute(cfg.FullRecompute)
 	res := Result{Policy: cfg.Policy, Completions: make([]float64, len(jobs))}
 
 	type jobCtl struct {

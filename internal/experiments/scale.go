@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"saba/internal/core"
 	"saba/internal/profiler"
@@ -43,6 +44,13 @@ func (c *ScaleConfig) fill() {
 	}
 }
 
+// profileCache memoizes the sensitivity tables of synthetic workload
+// sets by (seed, count); see newScaleEnv.
+var (
+	profileCacheMu sync.Mutex
+	profileCache   = map[string]*profiler.Table{}
+)
+
 // scaleEnv is the shared setup of the at-scale studies: topology,
 // synthetic workloads with their profiles, and job placements (one
 // instance per server, randomly spread).
@@ -64,15 +72,28 @@ func newScaleEnv(cfg ScaleConfig) (*scaleEnv, error) {
 
 	// Profile every synthetic workload (the paper profiles on a rack-scale
 	// 18-node deployment; the SimRunner uses the reference node count).
-	table := profiler.NewTable()
-	for _, spec := range specs {
-		res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
-		if err != nil {
-			return nil, fmt.Errorf("profile %s: %w", spec.Name, err)
+	// The table depends only on the spec set — itself a pure function of
+	// (seed, count) — and profiling runs a simulation per bandwidth point
+	// per spec, so every scale study reuses one table per configuration
+	// instead of re-profiling the identical workloads.
+	tableKey := fmt.Sprintf("%d/%d", cfg.Seed, cfg.Workloads)
+	profileCacheMu.Lock()
+	table := profileCache[tableKey]
+	profileCacheMu.Unlock()
+	if table == nil {
+		table = profiler.NewTable()
+		for _, spec := range specs {
+			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
+			if err != nil {
+				return nil, fmt.Errorf("profile %s: %w", spec.Name, err)
+			}
+			if err := table.PutResult(res, 3); err != nil {
+				return nil, err
+			}
 		}
-		if err := table.PutResult(res, 3); err != nil {
-			return nil, err
-		}
+		profileCacheMu.Lock()
+		profileCache[tableKey] = table
+		profileCacheMu.Unlock()
 	}
 
 	// Placement: shuffle hosts, deal them round-robin so every server runs

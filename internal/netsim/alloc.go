@@ -11,6 +11,20 @@ type Allocator interface {
 	Name() string
 	// Allocate recomputes all flow rates in place.
 	Allocate(net *Network)
+	// AllocateScoped recomputes rates for exactly the given flows and
+	// returns true, or returns false without side effects when the
+	// discipline cannot localize (the caller must then fall back to a
+	// full Allocate).
+	//
+	// The contract: ids is a union of link-connected components of the
+	// active flow set, in ascending order — every active flow sharing a
+	// link with a member is itself a member. Max-min water-filling is
+	// separable across such components (no link couples them), so
+	// disciplines built on progressive filling produce rates bit-for-bit
+	// identical to a global recompute restricted to ids. Globally-coupled
+	// disciplines — Sincronia's coflow ordering, Homa's residual-size
+	// bands — decline by returning false.
+	AllocateScoped(net *Network, ids []FlowID) bool
 }
 
 // IdealMaxMin is per-flow max-min fairness computed by progressive
@@ -31,8 +45,15 @@ func (*IdealMaxMin) Name() string { return "ideal-maxmin" }
 
 // Allocate implements Allocator.
 func (a *IdealMaxMin) Allocate(net *Network) {
-	a.filler.Reset(net)
-	a.filler.Run(net, net.ActiveIDs(), FlatClassifier{})
+	a.AllocateScoped(net, net.ActiveIDs())
+}
+
+// AllocateScoped implements Allocator: progressive filling is link-local,
+// so filling only the dirty components reproduces the global result.
+func (a *IdealMaxMin) AllocateScoped(net *Network, ids []FlowID) bool {
+	a.filler.ResetFor(net, ids)
+	a.filler.Run(net, ids, FlatClassifier{})
+	return true
 }
 
 // DefaultFECNEfficiency is the fraction of a congested link's capacity
@@ -68,10 +89,18 @@ type FECN struct {
 	// interference); SimProfile yields the paper's OMNeT-style simulated
 	// baseline, whose CC model loses far less (its ideal-max-min gap is
 	// only 1.14x, §8.4).
-	Crowd   float64
-	MinEff  float64
-	filler  *Filler
-	derated map[topology.LinkID]float64
+	Crowd  float64
+	MinEff float64
+	filler *Filler
+
+	// Scratch: the congested links found by pass 1 with their derated
+	// capacities, plus epoch marks so each link is inspected once per
+	// allocation and each app counted once per link.
+	derLinks []topology.LinkID
+	derCap   []float64
+	linkMark []int64
+	appMark  []int64
+	epoch    int64
 }
 
 // NewFECN creates the baseline allocator with the given efficiency; 0
@@ -85,7 +114,7 @@ func NewFECN(net *Network, efficiency float64) *FECN {
 		Crowd:      CrowdPenalty,
 		MinEff:     MinFECNEfficiency,
 		filler:     NewFiller(net),
-		derated:    map[topology.LinkID]float64{},
+		linkMark:   make([]int64, len(net.Topology().Links())),
 	}
 }
 
@@ -103,21 +132,32 @@ func (*FECN) Name() string { return "fecn-baseline" }
 
 // Allocate implements Allocator.
 func (a *FECN) Allocate(net *Network) {
-	ids := net.ActiveIDs()
+	a.AllocateScoped(net, net.ActiveIDs())
+}
+
+// AllocateScoped implements Allocator. Both the discovery of saturated
+// links and the derating are per-link decisions over the flows crossing
+// that link, and a dirty component owns its links outright, so scoping
+// the two filling passes to the component reproduces the global result.
+func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
 	// Pass 1: ideal rates to discover saturated links.
-	a.filler.Reset(net)
+	a.filler.ResetFor(net, ids)
 	a.filler.Run(net, ids, FlatClassifier{})
 
-	clear(a.derated)
-	for i := range net.flows {
-		f := &net.flows[i]
+	a.derLinks = a.derLinks[:0]
+	a.derCap = a.derCap[:0]
+	a.epoch++
+	runEp := a.epoch
+	for _, id := range ids {
+		f := &net.flows[id]
 		if !f.active {
 			continue
 		}
 		for _, l := range f.Path {
-			if _, seen := a.derated[l]; seen {
-				continue
+			if a.linkMark[l] == runEp {
+				continue // already inspected this allocation
 			}
+			a.linkMark[l] = runEp
 			// FECN marking needs actual queue buildup: a saturated link
 			// with at least two competing flows. A lone flow at line rate
 			// keeps queues empty and is never marked. Beyond two
@@ -125,28 +165,39 @@ func (a *FECN) Allocate(net *Network) {
 			// queue costs additional goodput (CC oscillation + HOL).
 			c := net.Capacity(l)
 			if c > 0 && len(net.FlowsOn(l)) >= 2 && net.LinkUtilization(l) >= 0.999 {
-				apps := map[AppID]bool{}
+				a.epoch++
+				appEp := a.epoch
+				apps := 0
 				for _, fid := range net.FlowsOn(l) {
-					apps[net.flows[fid].App] = true
+					slot := int(net.flows[fid].App) + 1 // NoApp occupies slot 0
+					for slot >= len(a.appMark) {
+						a.appMark = append(a.appMark, 0)
+					}
+					if a.appMark[slot] != appEp {
+						a.appMark[slot] = appEp
+						apps++
+					}
 				}
-				eff := a.Efficiency - a.Crowd*float64(len(apps)-crowdReferenceApps)
+				eff := a.Efficiency - a.Crowd*float64(apps-crowdReferenceApps)
 				if eff < a.MinEff {
 					eff = a.MinEff
 				}
 				if eff > a.Efficiency {
 					eff = a.Efficiency
 				}
-				a.derated[l] = c * eff
+				a.derLinks = append(a.derLinks, l)
+				a.derCap = append(a.derCap, c*eff)
 			}
 		}
 	}
-	if len(a.derated) == 0 {
-		return // nothing congested: ideal rates stand
+	if len(a.derLinks) == 0 {
+		return true // nothing congested: ideal rates stand
 	}
 	// Pass 2: refill with congested links derated.
-	a.filler.Reset(net)
-	for l, c := range a.derated {
-		a.filler.capRem[l] = c
+	a.filler.ResetFor(net, ids)
+	for i, l := range a.derLinks {
+		a.filler.capRem[l] = a.derCap[i]
 	}
 	a.filler.Run(net, ids, FlatClassifier{})
+	return true
 }

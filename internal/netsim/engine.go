@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"saba/internal/sim"
 	"saba/internal/telemetry"
@@ -15,12 +16,15 @@ import (
 // flowSeconds records *virtual* durations (sim-time clock semantics):
 // under a fixed seed the histogram is bit-for-bit reproducible.
 type engineMetrics struct {
-	reg             *telemetry.Registry
-	events          *telemetry.Counter // netsim.events
-	rateRecomputes  *telemetry.Counter // netsim.rate_recomputes
-	flowCompletions *telemetry.Counter // netsim.flow_completions
-	flowsActive     *telemetry.Gauge   // netsim.flows_active
-	flowSeconds     *telemetry.Histogram
+	reg              *telemetry.Registry
+	events           *telemetry.Counter // netsim.events
+	rateRecomputes   *telemetry.Counter // netsim.rate_recomputes
+	scopedRecomputes *telemetry.Counter // netsim.scoped_recomputes
+	dirtyFlows       *telemetry.Counter // netsim.dirty_flows
+	flowCompletions  *telemetry.Counter // netsim.flow_completions
+	flowsActive      *telemetry.Gauge   // netsim.flows_active
+	heapSize         *telemetry.Gauge   // netsim.completion_heap_size
+	flowSeconds      *telemetry.Histogram
 
 	// Per-allocator port-utilization gauges, cached by allocator name
 	// (allocators can be swapped mid-run via SetAllocator).
@@ -30,14 +34,17 @@ type engineMetrics struct {
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:             reg,
-		events:          reg.Counter("netsim.events"),
-		rateRecomputes:  reg.Counter("netsim.rate_recomputes"),
-		flowCompletions: reg.Counter("netsim.flow_completions"),
-		flowsActive:     reg.Gauge("netsim.flows_active"),
-		flowSeconds:     reg.Histogram("netsim.flow_seconds"),
-		utilMax:         map[string]*telemetry.Gauge{},
-		utilMean:        map[string]*telemetry.Gauge{},
+		reg:              reg,
+		events:           reg.Counter("netsim.events"),
+		rateRecomputes:   reg.Counter("netsim.rate_recomputes"),
+		scopedRecomputes: reg.Counter("netsim.scoped_recomputes"),
+		dirtyFlows:       reg.Counter("netsim.dirty_flows"),
+		flowCompletions:  reg.Counter("netsim.flow_completions"),
+		flowsActive:      reg.Gauge("netsim.flows_active"),
+		heapSize:         reg.Gauge("netsim.completion_heap_size"),
+		flowSeconds:      reg.Histogram("netsim.flow_seconds"),
+		utilMax:          map[string]*telemetry.Gauge{},
+		utilMean:         map[string]*telemetry.Gauge{},
 	}
 }
 
@@ -60,23 +67,55 @@ func (m *engineMetrics) utilGauges(alloc string) (max, mean *telemetry.Gauge) {
 // Engine is the fluid discrete-event driver: it alternates between
 // recomputing flow rates (whenever the flow set changes) and advancing
 // virtual time to the next flow completion or scheduled event.
+//
+// Two structures make each step cheap in large networks. First, an
+// indexed min-heap of projected completion times replaces the per-step
+// scan over all active flows: a flow's heap key is lastSet +
+// Remaining/Rate, recomputed only when its rate actually changes, so
+// finding the next completion is O(1). Second, rate recomputation is
+// scoped to the dirty component — the flows transitively link-connected
+// to whatever was added or removed — because bandwidth sharing across
+// disjoint components is independent for separable disciplines.
+// Allocators that cannot localize (Homa, Sincronia) decline via
+// AllocateScoped and fall back to a full recompute; SetFullRecompute
+// forces the pre-refactor global path for A/B validation.
 type Engine struct {
 	net    *Network
 	alloc  Allocator
 	clock  sim.Clock
 	events sim.Queue
-	dirty  bool
-	onDone map[FlowID]func(*Engine, FlowID)
+	onDone []func(*Engine, FlowID) // indexed by FlowID; nil = no callback
 	tel    *engineMetrics
+
+	dirty    bool
+	dirtyAll bool // recompute cannot be scoped (allocator swap, reconfig)
+	full     bool // FullRecompute escape hatch: never scope
+
+	// Dirty-set seeds accumulated since the last recompute: flows added
+	// (their components must be rated) and links whose capacity was
+	// released by removed flows (their surviving flows' components must
+	// be re-rated).
+	seedFlows []FlowID
+	seedLinks []topology.LinkID
+
+	// completions maps every active flow with a positive rate to its
+	// projected completion time.
+	completions sim.IndexedHeap
+
+	// Recompute scratch, reused across steps.
+	ids      []FlowID  // flows handed to the allocator last recompute
+	oldRates []float64 // parallel to ids: rates before the recompute
+	linkSeen []int64   // epoch marks for the component BFS
+	flowSeen []int64
+	epoch    int64
+	stack    []topology.LinkID // BFS worklist
+	done     []FlowID          // completions of the current step
 
 	// OnAdvance, when set, observes every time advance [t0, t1) with the
 	// flow rates that were in force during it — the hook used by the
 	// utilization tracer (Fig. 2). It runs after flows have progressed but
 	// before completion callbacks fire.
 	OnAdvance func(e *Engine, t0, t1 float64)
-
-	// completed scratch buffer
-	done []FlowID
 }
 
 // Errors returned by Run.
@@ -88,10 +127,9 @@ var (
 // NewEngine creates an engine over the network with the given allocator.
 func NewEngine(net *Network, alloc Allocator) *Engine {
 	return &Engine{
-		net:    net,
-		alloc:  alloc,
-		onDone: map[FlowID]func(*Engine, FlowID){},
-		tel:    newEngineMetrics(telemetry.Default),
+		net:   net,
+		alloc: alloc,
+		tel:   newEngineMetrics(telemetry.Default),
 	}
 }
 
@@ -100,6 +138,12 @@ func NewEngine(net *Network, alloc Allocator) *Engine {
 func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 	e.tel = newEngineMetrics(reg)
 }
+
+// SetFullRecompute disables (true) or re-enables (false) scoped rate
+// recomputation: with full recompute every flow-set change re-rates the
+// entire network, the pre-incremental behavior. The differential test
+// drives both modes and checks bit-for-bit identical completion times.
+func (e *Engine) SetFullRecompute(full bool) { e.full = full }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.clock.Now() }
@@ -115,11 +159,16 @@ func (e *Engine) Allocator() Allocator { return e.alloc }
 func (e *Engine) SetAllocator(a Allocator) {
 	e.alloc = a
 	e.dirty = true
+	e.dirtyAll = true
 }
 
-// MarkDirty forces a rate recomputation on the next step (used after
-// out-of-band configuration changes such as new WFQ weights).
-func (e *Engine) MarkDirty() { e.dirty = true }
+// MarkDirty forces a full rate recomputation on the next step (used after
+// out-of-band configuration changes such as new WFQ weights, which can
+// shift rates on links no flow was added to or removed from).
+func (e *Engine) MarkDirty() {
+	e.dirty = true
+	e.dirtyAll = true
+}
 
 // AddFlow activates a flow; onDone (optional) fires when it completes.
 func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, error) {
@@ -128,19 +177,46 @@ func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, e
 		return 0, err
 	}
 	if onDone != nil {
-		e.onDone[id] = onDone
+		e.setDone(id, onDone)
 	}
+	e.seedFlows = append(e.seedFlows, id)
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return id, nil
 }
 
+// AddFlows atomically activates a batch of flows under a single pending
+// rate recomputation — a job stage's shuffle fan-out admits all its
+// flows for the cost of one allocator invocation instead of one per
+// flow. onDone (optional) fires once per completing flow.
+func (e *Engine) AddFlows(specs []FlowSpec, onDone func(*Engine, FlowID)) ([]FlowID, error) {
+	ids, err := e.net.AddFlows(e.Now(), specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if onDone != nil {
+			e.setDone(id, onDone)
+		}
+		e.seedFlows = append(e.seedFlows, id)
+	}
+	e.dirty = true
+	e.tel.flowsActive.Set(float64(e.net.NumActive()))
+	return ids, nil
+}
+
 // CancelFlow removes a flow without firing its completion callback.
 func (e *Engine) CancelFlow(id FlowID) error {
+	f, err := e.net.Flow(id)
+	if err != nil {
+		return err
+	}
+	e.seedLinks = append(e.seedLinks, f.Path...)
 	if err := e.net.RemoveFlow(id); err != nil {
 		return err
 	}
-	delete(e.onDone, id)
+	e.completions.Remove(int(id))
+	e.takeDone(id)
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return nil
@@ -195,23 +271,17 @@ func (e *Engine) RunUntil(horizon float64, pred func() bool) error {
 func (e *Engine) step(horizon float64) error {
 	e.tel.events.Inc()
 	if e.dirty {
-		e.alloc.Allocate(e.net)
+		e.recompute()
 		e.dirty = false
 		e.tel.rateRecomputes.Inc()
 		e.observeUtilization()
 	}
 
-	// Earliest flow completion.
-	dtFlow := math.Inf(1)
-	e.net.ForEachActive(func(f *Flow) {
-		if f.Rate > 0 {
-			if dt := f.Remaining / f.Rate; dt < dtFlow {
-				dtFlow = dt
-			}
-		}
-	})
-	tFlow := e.Now() + dtFlow
-
+	// Earliest flow completion: the heap minimum.
+	tFlow := math.Inf(1)
+	if at, _, ok := e.completions.Min(); ok {
+		tFlow = at
+	}
 	tEvent := math.Inf(1)
 	if at, ok := e.events.PeekTime(); ok {
 		tEvent = at
@@ -228,32 +298,42 @@ func (e *Engine) step(horizon float64) error {
 		return fmt.Errorf("%w: next event at %gs > horizon %gs", ErrHorizon, tNext, horizon)
 	}
 
-	// Advance all flows by dt and collect completions.
-	dt := tNext - e.Now()
-	e.done = e.done[:0]
-	e.net.ForEachActive(func(f *Flow) {
-		if f.Rate > 0 && dt > 0 {
-			f.Remaining -= f.Rate * dt
-		}
-		if f.Remaining <= completionSlack(f) {
-			f.Remaining = 0
-			e.done = append(e.done, f.ID)
-		}
-	})
 	t0 := e.Now()
 	if err := e.clock.AdvanceTo(tNext); err != nil {
 		return err
 	}
-	if e.OnAdvance != nil && dt > 0 {
+	e.net.now = tNext
+	if e.OnAdvance != nil && tNext > t0 {
 		e.OnAdvance(e, t0, tNext)
 	}
 
-	for _, id := range e.done {
-		fn := e.onDone[id]
-		delete(e.onDone, id)
-		if f, err := e.net.Flow(id); err == nil {
-			e.tel.flowSeconds.Observe(e.Now() - f.Start)
+	// Pop every flow due by tNext. The residual check mirrors the heap
+	// key within completionSlack: a flow whose projected residual at
+	// tNext is below the slack floor finishes now even if its exact
+	// completion time lies marginally beyond.
+	e.done = e.done[:0]
+	for {
+		at, idInt, ok := e.completions.Min()
+		if !ok {
+			break
 		}
+		f := &e.net.flows[idInt]
+		if at > tNext && f.RemainingAt(tNext) > completionSlack(f) {
+			break
+		}
+		e.completions.Pop()
+		f.Remaining = 0
+		f.lastSet = tNext
+		e.done = append(e.done, FlowID(idInt))
+	}
+	for _, id := range e.done {
+		fn := e.takeDone(id)
+		f, err := e.net.Flow(id)
+		if err != nil {
+			return err
+		}
+		e.tel.flowSeconds.Observe(tNext - f.Start)
+		e.seedLinks = append(e.seedLinks, f.Path...)
 		if err := e.net.RemoveFlow(id); err != nil {
 			return err
 		}
@@ -279,23 +359,187 @@ func (e *Engine) step(horizon float64) error {
 	return nil
 }
 
-// observeUtilization refreshes the per-allocator port-utilization gauges
-// after a rate recomputation: the max and mean utilization across all
-// links carrying at least one flow (idle links are excluded so sparse
-// topologies don't drown the mean).
-func (e *Engine) observeUtilization() {
-	var sum, max float64
-	n := 0
-	for l := range e.net.linkFlows {
-		if len(e.net.linkFlows[l]) == 0 {
+// setDone records a completion callback for id.
+func (e *Engine) setDone(id FlowID, fn func(*Engine, FlowID)) {
+	for int(id) >= len(e.onDone) {
+		e.onDone = append(e.onDone, nil)
+	}
+	e.onDone[id] = fn
+}
+
+// takeDone removes and returns id's completion callback, if any.
+func (e *Engine) takeDone(id FlowID) func(*Engine, FlowID) {
+	if int(id) >= len(e.onDone) {
+		return nil
+	}
+	fn := e.onDone[id]
+	e.onDone[id] = nil
+	return fn
+}
+
+// recompute re-rates the flows affected by the accumulated flow-set
+// changes and re-projects their completion times. With scoping in
+// force, the affected set is the dirty component: every flow reachable
+// from the seeds through shared links. Disciplines that cannot localize
+// decline AllocateScoped and are re-run globally.
+func (e *Engine) recompute() {
+	now := e.clock.Now()
+	scoped := !e.full && !e.dirtyAll
+	e.ids = e.ids[:0]
+	if scoped {
+		e.ids = e.dirtyComponent(e.ids)
+	} else {
+		e.ids = e.net.ActiveInto(e.ids)
+	}
+	// An empty dirty set is still offered to the allocator: separable
+	// disciplines accept it as a no-op (no link they bill changed), while
+	// decliners like Homa must re-rank the whole network on every change
+	// — exactly what the widened path below does.
+	e.saveOldRates()
+	if !e.alloc.AllocateScoped(e.net, e.ids) {
+		if scoped {
+			// Allocator declined: widen to the full active set.
+			e.ids = e.net.ActiveInto(e.ids[:0])
+			e.saveOldRates()
+			scoped = false
+		}
+		e.alloc.Allocate(e.net)
+	} else if scoped && len(e.ids) > 0 {
+		e.tel.scopedRecomputes.Inc()
+		e.tel.dirtyFlows.Add(uint64(len(e.ids)))
+	}
+	e.reproject(now)
+	e.clearSeeds()
+}
+
+// dirtyComponent expands the seed flows and links into the union of
+// link-connected components they touch, appended to buf in ascending
+// FlowID order (the order the allocator contract requires).
+func (e *Engine) dirtyComponent(buf []FlowID) []FlowID {
+	e.epoch++
+	ep := e.epoch
+	for len(e.linkSeen) < len(e.net.linkFlows) {
+		e.linkSeen = append(e.linkSeen, 0)
+	}
+	for len(e.flowSeen) < len(e.net.flows) {
+		e.flowSeen = append(e.flowSeen, 0)
+	}
+	e.stack = e.stack[:0]
+	for _, l := range e.seedLinks {
+		if e.linkSeen[l] != ep {
+			e.linkSeen[l] = ep
+			e.stack = append(e.stack, l)
+		}
+	}
+	for _, id := range e.seedFlows {
+		f := &e.net.flows[id]
+		if !f.active || e.flowSeen[id] == ep {
+			continue // e.g. admitted then cancelled before this recompute
+		}
+		e.flowSeen[id] = ep
+		buf = append(buf, id)
+		for _, l := range f.Path {
+			if e.linkSeen[l] != ep {
+				e.linkSeen[l] = ep
+				e.stack = append(e.stack, l)
+			}
+		}
+	}
+	for len(e.stack) > 0 {
+		l := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		for _, fid := range e.net.linkFlows[l] {
+			if e.flowSeen[fid] == ep {
+				continue
+			}
+			e.flowSeen[fid] = ep
+			buf = append(buf, fid)
+			for _, fl := range e.net.flows[fid].Path {
+				if e.linkSeen[fl] != ep {
+					e.linkSeen[fl] = ep
+					e.stack = append(e.stack, fl)
+				}
+			}
+		}
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+func (e *Engine) saveOldRates() {
+	e.oldRates = e.oldRates[:0]
+	for _, id := range e.ids {
+		e.oldRates = append(e.oldRates, e.net.flows[id].Rate)
+	}
+}
+
+// reproject materializes Remaining and re-keys the completion heap for
+// every flow whose rate actually changed. Flows whose recomputed rate is
+// bitwise unchanged are left alone — their lazy projection (and heap
+// key) is still exact, which is what makes scoped and full recomputes
+// bit-for-bit identical: both skip exactly the flows whose rates agree.
+func (e *Engine) reproject(now float64) {
+	for i, id := range e.ids {
+		f := &e.net.flows[id]
+		if !f.active {
 			continue
 		}
-		u := e.net.LinkUtilization(topology.LinkID(l))
-		sum += u
-		if u > max {
-			max = u
+		old := e.oldRates[i]
+		if f.Rate == old {
+			continue
 		}
-		n++
+		if old > 0 && now > f.lastSet {
+			f.Remaining -= old * (now - f.lastSet)
+			if f.Remaining < 0 {
+				f.Remaining = 0
+			}
+		}
+		f.lastSet = now
+		if f.Rate > 0 {
+			e.completions.Fix(int(id), now+f.Remaining/f.Rate)
+		} else {
+			e.completions.Remove(int(id))
+		}
+	}
+	e.tel.heapSize.Set(float64(e.completions.Len()))
+}
+
+func (e *Engine) clearSeeds() {
+	e.seedFlows = e.seedFlows[:0]
+	e.seedLinks = e.seedLinks[:0]
+	e.dirtyAll = false
+}
+
+// observeUtilization refreshes the per-allocator port-utilization gauges
+// after a rate recomputation: the max and mean utilization across the
+// busy links touched by the last allocation (under a full recompute that
+// is every busy link; under a scoped one, the dirty component's links —
+// the only ones whose utilization can have changed).
+func (e *Engine) observeUtilization() {
+	e.epoch++
+	ep := e.epoch
+	for len(e.linkSeen) < len(e.net.linkFlows) {
+		e.linkSeen = append(e.linkSeen, 0)
+	}
+	var sum, max float64
+	n := 0
+	for _, id := range e.ids {
+		f := &e.net.flows[id]
+		if !f.active {
+			continue
+		}
+		for _, l := range f.Path {
+			if e.linkSeen[l] == ep || len(e.net.linkFlows[l]) == 0 {
+				continue
+			}
+			e.linkSeen[l] = ep
+			u := e.net.LinkUtilization(l)
+			sum += u
+			if u > max {
+				max = u
+			}
+			n++
+		}
 	}
 	gMax, gMean := e.tel.utilGauges(e.alloc.Name())
 	gMax.Set(max)

@@ -216,6 +216,12 @@ func (zeroAllocator) Name() string { return "zero" }
 func (zeroAllocator) Allocate(net *Network) {
 	net.ForEachActive(func(f *Flow) { f.Rate = 0 })
 }
+func (zeroAllocator) AllocateScoped(net *Network, ids []FlowID) bool {
+	for _, id := range ids {
+		net.flows[id].Rate = 0
+	}
+	return true
+}
 
 func TestEngineHomaEndToEndSRPT(t *testing.T) {
 	// Under Homa, a burst of short flows finishes before a long flow even

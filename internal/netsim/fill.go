@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math"
+
 	"saba/internal/topology"
 )
 
@@ -57,6 +59,20 @@ type Filler struct {
 	pending []FlowID // flows registered in the current run
 	freeze  []FlowID // per-round scratch: flows of the bottleneck class
 
+	// The bottleneck search keeps one cached minimum per link — its
+	// smallest per-class unit entitlement — so each round scans one float
+	// per touched link instead of every class of every link, and a freeze
+	// refreshes only the links the frozen flows cross. Scanning keyv in
+	// registration order with a strict < reproduces the exhaustive scan's
+	// pick (including exact ties) bit for bit.
+	keyv     []float64 // per touched index: cached min unit entitlement
+	bestc    []int32   // per touched index: arg-min class; -1 = no demand
+	cntFlat  []int32   // per link: unfixed-flow count (flat fast path)
+	tidx     []int32   // per link: index into touched (valid while inRun)
+	mark     []int64   // per link: last freeze round that refreshed its key
+	epoch    int64
+	affected []topology.LinkID
+
 	// additive makes fix() add to existing rates instead of overwriting —
 	// the WFQ top-up passes raise already-allocated flows using residual
 	// capacity.
@@ -67,10 +83,13 @@ type Filler struct {
 func NewFiller(net *Network) *Filler {
 	nl := len(net.Topology().Links())
 	return &Filler{
-		capRem: make([]float64, nl),
-		sumW:   make([]float64, nl),
-		cnt:    make([][]int32, nl),
-		inRun:  make([]bool, nl),
+		capRem:  make([]float64, nl),
+		sumW:    make([]float64, nl),
+		cnt:     make([][]int32, nl),
+		cntFlat: make([]int32, nl),
+		inRun:   make([]bool, nl),
+		tidx:    make([]int32, nl),
+		mark:    make([]int64, nl),
 	}
 }
 
@@ -82,12 +101,37 @@ func (fl *Filler) Reset(net *Network) {
 	}
 }
 
+// ResetFor initializes remaining capacities for exactly the links crossed
+// by the given flows — the scoped equivalent of Reset. When ids is a
+// union of link-connected components (so no other flow touches those
+// links) a subsequent Run over ids reads only the links reset here,
+// making the allocation epoch O(Σ path length) instead of O(links).
+func (fl *Filler) ResetFor(net *Network, ids []FlowID) {
+	for _, id := range ids {
+		f := &net.flows[id]
+		if !f.active {
+			continue
+		}
+		for _, l := range f.Path {
+			fl.capRem[l] = net.Capacity(l)
+		}
+	}
+}
+
 // Run allocates rates for the given flows against the remaining
 // capacities, decrementing them so subsequent Runs see only the leftover
 // (strict-priority composition). Flows not in ids are ignored entirely;
 // their demand must already be reflected in capRem by a previous Run.
 func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 	if len(ids) == 0 {
+		return
+	}
+	if _, flat := cls.(FlatClassifier); flat {
+		// The four flat disciplines dominate simulation time; the
+		// specialized loop below computes bit-identical results (single
+		// class of weight 1, so every float expression degenerates to the
+		// same operations) without interface dispatch or per-class state.
+		fl.runFlat(net, ids)
 		return
 	}
 	// Register per-link class occupancy for this run.
@@ -110,6 +154,7 @@ func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 		for _, l := range f.Path {
 			if !fl.inRun[l] {
 				fl.inRun[l] = true
+				fl.tidx[l] = int32(len(fl.touched))
 				fl.touched = append(fl.touched, l)
 				nc := len(cls.LinkClasses(l))
 				if cap(fl.cnt[l]) < nc {
@@ -139,40 +184,29 @@ func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 	// share, and *every* unfixed flow in that pair has exactly that unit
 	// entitlement (it crosses the pair, so it cannot be higher; the pair
 	// is the global minimum, so it cannot be lower). Each round therefore
-	// scans links×classes instead of flows×path, and freezes a whole
-	// class at once.
+	// scans the per-link cached minima, freezes a whole class at once,
+	// and re-keys only the links the frozen flows cross.
+	fl.keyv = fl.keyv[:0]
+	fl.bestc = fl.bestc[:0]
+	for _, l := range fl.touched {
+		key, q := fl.linkKey(l, cls)
+		fl.keyv = append(fl.keyv, key)
+		fl.bestc = append(fl.bestc, int32(q))
+	}
 	remaining := len(fl.pending)
 	for remaining > 0 {
-		best := -1.0
-		var bl topology.LinkID = -1
-		bc := -1
-		for _, l := range fl.touched {
-			w := fl.sumW[l]
-			if w <= 1e-12 {
-				continue
-			}
-			c := fl.capRem[l]
-			if c < 0 {
-				c = 0
-			}
-			share := c / w
-			specs := cls.LinkClasses(l)
-			for q, n := range fl.cnt[l] {
-				if n <= 0 {
-					continue
-				}
-				ent := share * specs[q].Weight
-				if !specs[q].PerFlow {
-					ent /= float64(n)
-				}
-				if best < 0 || ent < best {
-					best, bl, bc = ent, l, q
-				}
+		best := math.Inf(1)
+		ti := -1
+		for i, key := range fl.keyv {
+			if key < best {
+				best, ti = key, i
 			}
 		}
-		if best < 0 {
+		if ti < 0 {
 			break // no demand left (cannot happen while remaining > 0)
 		}
+		bl := fl.touched[ti]
+		bc := int(fl.bestc[ti])
 		// Collect then freeze the bottleneck class (fix mutates counters).
 		fl.freeze = fl.freeze[:0]
 		for _, fid := range net.linkFlows[bl] {
@@ -181,17 +215,149 @@ func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 				fl.freeze = append(fl.freeze, fid)
 			}
 		}
+		fl.epoch++
+		fl.affected = fl.affected[:0]
 		for _, fid := range fl.freeze {
 			f := &net.flows[fid]
 			fl.fix(f, best*float64(f.Mult), cls)
 			remaining--
+			for _, l := range f.Path {
+				if fl.mark[l] != fl.epoch {
+					fl.mark[l] = fl.epoch
+					fl.affected = append(fl.affected, l)
+				}
+			}
 		}
 		if len(fl.freeze) == 0 {
 			break // inconsistent counters; avoid spinning
 		}
+		for _, l := range fl.affected {
+			ati := int(fl.tidx[l])
+			key, q := fl.linkKey(l, cls)
+			fl.keyv[ati], fl.bestc[ati] = key, int32(q)
+		}
 	}
 
 	// Clear run markers.
+	for _, l := range fl.touched {
+		fl.inRun[l] = false
+	}
+	if remaining > 0 {
+		for _, id := range fl.pending {
+			net.flows[id].inRun = false
+		}
+	}
+}
+
+// runFlat is Run specialized to FlatClassifier: per-flow max-min with one
+// weight-1 class per link. cnt/demand/linkKey collapse to a single
+// per-link connection count, and a link's key is capRem/count directly
+// (share × weight 1.0 and weight-1 demand sums are bitwise identical to
+// the generic expressions).
+func (fl *Filler) runFlat(net *Network, ids []FlowID) {
+	fl.touched = fl.touched[:0]
+	fl.pending = fl.pending[:0]
+	for _, id := range ids {
+		f := &net.flows[id]
+		if !f.active {
+			continue
+		}
+		if len(f.Path) == 0 {
+			f.Rate = LocalRate
+			continue
+		}
+		if !fl.additive {
+			f.Rate = 0
+		}
+		f.inRun = true
+		fl.pending = append(fl.pending, id)
+		for _, l := range f.Path {
+			if !fl.inRun[l] {
+				fl.inRun[l] = true
+				fl.tidx[l] = int32(len(fl.touched))
+				fl.touched = append(fl.touched, l)
+				fl.cntFlat[l] = 0
+			}
+			fl.cntFlat[l] += int32(f.Mult)
+		}
+	}
+	fl.keyv = fl.keyv[:0]
+	for _, l := range fl.touched {
+		n := fl.cntFlat[l]
+		fl.sumW[l] = float64(n)
+		if n <= 0 {
+			fl.keyv = append(fl.keyv, math.Inf(1))
+			continue
+		}
+		c := fl.capRem[l]
+		if c < 0 {
+			c = 0
+		}
+		fl.keyv = append(fl.keyv, c/float64(n))
+	}
+	remaining := len(fl.pending)
+	for remaining > 0 {
+		best := math.Inf(1)
+		ti := -1
+		for i, key := range fl.keyv {
+			if key < best {
+				best, ti = key, i
+			}
+		}
+		if ti < 0 {
+			break // no demand left (cannot happen while remaining > 0)
+		}
+		bl := fl.touched[ti]
+		fl.freeze = fl.freeze[:0]
+		for _, fid := range net.linkFlows[bl] {
+			f := &net.flows[fid]
+			if f.active && f.inRun {
+				fl.freeze = append(fl.freeze, fid)
+			}
+		}
+		fl.epoch++
+		fl.affected = fl.affected[:0]
+		for _, fid := range fl.freeze {
+			f := &net.flows[fid]
+			rate := best * float64(f.Mult)
+			if fl.additive {
+				f.Rate += rate
+			} else {
+				f.Rate = rate
+			}
+			f.inRun = false
+			remaining--
+			for _, l := range f.Path {
+				r := fl.capRem[l] - rate
+				if r < 0 {
+					r = 0
+				}
+				fl.capRem[l] = r
+				fl.cntFlat[l] -= int32(f.Mult)
+				fl.sumW[l] -= 1 * float64(f.Mult)
+				if fl.mark[l] != fl.epoch {
+					fl.mark[l] = fl.epoch
+					fl.affected = append(fl.affected, l)
+				}
+			}
+		}
+		if len(fl.freeze) == 0 {
+			break // inconsistent counters; avoid spinning
+		}
+		for _, l := range fl.affected {
+			ati := int(fl.tidx[l])
+			n := fl.cntFlat[l]
+			if n <= 0 || fl.sumW[l] <= 1e-12 {
+				fl.keyv[ati] = math.Inf(1)
+				continue
+			}
+			c := fl.capRem[l]
+			if c < 0 {
+				c = 0
+			}
+			fl.keyv[ati] = c / fl.sumW[l]
+		}
+	}
 	for _, l := range fl.touched {
 		fl.inRun[l] = false
 	}
@@ -225,6 +391,41 @@ func (fl *Filler) fix(f *Flow, rate float64, cls Classifier) {
 			fl.sumW[l] -= spec.Weight
 		}
 	}
+}
+
+// linkKey returns a link's minimum per-class unit entitlement and the
+// class attaining it (ties prefer the lowest class, matching an
+// ascending scan), or (+Inf, -1) when the link has no unfixed demand —
+// the sentinel keeps spent links out of the bottleneck scan for free.
+func (fl *Filler) linkKey(l topology.LinkID, cls Classifier) (float64, int) {
+	w := fl.sumW[l]
+	if w <= 1e-12 {
+		return math.Inf(1), -1
+	}
+	c := fl.capRem[l]
+	if c < 0 {
+		c = 0
+	}
+	share := c / w
+	specs := cls.LinkClasses(l)
+	best := -1.0
+	bq := -1
+	for q, n := range fl.cnt[l] {
+		if n <= 0 {
+			continue
+		}
+		ent := share * specs[q].Weight
+		if !specs[q].PerFlow {
+			ent /= float64(n)
+		}
+		if bq < 0 || ent < best {
+			best, bq = ent, q
+		}
+	}
+	if bq < 0 {
+		return math.Inf(1), -1
+	}
+	return best, bq
 }
 
 // demand returns the weighted demand of unfixed run-flows at link l.

@@ -40,10 +40,12 @@ func NewHoma(net *Network, cutoffs []float64) *Homa {
 // Name implements Allocator.
 func (*Homa) Name() string { return "homa" }
 
-// band returns the strict-priority band of a flow (0 = highest priority).
-func (h *Homa) band(f *Flow) int {
+// band returns the strict-priority band of a flow (0 = highest priority)
+// by its residual size projected to virtual time now.
+func (h *Homa) band(f *Flow, now float64) int {
+	r := f.RemainingAt(now)
 	for i, c := range h.Cutoffs {
-		if f.Remaining < c {
+		if r < c {
 			return i
 		}
 	}
@@ -53,11 +55,12 @@ func (h *Homa) band(f *Flow) int {
 // Allocate implements Allocator: progressive filling per band, highest
 // priority first, each band consuming the previous bands' leftovers.
 func (h *Homa) Allocate(net *Network) {
+	now := net.Now()
 	for i := range h.bands {
 		h.bands[i] = h.bands[i][:0]
 	}
 	net.ForEachActive(func(f *Flow) {
-		b := h.band(f)
+		b := h.band(f, now)
 		h.bands[b] = append(h.bands[b], f.ID)
 	})
 	h.filler.Reset(net)
@@ -65,3 +68,10 @@ func (h *Homa) Allocate(net *Network) {
 		h.filler.Run(net, band, FlatClassifier{})
 	}
 }
+
+// AllocateScoped implements Allocator by declining: bands depend on
+// residual size, so a full recompute can legitimately re-rank (and
+// re-rate) flows in components the dirty set never touched — a flow
+// draining across a cutoff changes its band even though no flow was
+// added or removed near it. Scoping would freeze those stale rates.
+func (h *Homa) AllocateScoped(*Network, []FlowID) bool { return false }

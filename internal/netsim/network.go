@@ -41,20 +41,45 @@ const NoApp AppID = -1
 const NoCoflow CoflowID = -1
 
 // Flow is one active transfer.
+//
+// Remaining is materialized lazily: it is exact as of virtual time
+// lastSet (when the flow was admitted or its rate last changed), and the
+// true residual at a later time t is Remaining - Rate×(t - lastSet).
+// Use RemainingAt to read the projected value; the Engine materializes
+// the field only when the rate actually changes, so a stable flow's
+// completion time is computed once instead of being eroded by one
+// subtraction per simulation event.
 type Flow struct {
 	ID        FlowID
 	Src, Dst  topology.NodeID
 	Path      []topology.LinkID
 	Size      float64 // bits, original
-	Remaining float64 // bits
+	Remaining float64 // bits, as of lastSet (see RemainingAt)
 	Rate      float64 // bits/sec, set by the Allocator
 	App       AppID
 	PL        int // priority level (Saba service level); -1 if unassigned
 	Mult      int // parallel-connection multiplicity: counts as Mult flows under per-flow fairness
 	Coflow    CoflowID
 	Start     float64 // virtual time the flow was added
+	lastSet   float64 // virtual time Remaining was last materialized
 	active    bool
-	inRun     bool // scratch: member of the current Filler run
+	inRun     bool    // scratch: member of the current Filler run
+	pathPos   []int32 // pathPos[k] = this flow's index within linkFlows[Path[k]]
+}
+
+// RemainingAt projects the flow's residual bits at virtual time t,
+// assuming its current rate has been in force since lastSet. Allocators
+// whose decisions depend on residual size (Homa's bands, Sincronia's
+// coflow demands) read this instead of Remaining.
+func (f *Flow) RemainingAt(t float64) float64 {
+	if f.Rate <= 0 || t <= f.lastSet {
+		return f.Remaining
+	}
+	r := f.Remaining - f.Rate*(t-f.lastSet)
+	if r < 0 {
+		return 0
+	}
+	return r
 }
 
 // Network is the dynamic state layered over a static topology: the set of
@@ -64,22 +89,35 @@ type Network struct {
 	top       *topology.Topology
 	flows     []Flow
 	free      []FlowID
-	linkFlows [][]FlowID // linkFlows[link] = active flows crossing it
-	capOver   map[topology.LinkID]float64
+	linkFlows [][]FlowID                   // linkFlows[link] = active flows crossing it
+	capEff    []float64                    // effective capacity per link (overrides applied)
+	routes    map[uint64][]topology.LinkID // (src,dst) → path memo, shared read-only
 	active    int
+	now       float64 // virtual time, advanced by the Engine
 }
 
 // NewNetwork creates an empty network over the topology.
 func NewNetwork(top *topology.Topology) *Network {
+	links := top.Links()
+	capEff := make([]float64, len(links))
+	for i := range links {
+		capEff[i] = links[i].Capacity
+	}
 	return &Network{
 		top:       top,
-		linkFlows: make([][]FlowID, len(top.Links())),
-		capOver:   map[topology.LinkID]float64{},
+		linkFlows: make([][]FlowID, len(links)),
+		capEff:    capEff,
+		routes:    map[uint64][]topology.LinkID{},
 	}
 }
 
 // Topology returns the underlying static topology.
 func (n *Network) Topology() *topology.Topology { return n.top }
+
+// Now returns the current virtual time as last advanced by the Engine
+// (zero for networks driven directly in tests). Allocators combine it
+// with Flow.RemainingAt to observe residual sizes.
+func (n *Network) Now() float64 { return n.now }
 
 // Errors returned by flow operations.
 var (
@@ -106,9 +144,15 @@ func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
 	if spec.Bits <= 0 {
 		return 0, fmt.Errorf("%w: %g", ErrBadSize, spec.Bits)
 	}
-	path, err := n.top.Route(spec.Src, spec.Dst)
-	if err != nil {
-		return 0, err
+	rkey := uint64(uint32(spec.Src))<<32 | uint64(uint32(spec.Dst))
+	path, routed := n.routes[rkey]
+	if !routed {
+		p, err := n.top.Route(spec.Src, spec.Dst)
+		if err != nil {
+			return 0, err
+		}
+		path = p
+		n.routes[rkey] = path
 	}
 	var id FlowID
 	if len(n.free) > 0 {
@@ -122,32 +166,66 @@ func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
 	if mult <= 0 {
 		mult = 1
 	}
+	pathPos := n.flows[id].pathPos[:0] // recycle the slot's index storage
 	n.flows[id] = Flow{
 		ID: id, Src: spec.Src, Dst: spec.Dst, Path: path,
 		Size: spec.Bits, Remaining: spec.Bits,
 		App: spec.App, PL: spec.PL, Mult: mult, Coflow: spec.Coflow,
-		Start: now, active: true,
+		Start: now, lastSet: now, active: true,
 	}
+	f := &n.flows[id]
 	for _, l := range path {
+		pathPos = append(pathPos, int32(len(n.linkFlows[l])))
 		n.linkFlows[l] = append(n.linkFlows[l], id)
 	}
+	f.pathPos = pathPos
 	n.active++
 	return id, nil
 }
 
-// RemoveFlow deactivates a flow (on completion or cancellation).
+// AddFlows admits a batch of flows atomically: either every spec is
+// routed and activated (in order, returning their IDs) or none is. The
+// Engine uses it to admit a job stage's whole shuffle fan-out under a
+// single rate recomputation.
+func (n *Network) AddFlows(now float64, specs []FlowSpec) ([]FlowID, error) {
+	ids := make([]FlowID, 0, len(specs))
+	for _, spec := range specs {
+		id, err := n.AddFlow(now, spec)
+		if err != nil {
+			for _, prev := range ids {
+				n.RemoveFlow(prev)
+			}
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// RemoveFlow deactivates a flow (on completion or cancellation). Each
+// link's flow list is updated by swap-remove in O(1) using the per-flow
+// position index, so removal costs O(path length) regardless of how many
+// flows share the links.
 func (n *Network) RemoveFlow(id FlowID) error {
 	f, err := n.flow(id)
 	if err != nil {
 		return err
 	}
-	for _, l := range f.Path {
+	for k, l := range f.Path {
 		fs := n.linkFlows[l]
-		for i, fid := range fs {
-			if fid == id {
-				fs[i] = fs[len(fs)-1]
-				n.linkFlows[l] = fs[:len(fs)-1]
-				break
+		i := int(f.pathPos[k])
+		last := len(fs) - 1
+		moved := fs[last]
+		fs[i] = moved
+		n.linkFlows[l] = fs[:last]
+		if moved != id {
+			// Repoint the moved flow's index entry for this link.
+			mf := &n.flows[moved]
+			for kk, ml := range mf.Path {
+				if ml == l && int(mf.pathPos[kk]) == last {
+					mf.pathPos[kk] = int32(i)
+					break
+				}
 			}
 		}
 	}
@@ -180,15 +258,22 @@ func (n *Network) ForEachActive(fn func(*Flow)) {
 	}
 }
 
-// ActiveIDs returns the IDs of all active flows (freshly allocated).
+// ActiveIDs returns the IDs of all active flows (freshly allocated), in
+// ascending order.
 func (n *Network) ActiveIDs() []FlowID {
-	ids := make([]FlowID, 0, n.active)
+	return n.ActiveInto(make([]FlowID, 0, n.active))
+}
+
+// ActiveInto appends the IDs of all active flows to buf in ascending
+// order and returns it — the allocation-free variant of ActiveIDs for
+// hot paths that reuse scratch.
+func (n *Network) ActiveInto(buf []FlowID) []FlowID {
 	for i := range n.flows {
 		if n.flows[i].active {
-			ids = append(ids, FlowID(i))
+			buf = append(buf, FlowID(i))
 		}
 	}
-	return ids
+	return buf
 }
 
 // FlowsOn returns the active flows crossing a link. The slice is owned by
@@ -197,14 +282,10 @@ func (n *Network) FlowsOn(l topology.LinkID) []FlowID { return n.linkFlows[l] }
 
 // Capacity returns the effective capacity of a link, honoring overrides.
 func (n *Network) Capacity(l topology.LinkID) float64 {
-	if c, ok := n.capOver[l]; ok {
-		return c
-	}
-	lk, err := n.top.Link(l)
-	if err != nil {
+	if int(l) < 0 || int(l) >= len(n.capEff) {
 		return 0
 	}
-	return lk.Capacity
+	return n.capEff[l]
 }
 
 // SetCapacityOverride caps a link at the given bits/sec (the profiler's
@@ -213,13 +294,18 @@ func (n *Network) SetCapacityOverride(l topology.LinkID, bps float64) error {
 	if bps <= 0 {
 		return fmt.Errorf("netsim: capacity override must be positive, got %g", bps)
 	}
-	n.capOver[l] = bps
+	if int(l) < 0 || int(l) >= len(n.capEff) {
+		return fmt.Errorf("netsim: unknown link %d", l)
+	}
+	n.capEff[l] = bps
 	return nil
 }
 
 // ClearCapacityOverride restores a link's native capacity.
 func (n *Network) ClearCapacityOverride(l topology.LinkID) {
-	delete(n.capOver, l)
+	if lk, err := n.top.Link(l); err == nil {
+		n.capEff[l] = lk.Capacity
+	}
 }
 
 // ThrottleHost caps both directions of a host's access link to fraction

@@ -148,3 +148,92 @@ func TestLinkUtilization(t *testing.T) {
 		t.Errorf("overloaded utilization = %g, want 1", u)
 	}
 }
+
+func TestAddFlowsRollsBackOnError(t *testing.T) {
+	net, hosts := testbed(t, 4)
+	pre, _ := net.AddFlow(0, FlowSpec{Src: hosts[0], Dst: hosts[1], Bits: 500})
+	specs := []FlowSpec{
+		{Src: hosts[0], Dst: hosts[2], Bits: 1000},
+		{Src: hosts[1], Dst: hosts[3], Bits: 1000},
+		{Src: hosts[2], Dst: hosts[3], Bits: 0}, // invalid: must poison the batch
+	}
+	ids, err := net.AddFlows(0, specs)
+	if err == nil {
+		t.Fatal("batch with an invalid spec admitted")
+	}
+	if ids != nil {
+		t.Errorf("failed batch returned ids %v", ids)
+	}
+	if net.NumActive() != 1 {
+		t.Errorf("NumActive = %d after rollback, want 1 (the pre-existing flow)", net.NumActive())
+	}
+	for _, lk := range net.Topology().Links() {
+		for _, fid := range net.FlowsOn(lk.ID) {
+			if fid != pre {
+				t.Errorf("link %d still lists rolled-back flow %d", lk.ID, fid)
+			}
+		}
+	}
+	// The network remains usable: the same valid prefix admits cleanly.
+	ids, err = net.AddFlows(0, specs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || net.NumActive() != 3 {
+		t.Errorf("post-rollback admission: ids %v, active %d", ids, net.NumActive())
+	}
+}
+
+// checkLinkIndex verifies the linkFlows/pathPos cross-index invariant:
+// every active flow appears exactly once on each path link, at the
+// position its pathPos records.
+func checkLinkIndex(t *testing.T, net *Network) {
+	t.Helper()
+	for id := range net.flows {
+		f := &net.flows[id]
+		if !f.active {
+			continue
+		}
+		for k, l := range f.Path {
+			fs := net.linkFlows[l]
+			i := int(f.pathPos[k])
+			if i < 0 || i >= len(fs) || fs[i] != FlowID(id) {
+				t.Fatalf("flow %d link %d: pathPos %d does not point back (len %d)", id, l, i, len(fs))
+			}
+		}
+	}
+	for l, fs := range net.linkFlows {
+		for _, fid := range fs {
+			if !net.flows[fid].active {
+				t.Fatalf("link %d lists inactive flow %d", l, fid)
+			}
+		}
+	}
+}
+
+func TestRemoveFlowKeepsIndexConsistent(t *testing.T) {
+	net, hosts := testbed(t, 4)
+	var ids []FlowID
+	// Many overlapping flows so swap-removes genuinely relocate entries.
+	for i := 0; i < 12; i++ {
+		id, err := net.AddFlow(0, FlowSpec{
+			Src: hosts[i%4], Dst: hosts[(i+1+i%3)%4], Bits: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	checkLinkIndex(t, net)
+	// Remove out of order: middle, head, tail, then the rest interleaved.
+	order := []int{5, 0, 11, 3, 8, 1, 10, 2, 7, 4, 9, 6}
+	for _, k := range order {
+		if err := net.RemoveFlow(ids[k]); err != nil {
+			t.Fatalf("remove %d: %v", ids[k], err)
+		}
+		checkLinkIndex(t, net)
+	}
+	if net.NumActive() != 0 {
+		t.Errorf("NumActive = %d after removing all", net.NumActive())
+	}
+}

@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"sort"
+	"slices"
 
 	"saba/internal/topology"
 )
@@ -17,17 +17,34 @@ import (
 type Sincronia struct {
 	filler *Filler
 
-	// scratch
-	demand map[CoflowID]map[topology.LinkID]float64
-	flows  map[CoflowID][]FlowID
-	loose  []FlowID
+	// Scratch reused across allocations. Per-link accumulators are dense
+	// slices guarded by epoch marks instead of maps, and demand sums are
+	// always accumulated in ascending coflow order over each coflow's
+	// flows in ID order — so the float totals, and the tie-breaks they
+	// feed, are deterministic run to run.
+	flows    map[CoflowID][]FlowID
+	loose    []FlowID
+	live     []CoflowID     // sorted; parallel to vecs/placed
+	vecs     [][]linkDemand // vecs[i] = demand vector of live[i]
+	placed   []bool
+	order    []CoflowID
+	demandAt []float64 // scratch: per-link demand of the current coflow
+	totalAt  []float64 // per-link demand over unplaced coflows
+	links    []topology.LinkID
+	linkMark []int64
+	epoch    int64
+}
+
+// linkDemand is one (link, bits) entry of a coflow's demand vector.
+type linkDemand struct {
+	link topology.LinkID
+	bits float64
 }
 
 // NewSincronia creates the coflow allocator.
 func NewSincronia(net *Network) *Sincronia {
 	return &Sincronia{
 		filler: NewFiller(net),
-		demand: map[CoflowID]map[topology.LinkID]float64{},
 		flows:  map[CoflowID][]FlowID{},
 	}
 }
@@ -37,9 +54,16 @@ func (*Sincronia) Name() string { return "sincronia" }
 
 // Allocate implements Allocator.
 func (s *Sincronia) Allocate(net *Network) {
-	// Gather per-coflow state.
-	clear(s.demand)
-	clear(s.flows)
+	// Gather flows per coflow. Buckets left empty by the previous
+	// allocation belong to finished coflows; drop them so the map stays
+	// proportional to the live set.
+	for c, fs := range s.flows {
+		if len(fs) == 0 {
+			delete(s.flows, c)
+		} else {
+			s.flows[c] = fs[:0]
+		}
+	}
 	s.loose = s.loose[:0]
 	net.ForEachActive(func(f *Flow) {
 		if f.Coflow == NoCoflow {
@@ -47,16 +71,16 @@ func (s *Sincronia) Allocate(net *Network) {
 			return
 		}
 		s.flows[f.Coflow] = append(s.flows[f.Coflow], f.ID)
-		d := s.demand[f.Coflow]
-		if d == nil {
-			d = map[topology.LinkID]float64{}
-			s.demand[f.Coflow] = d
-		}
-		for _, l := range f.Path {
-			d[l] += f.Remaining
-		}
 	})
+	s.live = s.live[:0]
+	for c, fs := range s.flows {
+		if len(fs) > 0 {
+			s.live = append(s.live, c)
+		}
+	}
+	slices.Sort(s.live)
 
+	s.buildDemands(net)
 	order := s.bssiOrder()
 
 	// Strict priority in coflow order, residual capacity flowing down.
@@ -67,55 +91,106 @@ func (s *Sincronia) Allocate(net *Network) {
 	s.filler.Run(net, s.loose, FlatClassifier{})
 }
 
-// bssiOrder returns unfinished coflows from first (highest priority) to
-// last, built back-to-front per BSSI.
-func (s *Sincronia) bssiOrder() []CoflowID {
-	// Deterministic iteration: sort coflow IDs.
-	var live []CoflowID
-	for c := range s.demand {
-		live = append(live, c)
-	}
-	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+// AllocateScoped implements Allocator by declining: BSSI is a single
+// total order over every unfinished coflow, computed from global
+// bottleneck demands. Adding or draining one coflow can reshuffle the
+// priority of coflows in entirely disjoint components, so no dirty set
+// smaller than the whole network is sound.
+func (s *Sincronia) AllocateScoped(*Network, []FlowID) bool { return false }
 
-	order := make([]CoflowID, len(live))
-	pos := len(live) - 1
-	remaining := make(map[CoflowID]bool, len(live))
-	for _, c := range live {
-		remaining[c] = true
+// buildDemands computes each live coflow's per-link demand vector and
+// the cross-coflow per-link totals. Demands are residual sizes projected
+// to the current virtual time (Remaining itself is materialized lazily).
+func (s *Sincronia) buildDemands(net *Network) {
+	now := net.Now()
+	for len(s.demandAt) < len(net.linkFlows) {
+		s.demandAt = append(s.demandAt, 0)
+		s.totalAt = append(s.totalAt, 0)
+		s.linkMark = append(s.linkMark, 0)
 	}
-
-	for pos >= 0 {
-		// Most-bottlenecked port over remaining coflows.
-		total := map[topology.LinkID]float64{}
-		for c := range remaining {
-			for l, d := range s.demand[c] {
-				total[l] += d
+	s.links = s.links[:0]
+	s.epoch++
+	runEp := s.epoch
+	for len(s.vecs) < len(s.live) {
+		s.vecs = append(s.vecs, nil)
+	}
+	for i, c := range s.live {
+		s.epoch++
+		ep := s.epoch
+		d := s.vecs[i][:0]
+		for _, id := range s.flows[c] {
+			f := &net.flows[id]
+			r := f.RemainingAt(now)
+			for _, l := range f.Path {
+				if s.linkMark[l] != ep {
+					if s.linkMark[l] < runEp {
+						// First demand on this link this allocation.
+						s.totalAt[l] = 0
+						s.links = append(s.links, l)
+					}
+					s.linkMark[l] = ep
+					s.demandAt[l] = 0
+					d = append(d, linkDemand{link: l})
+				}
+				s.demandAt[l] += r
 			}
 		}
+		for j := range d {
+			d[j].bits = s.demandAt[d[j].link]
+			s.totalAt[d[j].link] += d[j].bits
+		}
+		s.vecs[i] = d
+	}
+	slices.Sort(s.links)
+}
+
+// bssiOrder returns unfinished coflows from first (highest priority) to
+// last, built back-to-front per BSSI. Per-link totals over the unplaced
+// coflows are maintained incrementally: placing a coflow subtracts its
+// demand vector instead of re-summing everything each position.
+func (s *Sincronia) bssiOrder() []CoflowID {
+	n := len(s.live)
+	s.order = append(s.order[:0], s.live...)
+	s.placed = s.placed[:0]
+	for i := 0; i < n; i++ {
+		s.placed = append(s.placed, false)
+	}
+	for pos := n - 1; pos >= 0; pos-- {
+		// Most-bottlenecked port over unplaced coflows; ties prefer the
+		// lowest link (ascending scan, strict >).
 		var bott topology.LinkID = -1
 		best := -1.0
-		for l, d := range total {
-			if d > best || (d == best && l < bott) {
+		for _, l := range s.links {
+			if d := s.totalAt[l]; d > best {
 				bott, best = l, d
 			}
 		}
-		// Coflow with the largest demand on that port goes last. Coflows
-		// with no demand on the bottleneck are preferred earlier (they are
+		// Coflow with the largest demand on that port goes last; ties
+		// prefer the highest coflow ID (ascending scan, >=). Coflows with
+		// no demand on the bottleneck are preferred earlier (they are
 		// chosen only when everything else is placed).
-		var pick CoflowID = -1
+		pick := -1
 		pickD := -1.0
-		for _, c := range live {
-			if !remaining[c] {
+		for i := 0; i < n; i++ {
+			if s.placed[i] {
 				continue
 			}
-			d := s.demand[c][bott]
-			if d > pickD || (d == pickD && c > pick) {
-				pick, pickD = c, d
+			d := 0.0
+			for _, ld := range s.vecs[i] {
+				if ld.link == bott {
+					d = ld.bits
+					break
+				}
+			}
+			if d >= pickD {
+				pick, pickD = i, d
 			}
 		}
-		order[pos] = pick
-		pos--
-		delete(remaining, pick)
+		s.order[pos] = s.live[pick]
+		s.placed[pick] = true
+		for _, ld := range s.vecs[pick] {
+			s.totalAt[ld.link] -= ld.bits
+		}
 	}
-	return order
+	return s.order
 }

@@ -52,6 +52,7 @@ func (p *PortConfig) validate() error {
 type WFQ struct {
 	filler *Filler
 	ports  []*PortConfig // dense, indexed by LinkID; nil = unconfigured
+	slack  []FlowID      // top-up pass scratch
 
 	portsConfigured   *telemetry.Counter // netsim.ports_configured
 	portsDeconfigured *telemetry.Counter // netsim.ports_deconfigured
@@ -136,24 +137,30 @@ func (w *WFQ) Config(port topology.LinkID) *PortConfig {
 }
 
 // Allocate implements Allocator.
+func (w *WFQ) Allocate(net *Network) {
+	w.AllocateScoped(net, net.ActiveIDs())
+}
+
+// AllocateScoped implements Allocator.
 //
 // The generalized water-filling pass freezes whole (port, queue) groups
 // at their minimum entitlement; in a multi-hop hierarchy a queue frozen
 // early can be left below capacity when another queue's flows turn out
-// to be bottlenecked elsewhere. True WFQ is work-conserving, so Allocate
-// runs top-up passes: flows with slack on every link of their path
-// re-enter a supplemental fill over the residual capacities until no
-// flow can be raised (bounded passes; each strictly consumes residual
-// capacity).
-func (w *WFQ) Allocate(net *Network) {
+// to be bottlenecked elsewhere. True WFQ is work-conserving, so the
+// allocation runs top-up passes: flows with slack on every link of their
+// path re-enter a supplemental fill over the residual capacities until
+// no flow can be raised (bounded passes; each strictly consumes residual
+// capacity). Both the fill and the top-ups read only links crossed by
+// ids, and a dirty component owns its links outright, so scoping
+// reproduces the global result.
+func (w *WFQ) AllocateScoped(net *Network, ids []FlowID) bool {
 	cls := wfqClassifier{w}
-	w.filler.Reset(net)
-	ids := net.ActiveIDs()
+	w.filler.ResetFor(net, ids)
 	w.filler.Run(net, ids, cls)
 
 	const maxTopUps = 4
 	for pass := 0; pass < maxTopUps; pass++ {
-		var slack []FlowID
+		slack := w.slack[:0]
 		for _, id := range ids {
 			f := &net.flows[id]
 			if !f.active || len(f.Path) == 0 {
@@ -169,13 +176,15 @@ func (w *WFQ) Allocate(net *Network) {
 				slack = append(slack, id)
 			}
 		}
+		w.slack = slack
 		if len(slack) == 0 {
-			return
+			return true
 		}
 		w.filler.additive = true
 		w.filler.Run(net, slack, cls)
 		w.filler.additive = false
 	}
+	return true
 }
 
 // wfqClassifier adapts the port configurations to the Filler. Configured

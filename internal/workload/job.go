@@ -68,6 +68,7 @@ type Job struct {
 
 	stages      []ScaledStage
 	stage       int
+	specs       []netsim.FlowSpec // launchShuffle batch scratch
 	commPending int
 	computeDone bool
 	commDone    bool
@@ -195,21 +196,24 @@ func (j *Job) launchShuffle(e *netsim.Engine, st ScaledStage) {
 	coflow := netsim.CoflowID(j.ID*10_000 + j.stage)
 	j.commPending = 0
 	j.phase(e.Now(), PhaseCommStart)
+	specs := j.specs[:0]
 	for i, src := range j.Nodes {
 		for k := 1; k <= fan; k++ {
 			dst := j.Nodes[(i+k)%n]
-			_, err := e.AddFlow(netsim.FlowSpec{
+			specs = append(specs, netsim.FlowSpec{
 				Src: src, Dst: dst, Bits: perPeerBits,
 				App: j.App, PL: j.PL, Mult: connFactor, Coflow: coflow,
-			}, j.flowDone)
-			if err != nil {
-				// Routing failures are programming errors in the
-				// harness; a stuck job would hide them, so panic.
-				panic(fmt.Sprintf("workload %s: add flow: %v", j.Spec.Name, err))
-			}
-			j.commPending++
+			})
 		}
 	}
+	j.specs = specs
+	ids, err := e.AddFlows(specs, j.flowDone)
+	if err != nil {
+		// Routing failures are programming errors in the harness; a
+		// stuck job would hide them, so panic.
+		panic(fmt.Sprintf("workload %s: add flows: %v", j.Spec.Name, err))
+	}
+	j.commPending = len(ids)
 	if j.commPending == 0 {
 		j.commDone = true
 		j.maybeAdvance(e)
