@@ -34,26 +34,75 @@ type BenchReport struct {
 // workload this long.
 const maxEventsPerSecDrop = 0.30
 
-// benchSuite lists the benchmarks the JSON report covers. Fig. 10 at
-// scale is the incremental engine's headline workload: 1,944 hosts'
-// worth of traffic on the reduced spine-leaf fabric across five
-// allocation disciplines.
-var benchSuite = []struct {
-	name string
-	fn   func() error
-}{
-	{"Fig10AtScale", func() error {
-		_, err := experiments.Fig10(experiments.ScaleConfig{})
-		return err
-	}},
+// benchEntry is one benchmark: a body plus the telemetry counter whose
+// per-second delta is its throughput metric.
+type benchEntry struct {
+	name    string
+	counter string // defaults to the simulator event counter
+	fn      func() error
+}
+
+// buildBenchSuite assembles the benchmarks the JSON report covers.
+//
+// Fig10AtScale is the incremental engine's headline workload: 1,944
+// hosts' worth of traffic on the reduced spine-leaf fabric across five
+// allocation disciplines, measured in simulator events/sec.
+//
+// The ControllerEnforceAtScale trio times a full-fabric recomputation of
+// the same enforcement scenario (see experiments.EnforceScenario) under
+// three controller configurations — serial without the solution memo,
+// parallel without it, and parallel with it — measured in ports
+// configured/sec. Serial vs. parallel isolates the worker-pool win (on
+// multi-core runners); parallel vs. parallel+cache isolates the
+// cross-port memoization win.
+func buildBenchSuite() ([]benchEntry, error) {
+	suite := []benchEntry{
+		{name: "Fig10AtScale", fn: func() error {
+			_, err := experiments.Fig10(experiments.ScaleConfig{})
+			return err
+		}},
+	}
+	scenario, err := experiments.NewEnforceScenario()
+	if err != nil {
+		return nil, fmt.Errorf("enforce scenario: %w", err)
+	}
+	portsCounter := telemetry.Label("controller.ports_configured", "deploy", "centralized")
+	for _, v := range []struct {
+		suffix  string
+		workers int
+		noCache bool
+	}{
+		{"serial", 1, true},
+		{"parallel", 0, true},
+		{"parallel+cache", 0, false},
+	} {
+		bench, err := scenario.NewController(v.workers, v.noCache)
+		if err != nil {
+			return nil, fmt.Errorf("enforce bench %s: %w", v.suffix, err)
+		}
+		suite = append(suite, benchEntry{
+			name:    "ControllerEnforceAtScale/" + v.suffix,
+			counter: portsCounter,
+			fn:      bench.Recompute,
+		})
+	}
+	return suite, nil
 }
 
 // runBenchJSON runs the suite, writes the report to outPath, and — when
 // baselinePath is set — fails if any benchmark's events/sec regressed.
 func runBenchJSON(outPath, baselinePath string) error {
 	report := BenchReport{}
-	events := telemetry.Default.Counter("netsim.events")
+	benchSuite, err := buildBenchSuite()
+	if err != nil {
+		return err
+	}
 	for _, bm := range benchSuite {
+		counter := bm.counter
+		if counter == "" {
+			counter = "netsim.events"
+		}
+		events := telemetry.Default.Counter(counter)
 		var benchErr error
 		var evDelta uint64
 		r := testing.Benchmark(func(b *testing.B) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
@@ -27,10 +28,12 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
 	out := flag.String("out", "", "directory for CSV outputs (fig 2)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells; 1 forces serial execution (results are identical at any setting)")
 	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	benchJSON := flag.String("bench-json", "", "run the simulator benchmark suite and write results as JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare fresh bench results against this baseline JSON; exit nonzero on regression")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	if *benchJSON != "" || *benchBaseline != "" {
 		if err := runBenchJSON(*benchJSON, *benchBaseline); err != nil {

@@ -40,6 +40,8 @@ type ctrlMetrics struct {
 	connCreates  *telemetry.Counter
 	connDestroys *telemetry.Counter
 	failovers    *telemetry.Counter // shard failovers (mesh only)
+	solHits      *telemetry.Counter // cross-port solution cache hits
+	solMisses    *telemetry.Counter // cross-port solution cache misses
 	apps         *telemetry.Gauge
 	conns        *telemetry.Gauge
 }
@@ -56,6 +58,8 @@ func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
 		connCreates:  reg.Counter(l("controller.conn_creates")),
 		connDestroys: reg.Counter(l("controller.conn_destroys")),
 		failovers:    reg.Counter(l("controller.failovers")),
+		solHits:      reg.Counter(l("controller.solcache_hits")),
+		solMisses:    reg.Counter(l("controller.solcache_misses")),
 		apps:         reg.Gauge(l("controller.apps")),
 		conns:        reg.Gauge(l("controller.conns")),
 	}
@@ -70,7 +74,10 @@ type ConnID int64
 
 // Enforcer pushes queue configurations to switch output ports. The fluid
 // simulator's WFQ allocator implements it; a hardware deployment would
-// program SL→VL tables here.
+// program SL→VL tables here. Controllers memoize solutions across ports,
+// so the cfg passed to Configure may be shared between calls: an
+// implementation must copy what it retains and never mutate cfg
+// (netsim.WFQ deep-copies).
 type Enforcer interface {
 	Configure(port topology.LinkID, cfg netsim.PortConfig) error
 }
@@ -116,6 +123,14 @@ type Config struct {
 	// solved over only the applications present at each port) instead of
 	// the default hop-consistent global solve. See enforcePortLocked.
 	PerPortWeights bool
+	// Workers bounds the worker pool that fans per-port solves out
+	// during batch enforcement. 0 selects GOMAXPROCS; 1 forces the
+	// serial path. Results are bit-identical at any setting.
+	Workers int
+	// NoSolutionCache disables the cross-port solution memo, forcing a
+	// fresh Eq. 2 solve and PL→queue mapping per port. For A/B
+	// benchmarking; determinism is unaffected.
+	NoSolutionCache bool
 	// Telemetry is the registry the controller reports into. nil selects
 	// telemetry.Default.
 	Telemetry *telemetry.Registry
@@ -200,19 +215,18 @@ type Centralized struct {
 	nextConn ConnID
 	rng      *rand.Rand
 
-	// solCache memoizes per-port Eq. 2 solutions per application set:
-	// many ports carry the same set of applications, and the solution
-	// depends only on that set. globalW caches the global solve. Both are
+	// sols memoizes complete port configurations (Eq. 2 weights plus
+	// PL→queue mapping) per (application set, queue count): many ports
+	// carry the same mix of applications, and the configuration depends
+	// on nothing else. globalW caches the global solve. Both are
 	// invalidated whenever the registered set or PL assignment changes.
-	solCache map[string][]float64
-	globalW  map[AppID]float64
+	sols    *solutionCache
+	globalW map[AppID]float64
 	// solEpoch versions the global inputs of a port enforcement (PL
 	// assignment, hierarchy, and — under the global strategy — the
-	// registered set). Ports remember the epoch they were enforced under;
-	// see portState.
+	// registered set). Ports remember the epoch they were enforced under
+	// (see portState) and sols discards entries from other epochs.
 	solEpoch uint64
-	idsBuf   []AppID // enforcePortLocked scratch
-	keyBuf   []byte  // enforcePortLocked scratch
 
 	// lastCalc is how long the most recent full weight recomputation
 	// took; the same durations feed tel.solve, whose histogram is the
@@ -235,6 +249,7 @@ func NewCentralized(cfg Config) (*Centralized, error) {
 	if minQ == 0 {
 		minQ = 1
 	}
+	tel := newCtrlMetrics(cfg.Telemetry, "centralized")
 	return &Centralized{
 		cfg:       cfg,
 		apps:      map[AppID]*appState{},
@@ -244,8 +259,8 @@ func NewCentralized(cfg Config) (*Centralized, error) {
 		nextApp:   1,
 		nextConn:  1,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		solCache:  map[string][]float64{},
-		tel:       newCtrlMetrics(cfg.Telemetry, "centralized"),
+		sols:      newSolutionCache(tel.solHits, tel.solMisses),
+		tel:       tel,
 	}, nil
 }
 
@@ -355,11 +370,14 @@ func (c *Centralized) Deregister(id AppID) error {
 		c.hier = nil
 		c.plPoints = nil
 	}
-	clear(c.solCache)
 	c.globalW = nil
 	if !c.cfg.PerPortWeights {
 		// The global solve spans every registered app, so departures
-		// change the surviving apps' weights at unchanged ports.
+		// change the surviving apps' weights at unchanged ports. The
+		// epoch bump also invalidates the solution cache. (Under
+		// PerPortWeights neither holds: a departed app had no
+		// connections, so no port's app set — and no cache key —
+		// references it, and per-set solutions stay valid.)
 		c.solEpoch++
 	}
 	c.tel.deregisters.Inc()
@@ -514,7 +532,6 @@ func (c *Centralized) RecomputeAll() (time.Duration, error) {
 // reclusterLocked re-runs the application→PL k-means and rebuilds the
 // PL hierarchy (paper §5.3). Caller holds mu.
 func (c *Centralized) reclusterLocked() error {
-	clear(c.solCache)
 	c.globalW = nil
 	if len(c.apps) == 0 {
 		return nil
@@ -555,71 +572,125 @@ func (c *Centralized) reclusterLocked() error {
 	return nil
 }
 
-// enforceAllLocked recomputes every active port, timing the calculation
-// into both LastCalcDuration and the solve-time histogram (Fig. 12).
+// enforceAllLocked recomputes every active port (concurrently when the
+// batch is large enough), timing the whole batch once into both
+// LastCalcDuration and the solve-time histogram (Fig. 12).
 func (c *Centralized) enforceAllLocked() error {
-	start := time.Now()
-	defer func() {
-		c.lastCalc = time.Since(start)
-		c.tel.solve.Observe(c.lastCalc.Seconds())
-	}()
+	ports := make([]topology.LinkID, 0, len(c.ports))
 	for l := range c.ports {
-		if err := c.enforcePortLocked(l); err != nil {
-			return err
-		}
+		ports = append(ports, l)
 	}
-	return nil
+	sortLinkIDs(ports)
+	return c.enforceBatchLocked(ports)
 }
 
-// enforcePortsLocked recomputes the unique ports of a path.
+// enforcePortsLocked recomputes the unique ports of a path as one timed
+// batch.
 func (c *Centralized) enforcePortsLocked(path []topology.LinkID) error {
+	return c.enforceBatchLocked(uniquePorts(path))
+}
+
+// enforceBatchLocked is the single enforcement entry point: it computes
+// a plan per port — fanned out across the worker pool — and applies the
+// plans through the Enforcer in ascending port order. Exactly one
+// solve-histogram sample is recorded per batch, whoever the caller is;
+// per-port paths (rollback re-enforcement) go through enforcePortLocked
+// and record nothing.
+func (c *Centralized) enforceBatchLocked(ports []topology.LinkID) error {
 	start := time.Now()
 	defer func() {
 		c.lastCalc = time.Since(start)
 		c.tel.solve.Observe(c.lastCalc.Seconds())
 	}()
-	for _, l := range path {
-		if err := c.enforcePortLocked(l); err != nil {
+	plans, err := c.computePlansLocked(ports)
+	if err != nil {
+		return err
+	}
+	for i := range plans {
+		if err := c.applyPlanLocked(&plans[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// enforcePortLocked computes the port's queue weights and pushes them
-// (paper §5.1-§5.3). Two weighting strategies are supported:
-//
-//   - Global (default): Eq. 2 is solved once over every registered
-//     application, and each port's queues carry the global weights of the
-//     applications present there. Flows cross several switches, and a
-//     flow's rate is governed by its *minimum* share along the path;
-//     solving each port in isolation gives the same application different
-//     relative weights at different hops, and the per-hop minima
-//     systematically under-serve everyone. Hop-consistent ratios avoid
-//     that composition loss.
-//   - PerPortWeights: the paper's literal formulation — Eq. 2 over only
-//     the applications whose connections cross this port.
-func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
+// computePlansLocked computes every port's configuration without
+// touching the enforcer or any port memo. The per-port computations
+// only read state that is fixed for the duration of the batch (the app
+// registry, PL assignment, hierarchy, port memberships and the global
+// solve), so they run concurrently on the worker pool; see parallel.go
+// for the determinism argument.
+func (c *Centralized) computePlansLocked(ports []topology.LinkID) ([]portPlan, error) {
+	if len(ports) == 0 || c.hier == nil {
+		return nil, nil
+	}
+	if !c.cfg.PerPortWeights && len(c.apps) > 0 {
+		// The global solve is shared by every port: do it once, up
+		// front, so workers only read the result.
+		if _, err := c.globalWeightsLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return computePlans(len(ports), resolveWorkers(c.cfg.Workers),
+		func(i int, sc *planScratch) (portPlan, error) {
+			return c.computePortPlan(ports[i], sc)
+		})
+}
+
+// computePortPlan computes one port's target configuration. It is
+// read-only with respect to controller state and safe to call from
+// several workers at once (sc is per-worker scratch).
+func (c *Centralized) computePortPlan(port topology.LinkID, sc *planScratch) (portPlan, error) {
 	ps := c.ports[port]
 	if ps == nil || len(ps.appConns) == 0 || c.hier == nil {
-		return nil
+		return portPlan{port: port, skip: true}, nil
 	}
 	// Applications with flows through this port, in deterministic order.
-	ids := c.idsBuf[:0]
+	ids := sc.ids[:0]
 	for id := range ps.appConns {
 		ids = append(ids, id)
 	}
 	sortAppIDs(ids)
-	c.idsBuf = ids
-	key := appendAppSetKey(c.keyBuf[:0], ids)
-	c.keyBuf = key
+	sc.ids = ids
+	key := appendAppSetKey(sc.key[:0], ids)
 	if ps.lastEpoch == c.solEpoch && string(ps.lastKey) == string(key) {
-		return nil // same apps, same clustering: the config is already live
+		sc.key = key
+		return portPlan{port: port, skip: true}, nil // same apps, same clustering: already live
 	}
-
-	weights, err := c.weightsLocked(ids, port)
+	keyLen := len(key)
+	queues := c.cfg.Topology.QueuesAt(port)
+	if queues < 1 {
+		queues = 1
+	}
+	var cfg netsim.PortConfig
+	var err error
+	if c.cfg.NoSolutionCache {
+		cfg, err = c.buildPortConfig(ids, port, queues)
+	} else {
+		// Cache key: app set + queue count (ports differing only in
+		// queue count need different mappings).
+		key = appendVarint(key, uint64(queues))
+		cfg, err = c.sols.get(c.solEpoch, key, func() (netsim.PortConfig, error) {
+			return c.buildPortConfig(ids, port, queues)
+		})
+	}
+	sc.key = key
 	if err != nil {
-		return err
+		return portPlan{}, err
+	}
+	return portPlan{
+		port: port,
+		cfg:  cfg,
+		key:  append([]byte(nil), key[:keyLen]...),
+	}, nil
+}
+
+// buildPortConfig computes the Eq. 2 weights and PL→queue mapping for a
+// (sorted) application set at a port (paper §5.1-§5.3).
+func (c *Centralized) buildPortConfig(ids []AppID, port topology.LinkID, queues int) (netsim.PortConfig, error) {
+	weights, err := c.weightsFor(ids, port)
+	if err != nil {
+		return netsim.PortConfig{}, err
 	}
 
 	// PL→queue mapping for the PLs present at this port.
@@ -632,13 +703,9 @@ func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
 		presentPLs = append(presentPLs, pl)
 	}
 	sortInts(presentPLs)
-	queues := c.cfg.Topology.QueuesAt(port)
-	if queues < 1 {
-		queues = 1
-	}
 	clusters, errMap := c.hier.MapToQueues(presentPLs, queues)
 	if errMap != nil {
-		return fmt.Errorf("controller: PL→queue on port %d: %w", port, errMap)
+		return netsim.PortConfig{}, fmt.Errorf("controller: PL→queue on port %d: %w", port, errMap)
 	}
 
 	// Queue weight = Σ of the Eq. 2 weights of the applications mapped to
@@ -658,46 +725,71 @@ func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
 		}
 		qWeights[q] += weights[i]
 	}
-	// Default queue: the heaviest one, so unmapped traffic degrades softly.
-	def := 0
-	for q, w := range qWeights {
-		if w > qWeights[def] {
-			def = q
-		}
-	}
-	if err := c.cfg.Enforcer.Configure(port, netsim.PortConfig{
+	return netsim.PortConfig{
 		Weights:      qWeights,
 		PLQueue:      plToQueue,
-		DefaultQueue: def,
-	}); err != nil {
+		DefaultQueue: defaultQueue(qWeights),
+	}, nil
+}
+
+// applyPlanLocked pushes a computed plan to the enforcer and updates the
+// port's enforcement memo. Called serially, in ascending port order.
+func (c *Centralized) applyPlanLocked(p *portPlan) error {
+	if p.skip {
+		return nil
+	}
+	ps := c.ports[p.port]
+	if ps == nil {
+		return nil
+	}
+	if err := c.cfg.Enforcer.Configure(p.port, p.cfg); err != nil {
 		return err
 	}
-	ps.lastKey = append(ps.lastKey[:0], c.keyBuf...)
+	ps.lastKey = append(ps.lastKey[:0], p.key...)
 	ps.lastEpoch = c.solEpoch
 	c.tel.ports.Inc()
 	return nil
 }
 
-// weightsLocked returns the Eq. 2 weights for the given (sorted) apps at
-// a port, per the configured strategy, memoized by application set.
-func (c *Centralized) weightsLocked(ids []AppID, port topology.LinkID) ([]float64, error) {
+// enforcePortLocked recomputes and pushes a single port outside any
+// timed batch — the rollback re-enforcement path.
+func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
+	var sc planScratch
+	plan, err := c.computePortPlan(port, &sc)
+	if err != nil {
+		return err
+	}
+	return c.applyPlanLocked(&plan)
+}
+
+// weightsFor returns the Eq. 2 weights for the given (sorted) apps at a
+// port. Two weighting strategies are supported:
+//
+//   - Global (default): Eq. 2 is solved once over every registered
+//     application, and each port's queues carry the global weights of the
+//     applications present there. Flows cross several switches, and a
+//     flow's rate is governed by its *minimum* share along the path;
+//     solving each port in isolation gives the same application different
+//     relative weights at different hops, and the per-hop minima
+//     systematically under-serve everyone. Hop-consistent ratios avoid
+//     that composition loss.
+//   - PerPortWeights: the paper's literal formulation — Eq. 2 over only
+//     the applications whose connections cross this port. This bypasses
+//     the shared global solve entirely; cross-port sharing then comes
+//     from the solution cache alone.
+func (c *Centralized) weightsFor(ids []AppID, port topology.LinkID) ([]float64, error) {
 	if !c.cfg.PerPortWeights {
-		// Global strategy: one solve over every registered application,
-		// then select the present apps' weights (ratios preserved; WFQ
-		// normalizes per port).
-		global, err := c.globalWeightsLocked()
-		if err != nil {
-			return nil, err
+		// The batch precomputed the global solve; select the present
+		// apps' weights (ratios preserved; WFQ normalizes per port).
+		global := c.globalW
+		if global == nil {
+			return nil, errors.New("controller: global solve missing (batch precompute skipped)")
 		}
 		weights := make([]float64, len(ids))
 		for i, id := range ids {
 			weights[i] = global[id]
 		}
 		return weights, nil
-	}
-	key := appSetKey(ids)
-	if w, ok := c.solCache[key]; ok {
-		return w, nil
 	}
 	objs := make([]solver.Objective, len(ids))
 	for i, id := range ids {
@@ -710,7 +802,6 @@ func (c *Centralized) weightsLocked(ids []AppID, port topology.LinkID) ([]float6
 	if err != nil {
 		return nil, fmt.Errorf("controller: Eq.2 on port %d: %w", port, err)
 	}
-	c.solCache[key] = weights
 	return weights, nil
 }
 
@@ -740,11 +831,6 @@ func (c *Centralized) globalWeightsLocked() (map[AppID]float64, error) {
 		c.globalW[id] = weights[i]
 	}
 	return c.globalW, nil
-}
-
-// appSetKey encodes a sorted application-ID set as a cache key.
-func appSetKey(ids []AppID) string {
-	return string(appendAppSetKey(make([]byte, 0, len(ids)*3), ids))
 }
 
 // appendAppSetKey appends the encoding of a sorted application-ID set.

@@ -120,9 +120,13 @@ type Distributed struct {
 	appCoef  map[AppID][]float64
 	csaba    float64
 	minShare float64
-	solCache map[string][]float64
-	dead     bool
-	tel      *ctrlMetrics // shared with the owning Mesh
+	// sols memoizes full port configurations per (app set, queue
+	// count); gen is its epoch, bumped whenever the shard's app table
+	// changes so stale solutions can never be served.
+	sols *solutionCache
+	gen  uint64
+	dead bool
+	tel  *ctrlMetrics // shared with the owning Mesh
 }
 
 // Mesh is the collective of distributed controller shards plus the shared
@@ -152,6 +156,10 @@ func (m *Mesh) SetTelemetry(reg *telemetry.Registry) {
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		sh.tel = &m.tel
+		// Rebuild the solution cache so its hit/miss counters follow
+		// the new registry (drops any cached entries; callers rebind
+		// right after NewMesh, before serving traffic).
+		sh.sols = newSolutionCache(m.tel.solHits, m.tel.solMisses)
 		sh.mu.Unlock()
 	}
 }
@@ -190,7 +198,7 @@ func NewMesh(topo *topology.Topology, db *MappingDB, enforcer Enforcer, shards i
 			appCoef:  map[AppID][]float64{},
 			csaba:    csaba,
 			minShare: minShare,
-			solCache: map[string][]float64{},
+			sols:     newSolutionCache(m.tel.solHits, m.tel.solMisses),
 			tel:      &m.tel,
 		})
 	}
@@ -461,7 +469,7 @@ func (d *Distributed) admit(id AppID, pl int, coeffs []float64) {
 	defer d.mu.Unlock()
 	d.appPL[id] = pl
 	d.appCoef[id] = coeffs
-	clear(d.solCache)
+	d.gen++ // invalidate memoized solutions
 }
 
 // evict removes an application from the shard.
@@ -470,7 +478,7 @@ func (d *Distributed) evict(id AppID) {
 	defer d.mu.Unlock()
 	delete(d.appPL, id)
 	delete(d.appCoef, id)
-	clear(d.solCache)
+	d.gen++ // invalidate memoized solutions
 }
 
 // isDead reports whether the shard has been killed.
@@ -488,7 +496,7 @@ func (d *Distributed) kill() {
 	d.dead = true
 	d.owned = map[topology.NodeID]bool{}
 	d.ports = map[topology.LinkID]*portState{}
-	clear(d.solCache)
+	d.gen++ // invalidate memoized solutions
 }
 
 // own transfers a node to this shard during failover.
@@ -584,7 +592,8 @@ func (d *Distributed) removeConn(id AppID, ports []topology.LinkID) error {
 }
 
 // enforcePortLocked mirrors the centralized per-port computation but uses
-// the offline hierarchy and PL assignments.
+// the offline hierarchy and PL assignments. Full configurations are
+// memoized per (app set, queue count) in the shard's solution cache.
 func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
 	ps := d.ports[port]
 	if ps == nil || len(ps.appConns) == 0 {
@@ -595,20 +604,34 @@ func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
 		ids = append(ids, id)
 	}
 	sortAppIDs(ids)
+	queues := d.topo.QueuesAt(port)
+	if queues < 1 {
+		queues = 1
+	}
+	key := appendVarint(appendAppSetKey(make([]byte, 0, len(ids)*3+2), ids), uint64(queues))
+	cfg, err := d.sols.get(d.gen, key, func() (netsim.PortConfig, error) {
+		return d.buildPortConfig(ids, port, queues)
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.enforcer.Configure(port, cfg); err != nil {
+		return err
+	}
+	d.tel.ports.Inc()
+	return nil
+}
 
-	key := appSetKey(ids)
-	weights, ok := d.solCache[key]
-	if !ok {
-		objs := make([]solver.Objective, len(ids))
-		for i, id := range ids {
-			objs[i] = solver.NewMonotonePoly(d.appCoef[id])
-		}
-		var err error
-		weights, err = solver.Minimize(objs, solver.Options{Total: d.csaba, MinShare: d.minShare})
-		if err != nil {
-			return fmt.Errorf("controller: shard %d Eq.2 on port %d: %w", d.id, port, err)
-		}
-		d.solCache[key] = weights
+// buildPortConfig solves Eq. 2 over the port's (sorted) app set and maps
+// the present PLs to the port's queues via the offline hierarchy.
+func (d *Distributed) buildPortConfig(ids []AppID, port topology.LinkID, queues int) (netsim.PortConfig, error) {
+	objs := make([]solver.Objective, len(ids))
+	for i, id := range ids {
+		objs[i] = solver.NewMonotonePoly(d.appCoef[id])
+	}
+	weights, err := solver.Minimize(objs, solver.Options{Total: d.csaba, MinShare: d.minShare})
+	if err != nil {
+		return netsim.PortConfig{}, fmt.Errorf("controller: shard %d Eq.2 on port %d: %w", d.id, port, err)
 	}
 
 	present := map[int]bool{}
@@ -620,13 +643,9 @@ func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
 		presentPLs = append(presentPLs, pl)
 	}
 	sortInts(presentPLs)
-	queues := d.topo.QueuesAt(port)
-	if queues < 1 {
-		queues = 1
-	}
 	clusters, err := d.db.Hierarchy().MapToQueues(presentPLs, queues)
 	if err != nil {
-		return fmt.Errorf("controller: shard %d PL→queue on port %d: %w", d.id, port, err)
+		return netsim.PortConfig{}, fmt.Errorf("controller: shard %d PL→queue on port %d: %w", d.id, port, err)
 	}
 	plToQueue := map[int]int{}
 	for q, cl := range clusters {
@@ -640,19 +659,9 @@ func (d *Distributed) enforcePortLocked(port topology.LinkID) error {
 			qWeights[q] += weights[i]
 		}
 	}
-	def := 0
-	for q, w := range qWeights {
-		if w > qWeights[def] {
-			def = q
-		}
-	}
-	if err := d.enforcer.Configure(port, netsim.PortConfig{
+	return netsim.PortConfig{
 		Weights:      qWeights,
 		PLQueue:      plToQueue,
-		DefaultQueue: def,
-	}); err != nil {
-		return err
-	}
-	d.tel.ports.Inc()
-	return nil
+		DefaultQueue: defaultQueue(qWeights),
+	}, nil
 }

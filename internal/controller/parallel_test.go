@@ -1,0 +1,393 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+// recordingEnforcer keeps the last configuration pushed to each port,
+// deep-copied per the Enforcer contract (configurations may be shared
+// cache entries).
+type recordingEnforcer struct {
+	mu    sync.Mutex
+	ports map[topology.LinkID]netsim.PortConfig
+	calls int
+}
+
+func newRecordingEnforcer() *recordingEnforcer {
+	return &recordingEnforcer{ports: map[topology.LinkID]netsim.PortConfig{}}
+}
+
+func (r *recordingEnforcer) Configure(port topology.LinkID, cfg netsim.PortConfig) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := netsim.PortConfig{
+		Weights:      append([]float64(nil), cfg.Weights...),
+		PLQueue:      make(map[int]int, len(cfg.PLQueue)),
+		DefaultQueue: cfg.DefaultQueue,
+	}
+	for pl, q := range cfg.PLQueue {
+		cp.PLQueue[pl] = q
+	}
+	r.ports[port] = cp
+	r.calls++
+	return nil
+}
+
+func (r *recordingEnforcer) snapshot() map[topology.LinkID]netsim.PortConfig {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[topology.LinkID]netsim.PortConfig, len(r.ports))
+	for p, c := range r.ports {
+		out[p] = c
+	}
+	return out
+}
+
+// fabricRig builds a controller over a small spine-leaf fabric with a
+// recording enforcer and a private telemetry registry.
+func fabricRig(t *testing.T, workers int, noCache, perPort bool) (*Centralized, *recordingEnforcer, []topology.NodeID, *telemetry.Registry) {
+	t.Helper()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2, HostsPerToR: 4, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf := newRecordingEnforcer()
+	reg := telemetry.NewRegistry()
+	c, err := NewCentralized(Config{
+		Topology:        top,
+		Table:           testTable(t),
+		Enforcer:        enf,
+		PLs:             8,
+		Seed:            1,
+		Workers:         workers,
+		NoSolutionCache: noCache,
+		PerPortWeights:  perPort,
+		Telemetry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, enf, top.Hosts(), reg
+}
+
+// driveOps applies a deterministic op sequence — batch registration,
+// connection churn, a deregistration, full recomputes — and returns the
+// final enforced state. The sequence is a pure function of the seed, so
+// two controllers driven with the same seed saw identical inputs.
+func driveOps(t *testing.T, c *Centralized, enf *recordingEnforcer, hosts []topology.NodeID, seed int64) map[topology.LinkID]netsim.PortConfig {
+	t.Helper()
+	names := []string{"steep", "flat", "mid1", "mid2", "steep", "mid1"}
+	ids, err := c.RegisterBatch(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var conns []ConnID
+	var owners []AppID
+	for i := 0; i < 60; i++ {
+		id := ids[rng.Intn(len(ids))]
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if src == dst {
+			continue
+		}
+		cid, err := c.ConnCreate(id, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, cid)
+		owners = append(owners, id)
+	}
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy every third connection plus everything owned by the last
+	// app, which is then deregistered.
+	victim := ids[len(ids)-1]
+	for i := range conns {
+		if i%3 == 0 || owners[i] == victim {
+			if err := c.ConnDestroy(conns[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Deregister(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return enf.snapshot()
+}
+
+// TestSerialParallelEnforceIdentical is the differential gate of the
+// parallel control plane: the serial uncached controller and the
+// parallel cached one must enforce bit-identical configurations on
+// every port, under both weight strategies. CI runs it under -race.
+func TestSerialParallelEnforceIdentical(t *testing.T) {
+	for _, perPort := range []bool{false, true} {
+		t.Run(fmt.Sprintf("perPort=%v", perPort), func(t *testing.T) {
+			serialCtrl, serialEnf, hosts, _ := fabricRig(t, 1, true, perPort)
+			parCtrl, parEnf, _, _ := fabricRig(t, 8, false, perPort)
+			serial := driveOps(t, serialCtrl, serialEnf, hosts, 7)
+			parallel := driveOps(t, parCtrl, parEnf, hosts, 7)
+			if len(serial) != len(parallel) {
+				t.Fatalf("port sets differ: serial %d, parallel %d", len(serial), len(parallel))
+			}
+			for port, want := range serial {
+				got, ok := parallel[port]
+				if !ok {
+					t.Fatalf("port %d configured serially but not in parallel", port)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("port %d config diverges:\nserial   %+v\nparallel %+v", port, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSolutionCacheEpochInvalidation exercises the cache unit directly:
+// hits within an epoch, wholesale invalidation across epochs, and — the
+// collision case — the same key bytes at a new epoch recomputing rather
+// than serving the stale entry.
+func TestSolutionCacheEpochInvalidation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := newSolutionCache(reg.Counter("hits"), reg.Counter("misses"))
+	key := []byte("port-set-a")
+	mk := func(w float64) func() (netsim.PortConfig, error) {
+		return func() (netsim.PortConfig, error) {
+			return netsim.PortConfig{Weights: []float64{w}}, nil
+		}
+	}
+	cfg, err := sc.get(1, key, mk(0.25))
+	if err != nil || cfg.Weights[0] != 0.25 {
+		t.Fatalf("first get = %v, %v", cfg, err)
+	}
+	// Same epoch, same key: served from cache, compute not invoked.
+	cfg, err = sc.get(1, key, mk(0.99))
+	if err != nil || cfg.Weights[0] != 0.25 {
+		t.Fatalf("cached get = %v, %v; want the epoch-1 solution", cfg, err)
+	}
+	if h, m := reg.Counter("hits").Value(), reg.Counter("misses").Value(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	// New epoch, identical key bytes: the stale entry must not collide.
+	cfg, err = sc.get(2, key, mk(0.5))
+	if err != nil || cfg.Weights[0] != 0.5 {
+		t.Fatalf("cross-epoch get = %v, %v; stale entry served", cfg, err)
+	}
+	if sc.len() != 1 {
+		t.Fatalf("cache holds %d entries after epoch change, want 1", sc.len())
+	}
+}
+
+// TestCacheInvalidatedOnRecluster is the controller-level collision
+// case: a port whose app set (and so cache key) never changes must still
+// be reconfigured when a registration elsewhere re-clusters the PLs and
+// shifts the global solve.
+func TestCacheInvalidatedOnRecluster(t *testing.T) {
+	c, enf, hosts, _ := fabricRig(t, 4, false, false)
+	a, _, err := c.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(a, hosts[0], hosts[1]); err != nil {
+		t.Fatal(err)
+	}
+	before := enf.snapshot()
+	if len(before) == 0 {
+		t.Fatal("no ports enforced")
+	}
+	epoch := c.solEpoch
+	// A second app with conns on disjoint hosts: a's ports keep the app
+	// set {a}, but a's global weight must shrink.
+	b, _, err := c.Register("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[2], hosts[3]); err != nil {
+		t.Fatal(err)
+	}
+	if c.solEpoch == epoch {
+		t.Fatal("registration did not bump the solve epoch")
+	}
+	after := enf.snapshot()
+	changed := false
+	for port, cfg := range before {
+		if !reflect.DeepEqual(cfg, after[port]) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("no port configuration changed after the global solve shifted — stale cache entry served")
+	}
+}
+
+// TestPerPortWeightsBypassSharedSolve checks the literal per-port mode:
+// weights are solved over only the port's own applications, so activity
+// on disjoint ports cannot move them, and no global solution is built.
+func TestPerPortWeightsBypassSharedSolve(t *testing.T) {
+	c, enf, hosts, _ := fabricRig(t, 4, false, true)
+	a, _, err := c.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(a, hosts[0], hosts[1]); err != nil {
+		t.Fatal(err)
+	}
+	before := enf.snapshot()
+	b, _, err := c.Register("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[2], hosts[3]); err != nil {
+		t.Fatal(err)
+	}
+	if c.globalW != nil {
+		t.Error("per-port mode built a global solution")
+	}
+	after := enf.snapshot()
+	// hosts[0]↔hosts[1] share a ToR; those ports carry only app a before
+	// and after, so per-port solves must leave them untouched.
+	for port, cfg := range before {
+		if _, stillA := after[port]; !stillA {
+			continue
+		}
+		if aps := c.ports[port]; aps == nil || len(aps.appConns) != 1 {
+			continue // port also picked up app b traffic
+		}
+		if !reflect.DeepEqual(cfg, after[port]) {
+			t.Errorf("port %d carries only app %d but its config moved under per-port weights", port, a)
+		}
+	}
+	_ = b
+}
+
+// TestCacheSharesSolutionsAcrossPorts: with every app spanning every
+// host, the inter-switch ports all carry the identical set and must hit
+// the shared solution instead of re-solving per port.
+func TestCacheSharesSolutionsAcrossPorts(t *testing.T) {
+	c, _, hosts, reg := fabricRig(t, 4, false, true)
+	ids, err := c.RegisterBatch([]string{"steep", "flat", "mid1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		for h := range hosts {
+			if _, err := c.PreloadConn(id, hosts[h], hosts[(h+1)%len(hosts)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	hits := reg.Counter(telemetry.Label("controller.solcache_hits", "deploy", "centralized")).Value()
+	misses := reg.Counter(telemetry.Label("controller.solcache_misses", "deploy", "centralized")).Value()
+	if misses == 0 {
+		t.Fatal("recompute recorded no cache misses — cache not exercised")
+	}
+	if hits == 0 {
+		t.Errorf("identical app sets across ports produced no cache hits (misses=%d)", misses)
+	}
+	if c.sols.len() != int(misses) {
+		t.Errorf("cache holds %d entries, misses=%d; one entry per distinct key expected", c.sols.len(), misses)
+	}
+}
+
+// TestDefaultQueueTieBreak pins the regression: on equal queue weights
+// the default queue is the lowest index, never a map-iteration accident.
+func TestDefaultQueueTieBreak(t *testing.T) {
+	cases := []struct {
+		weights []float64
+		want    int
+	}{
+		{[]float64{0.5, 0.5}, 0},
+		{[]float64{0.25, 0.25, 0.25, 0.25}, 0},
+		{[]float64{0.2, 0.4, 0.4}, 1},
+		{[]float64{0.4, 0.2, 0.4}, 0},
+		{[]float64{0.1, 0.9}, 1},
+		{[]float64{1}, 0},
+	}
+	for _, tc := range cases {
+		if got := defaultQueue(tc.weights); got != tc.want {
+			t.Errorf("defaultQueue(%v) = %d, want %d", tc.weights, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultQueueStableAcrossRecomputes drives repeated full recomputes
+// and checks the chosen default queue never flaps for a fixed state.
+func TestDefaultQueueStableAcrossRecomputes(t *testing.T) {
+	c, enf, hosts, _ := fabricRig(t, 4, true, false)
+	ids, err := c.RegisterBatch([]string{"steep", "flat", "mid1", "mid2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if _, err := c.ConnCreate(id, hosts[i], hosts[len(hosts)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := enf.snapshot()
+	for round := 0; round < 5; round++ {
+		if _, err := c.RecomputeAll(); err != nil {
+			t.Fatal(err)
+		}
+		for port, cfg := range enf.snapshot() {
+			if cfg.DefaultQueue != base[port].DefaultQueue {
+				t.Fatalf("round %d: port %d default queue flapped %d→%d",
+					round, port, base[port].DefaultQueue, cfg.DefaultQueue)
+			}
+		}
+	}
+}
+
+// TestSolveHistogramOneSamplePerBatch pins the double-observation fix:
+// every enforcement batch — whatever the entry point — records exactly
+// one solve-time sample.
+func TestSolveHistogramOneSamplePerBatch(t *testing.T) {
+	c, _, hosts, reg := fabricRig(t, 1, true, false)
+	hist := reg.Histogram(telemetry.Label("controller.solve_seconds", "deploy", "centralized"))
+	want := uint64(0)
+	check := func(op string) {
+		t.Helper()
+		want++
+		if got := hist.Count(); got != want {
+			t.Fatalf("after %s: solve histogram has %d samples, want %d", op, got, want)
+		}
+	}
+	a, _, err := c.Register("steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Register")
+	cid, err := c.ConnCreate(a, hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ConnCreate")
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	check("RecomputeAll")
+	if err := c.ConnDestroy(cid); err != nil {
+		t.Fatal(err)
+	}
+	check("ConnDestroy")
+	if err := c.Deregister(a); err != nil {
+		t.Fatal(err)
+	}
+	check("Deregister")
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"saba/internal/controller"
+	"saba/internal/profiler"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+// EnforceScenario is the fixture behind sabaexp's ControllerEnforceAtScale
+// benchmark: the Fig. 12 spine-leaf fabric carrying a homogeneous §8.3
+// placement — every application spans every host — scaled to fabric size.
+// That placement is the regime the cross-port solution memo targets: all
+// aggregation and access ports observe the same application set, so one
+// Eq. 2 solve and one PL→queue clustering serve the whole fabric. The
+// expensive parts (profiling the synthetic catalog, routing every
+// connection) happen once in NewEnforceScenario; NewController then stamps
+// out controllers that differ only in Workers / NoSolutionCache so the
+// serial, parallel and parallel+cache variants time the identical
+// enforcement workload.
+type EnforceScenario struct {
+	top   *topology.Topology
+	table *profiler.Table
+	names []string
+	conns [][2]topology.NodeID // per app: (src, dst) pairs, all hosts covered
+}
+
+// EnforceBenchApps is the active-application count of the benchmark
+// scenario (the paper's mid bucket, |A|≤250, lands between the Fig. 12
+// measurement points).
+const EnforceBenchApps = 60
+
+// NewEnforceScenario profiles the catalog and lays out the placement.
+func NewEnforceScenario() (*EnforceScenario, error) {
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 3, ToRsPerPod: 3, LeavesPerPod: 2, Spines: 4, HostsPerToR: 12, Queues: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab, _, err := cachedCatalog(3)
+	if err != nil {
+		return nil, err
+	}
+	hosts := top.Hosts()
+	s := &EnforceScenario{top: top, table: tab}
+	s.names = make([]string, EnforceBenchApps)
+	catalog := workload.Names()
+	for i := range s.names {
+		s.names[i] = catalog[i%len(catalog)]
+	}
+	// Each app builds a ring over all hosts with an app-specific stride, so
+	// every host sources and sinks every app and all inter-switch ports see
+	// the full set while the traffic matrix still differs per app.
+	for a := range s.names {
+		stride := 1 + a%(len(hosts)-1)
+		for h := range hosts {
+			s.conns = append(s.conns, [2]topology.NodeID{hosts[h], hosts[(h+stride)%len(hosts)]})
+		}
+	}
+	return s, nil
+}
+
+// EnforceBench is one controller variant over the shared scenario.
+type EnforceBench struct {
+	ctrl *controller.Centralized
+}
+
+// NewController registers the scenario's apps and connections on a fresh
+// centralized controller. PerPortWeights selects the paper's literal
+// per-port Eq. 2 so per-port solves dominate — the work the parallel fan
+// and the solution cache attack.
+func (s *EnforceScenario) NewController(workers int, noCache bool) (*EnforceBench, error) {
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology:        s.top,
+		Table:           s.table,
+		Enforcer:        nullEnforcer{},
+		PLs:             16,
+		Seed:            DefaultSeed,
+		PerPortWeights:  true,
+		Workers:         workers,
+		NoSolutionCache: noCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids, err := ctrl.RegisterBatch(s.names)
+	if err != nil {
+		return nil, err
+	}
+	connsPerApp := len(s.conns) / len(ids)
+	for i, pair := range s.conns {
+		if _, err := ctrl.PreloadConn(ids[i/connsPerApp], pair[0], pair[1]); err != nil {
+			return nil, err
+		}
+	}
+	return &EnforceBench{ctrl: ctrl}, nil
+}
+
+// Recompute performs one full fabric recomputation — the benchmark body.
+func (b *EnforceBench) Recompute() error {
+	_, err := b.ctrl.RecomputeAll()
+	return err
+}

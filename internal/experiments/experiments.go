@@ -42,27 +42,32 @@ func ProfileCatalog(degree int) (*profiler.Table, map[string]profiler.Result, er
 	return tab, results, nil
 }
 
-// catalogTableCache memoizes ProfileCatalog per degree: profiling is
-// deterministic, and most studies share the degree-3 table.
+// catalogCache memoizes ProfileCatalog per degree: profiling is
+// deterministic, and most studies share the degree-3 table. Each entry
+// carries a sync.Once so concurrent experiment cells profile a degree
+// exactly once without serializing cells that need different degrees.
 var (
-	cacheMu    sync.Mutex
-	tableCache = map[int]*profiler.Table{}
-	resCache   = map[int]map[string]profiler.Result{}
+	cacheMu      sync.Mutex
+	catalogCache = map[int]*catalogEntry{}
 )
+
+type catalogEntry struct {
+	once  sync.Once
+	table *profiler.Table
+	res   map[string]profiler.Result
+	err   error
+}
 
 func cachedCatalog(degree int) (*profiler.Table, map[string]profiler.Result, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if t, ok := tableCache[degree]; ok {
-		return t, resCache[degree], nil
+	e := catalogCache[degree]
+	if e == nil {
+		e = &catalogEntry{}
+		catalogCache[degree] = e
 	}
-	t, r, err := ProfileCatalog(degree)
-	if err != nil {
-		return nil, nil, err
-	}
-	tableCache[degree] = t
-	resCache[degree] = r
-	return t, r, nil
+	cacheMu.Unlock()
+	e.once.Do(func() { e.table, e.res, e.err = ProfileCatalog(degree) })
+	return e.table, e.res, e.err
 }
 
 // Speedups aggregates per-workload speedups (treatment over baseline).
@@ -79,10 +84,13 @@ func newSpeedups() *Speedups {
 	return &Speedups{ByWorkload: map[string]float64{}}
 }
 
-// collect computes the summary from raw per-workload samples.
+// collect computes the summary from raw per-workload samples. Names are
+// visited in sorted order so the float accumulation — and therefore the
+// result — is bit-identical run to run (map iteration order is not).
 func collectSpeedups(samples map[string][]float64) (*Speedups, error) {
 	out := newSpeedups()
-	for name, xs := range samples {
+	for _, name := range sortedKeys(samples) {
+		xs := samples[name]
 		g, err := metrics.GeoMean(xs)
 		if err != nil {
 			return nil, fmt.Errorf("speedups for %s: %w", name, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"saba/internal/controller"
 	"saba/internal/netsim"
@@ -61,11 +62,21 @@ type Fig12Result struct {
 	Keys      []string
 }
 
+// fig12TimeMu serializes the timed recomputation of concurrent Fig. 12
+// cells: scenario construction (profiling, registration, thousands of
+// path detections) runs fully parallel, but two measured sections never
+// overlap, so one cell's recomputation cannot time another's contention.
+var fig12TimeMu sync.Mutex
+
 // Fig12 measures the centralized controller's bandwidth-calculation time
 // across active-application set sizes and model degrees (§8.5). Apps use
 // synthetic sensitivity profiles fitted at each degree; each app spreads
 // InstancesPerApp connections over a spine-leaf fabric, and the measured
-// quantity is one full recomputation of every active port.
+// quantity is one full recomputation of every active port. Scenarios are
+// independent cells with per-cell RNGs; construction fans out across the
+// experiment worker pool while the timed sections stay mutually
+// exclusive (sabaexp -parallel 1 removes even construction background
+// load for the cleanest timings).
 func Fig12(cfg Fig12Config) (*Fig12Result, error) {
 	cfg.fill()
 	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
@@ -78,60 +89,89 @@ func Fig12(cfg Fig12Config) (*Fig12Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	specs := workload.Synthetic(workload.SynthConfig{Count: 40}, rng)
 
-	out := &Fig12Result{Durations: map[string][]float64{}}
-	for _, degree := range cfg.Degrees {
-		// Sensitivity table at this degree.
+	// Sensitivity tables, one independent profiling cell per degree.
+	tables := make([]*profiler.Table, len(cfg.Degrees))
+	err = runCells(len(cfg.Degrees), func(d int) error {
 		table := profiler.NewTable()
 		for _, spec := range specs {
-			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{degree})
+			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{cfg.Degrees[d]})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if err := table.PutResult(res, degree); err != nil {
-				return nil, err
+			if err := table.PutResult(res, cfg.Degrees[d]); err != nil {
+				return err
 			}
 		}
-		for _, count := range cfg.AppCounts {
-			key := fmt.Sprintf("k=%d/|A|=%d", degree, count)
+		tables[d] = table
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig12Result{Durations: map[string][]float64{}}
+	type cell struct {
+		d, c, s int
+		key     string
+	}
+	var cells []cell
+	for d := range cfg.Degrees {
+		for c := range cfg.AppCounts {
+			key := fmt.Sprintf("k=%d/|A|=%d", cfg.Degrees[d], cfg.AppCounts[c])
 			out.Keys = append(out.Keys, key)
+			out.Durations[key] = make([]float64, cfg.Scenarios)
 			for s := 0; s < cfg.Scenarios; s++ {
-				ctrl, err := controller.NewCentralized(controller.Config{
-					Topology: top,
-					Table:    table,
-					Enforcer: nullEnforcer{},
-					PLs:      16,
-					Seed:     cfg.Seed + int64(s),
-				})
-				if err != nil {
-					return nil, err
-				}
-				names := make([]string, count)
-				for i := range names {
-					names[i] = specs[i%len(specs)].Name
-				}
-				ids, err := ctrl.RegisterBatch(names)
-				if err != nil {
-					return nil, err
-				}
-				for _, id := range ids {
-					for c := 0; c < cfg.InstancesPerApp; c++ {
-						src := hosts[rng.Intn(len(hosts))]
-						dst := hosts[rng.Intn(len(hosts))]
-						if src == dst {
-							continue
-						}
-						if _, err := ctrl.PreloadConn(id, src, dst); err != nil {
-							return nil, err
-						}
-					}
-				}
-				d, err := ctrl.RecomputeAll()
-				if err != nil {
-					return nil, err
-				}
-				out.Durations[key] = append(out.Durations[key], d.Seconds())
+				cells = append(cells, cell{d: d, c: c, s: s, key: key})
 			}
 		}
+	}
+	err = runCells(len(cells), func(i int) error {
+		cl := cells[i]
+		count := cfg.AppCounts[cl.c]
+		// Per-cell RNG: placement is deterministic per (seed, degree,
+		// count, scenario) whatever order — or thread — cells run in.
+		rng := cellRNG(cfg.Seed, int64(cfg.Degrees[cl.d]), int64(count), int64(cl.s))
+		ctrl, err := controller.NewCentralized(controller.Config{
+			Topology: top,
+			Table:    tables[cl.d],
+			Enforcer: nullEnforcer{},
+			PLs:      16,
+			Seed:     cfg.Seed + int64(cl.s),
+		})
+		if err != nil {
+			return err
+		}
+		names := make([]string, count)
+		for i := range names {
+			names[i] = specs[i%len(specs)].Name
+		}
+		ids, err := ctrl.RegisterBatch(names)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			for c := 0; c < cfg.InstancesPerApp; c++ {
+				src := hosts[rng.Intn(len(hosts))]
+				dst := hosts[rng.Intn(len(hosts))]
+				if src == dst {
+					continue
+				}
+				if _, err := ctrl.PreloadConn(id, src, dst); err != nil {
+					return err
+				}
+			}
+		}
+		fig12TimeMu.Lock()
+		d, err := ctrl.RecomputeAll()
+		fig12TimeMu.Unlock()
+		if err != nil {
+			return err
+		}
+		out.Durations[cl.key][cl.s] = d.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,105 @@
+// Parallel experiment execution. The paper's studies decompose into
+// independent cells — a (figure, workload, seed, allocator) combination
+// whose simulation shares nothing with its siblings — so the expensive
+// runs fan out across a bounded worker pool while everything that feeds
+// a shared RNG (setup generation, placement shuffles) stays serial.
+// Each cell writes its result into a dedicated slot, making assembly
+// independent of completion order: output is bit-for-bit identical at
+// any parallelism, which TestSerialParallelExperimentsIdentical gates.
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	parMu       sync.Mutex
+	parallelism int // 0 = unset → GOMAXPROCS
+)
+
+// SetParallelism bounds the experiment worker pool (cmd/sabaexp's
+// -parallel flag). n ≤ 0 resets to the default, GOMAXPROCS. Results do
+// not depend on the setting; only wall-clock time does.
+func SetParallelism(n int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// Parallelism reports the current experiment worker budget.
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// runCells executes fn(0..n-1) across the worker pool. fn must write its
+// result to cell-private storage (typically slot i of a result slice);
+// runCells returns the error of the lowest-indexed failing cell, not
+// the first to fail in wall-clock order, so failures are deterministic.
+func runCells(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellRNG derives an independent deterministic RNG for one cell from the
+// experiment seed and the cell's coordinates, so parallel cells never
+// contend on (or order-depend through) a shared rand.Rand. The mixing is
+// splitmix64, whose avalanche keeps adjacent coordinates uncorrelated.
+func cellRNG(seed int64, coords ...int64) *rand.Rand {
+	x := uint64(seed)
+	for _, c := range coords {
+		x ^= uint64(c) + 0x9e3779b97f4a7c15
+		x = splitmix64(x)
+	}
+	return rand.New(rand.NewSource(int64(splitmix64(x))))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -45,11 +45,19 @@ func (c *ScaleConfig) fill() {
 }
 
 // profileCache memoizes the sensitivity tables of synthetic workload
-// sets by (seed, count); see newScaleEnv.
+// sets by (seed, count); see newScaleEnv. Entries carry a sync.Once so
+// concurrent cells needing the same table profile it exactly once — the
+// losers park on the winner instead of duplicating the work.
 var (
 	profileCacheMu sync.Mutex
-	profileCache   = map[string]*profiler.Table{}
+	profileCache   = map[string]*profileEntry{}
 )
+
+type profileEntry struct {
+	once  sync.Once
+	table *profiler.Table
+	err   error
+}
 
 // scaleEnv is the shared setup of the at-scale studies: topology,
 // synthetic workloads with their profiles, and job placements (one
@@ -78,23 +86,31 @@ func newScaleEnv(cfg ScaleConfig) (*scaleEnv, error) {
 	// instead of re-profiling the identical workloads.
 	tableKey := fmt.Sprintf("%d/%d", cfg.Seed, cfg.Workloads)
 	profileCacheMu.Lock()
-	table := profileCache[tableKey]
+	entry := profileCache[tableKey]
+	if entry == nil {
+		entry = &profileEntry{}
+		profileCache[tableKey] = entry
+	}
 	profileCacheMu.Unlock()
-	if table == nil {
-		table = profiler.NewTable()
+	entry.once.Do(func() {
+		table := profiler.NewTable()
 		for _, spec := range specs {
 			res, err := profiler.Profile(spec.Name, &profiler.SimRunner{Spec: spec}, nil, []int{3})
 			if err != nil {
-				return nil, fmt.Errorf("profile %s: %w", spec.Name, err)
+				entry.err = fmt.Errorf("profile %s: %w", spec.Name, err)
+				return
 			}
 			if err := table.PutResult(res, 3); err != nil {
-				return nil, err
+				entry.err = err
+				return
 			}
 		}
-		profileCacheMu.Lock()
-		profileCache[tableKey] = table
-		profileCacheMu.Unlock()
+		entry.table = table
+	})
+	if entry.err != nil {
+		return nil, entry.err
 	}
+	table := entry.table
 
 	// Placement: shuffle hosts, deal them round-robin so every server runs
 	// exactly one workload instance (§8.1).
@@ -152,24 +168,31 @@ func Fig10(cfg ScaleConfig) (*Fig10Result, error) {
 		Averages: map[string]float64{},
 		PerJob:   map[string][]float64{},
 	}
-	for _, policy := range []core.Policy{
+	// Each policy run is an independent cell over the shared (read-only)
+	// env; fan them out and assemble by policy index.
+	policies := []core.Policy{
 		core.PolicySaba, core.PolicyIdealMaxMin, core.PolicyHoma, core.PolicySincronia,
-	} {
-		res, err := env.run(policy, 0, 0)
+	}
+	sps := make([]*Speedups, len(policies))
+	err = runCells(len(policies), func(p int) error {
+		res, err := env.run(policies[p], 0, 0)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %v: %w", policy, err)
+			return fmt.Errorf("fig10 %v: %w", policies[p], err)
 		}
 		samples := map[string][]float64{}
 		for i := range env.jobs {
 			samples[env.jobs[i].Spec.Name] = append(samples[env.jobs[i].Spec.Name],
 				base.Completions[i]/res.Completions[i])
 		}
-		sp, err := collectSpeedups(samples)
-		if err != nil {
-			return nil, err
-		}
-		out.Averages[policy.String()] = sp.Average
-		out.PerJob[policy.String()] = sp.All
+		sps[p], err = collectSpeedups(samples)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, policy := range policies {
+		out.Averages[policy.String()] = sps[p].Average
+		out.PerJob[policy.String()] = sps[p].All
 	}
 	return out, nil
 }
@@ -216,11 +239,16 @@ func Fig11a(cfg ScaleConfig) (*Fig11aResult, error) {
 		}
 		return sp.Average, nil
 	}
-	cent, err := env.run(core.PolicySaba, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	dist, err := env.run(core.PolicySabaDistributed, 0, 4)
+	var cent, dist core.Result
+	err = runCells(2, func(i int) error {
+		var rerr error
+		if i == 0 {
+			cent, rerr = env.run(core.PolicySaba, 0, 0)
+		} else {
+			dist, rerr = env.run(core.PolicySabaDistributed, 0, 4)
+		}
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -252,8 +280,15 @@ type Fig11bResult struct {
 // per workload.
 func Fig11b(cfg ScaleConfig) (*Fig11bResult, error) {
 	cfg.fill()
-	out := &Fig11bResult{}
-	for _, q := range []int{2, 4, 8, 16, 0} {
+	queueSweep := []int{2, 4, 8, 16, 0}
+	out := &Fig11bResult{
+		Queues:   queueSweep,
+		Averages: make([]float64, len(queueSweep)),
+	}
+	// Each queue configuration rebuilds its own env from an independent
+	// copy of cfg: a self-contained cell.
+	err := runCells(len(queueSweep), func(i int) error {
+		q := queueSweep[i]
 		c := cfg
 		c.Topology.Queues = q
 		workloads := c.Workloads
@@ -265,15 +300,15 @@ func Fig11b(cfg ScaleConfig) (*Fig11bResult, error) {
 		}
 		env, err := newScaleEnv(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := env.run(core.PolicyBaseline, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saba, err := env.run(core.PolicySaba, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		samples := map[string][]float64{}
 		for i := range env.jobs {
@@ -282,10 +317,13 @@ func Fig11b(cfg ScaleConfig) (*Fig11bResult, error) {
 		}
 		sp, err := collectSpeedups(samples)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Queues = append(out.Queues, q)
-		out.Averages = append(out.Averages, sp.Average)
+		out.Averages[i] = sp.Average
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -42,32 +42,51 @@ func Fig8(setups int, seed int64) (*Fig8Result, error) {
 	hosts := top.Hosts()
 	rng := rand.New(rand.NewSource(seed))
 
-	samples := map[string][]float64{}
-	var setupAvgs []float64
+	// Setup generation consumes the shared RNG: serial, so the setup
+	// sequence is identical at every parallelism. The simulation pairs —
+	// the expensive part — are independent cells and fan out.
+	setupJobs := make([][]core.JobSpec, setups)
 	for s := 0; s < setups; s++ {
 		setup, err := workload.NewSetup(workload.SetupConfig{Servers: TestbedHosts}, rng)
 		if err != nil {
 			return nil, err
 		}
-		jobs := jobsFromSetup(setup, hosts)
+		setupJobs[s] = jobsFromSetup(setup, hosts)
+	}
+	cellSamples := make([]map[string][]float64, setups)
+	setupAvgs := make([]float64, setups)
+	err = runCells(setups, func(s int) error {
+		jobs := setupJobs[s]
 		base, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicyBaseline, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saba, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicySaba, Table: tab, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cellSamples[s] = speedupsOf(jobs, base, saba)
 		var all []float64
-		for name, xs := range speedupsOf(jobs, base, saba) {
-			samples[name] = append(samples[name], xs...)
-			all = append(all, xs...)
+		for _, name := range sortedKeys(cellSamples[s]) {
+			all = append(all, cellSamples[s][name]...)
 		}
 		g, err := metrics.GeoMean(all)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		setupAvgs = append(setupAvgs, g)
+		setupAvgs[s] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge per-setup samples in setup order: assembly is independent of
+	// cell completion order.
+	samples := map[string][]float64{}
+	for s := 0; s < setups; s++ {
+		for _, name := range sortedKeys(cellSamples[s]) {
+			samples[name] = append(samples[name], cellSamples[s][name]...)
+		}
 	}
 
 	sp, err := collectSpeedups(samples)
@@ -148,32 +167,42 @@ func Fig9(mode Fig9Mode, seed int64) (*Fig9Result, error) {
 		return nil, fmt.Errorf("fig9: unknown mode %d", mode)
 	}
 
-	out := &Fig9Result{Mode: mode}
-	for _, p := range points {
+	out := &Fig9Result{
+		Mode:        mode,
+		Labels:      make([]string, len(points)),
+		PerWorkload: make([]map[string]float64, len(points)),
+		Averages:    make([]float64, len(points)),
+	}
+	err := runCells(len(points), func(i int) error {
+		p := points[i]
 		tab, _, err := cachedCatalog(p.degree)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: p.nodes, Queues: 8})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		jobs := homogeneousJobs(top.Hosts(), p.dsScale)
 		base, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicyBaseline, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		saba, err := core.RunJobs(top, jobs, core.RunConfig{Policy: core.PolicySaba, Table: tab, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sp, err := collectSpeedups(speedupsOf(jobs, base, saba))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Labels = append(out.Labels, p.label)
-		out.PerWorkload = append(out.PerWorkload, sp.ByWorkload)
-		out.Averages = append(out.Averages, sp.Average)
+		out.Labels[i] = p.label
+		out.PerWorkload[i] = sp.ByWorkload
+		out.Averages[i] = sp.Average
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
