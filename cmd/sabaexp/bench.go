@@ -61,6 +61,13 @@ func buildBenchSuite() ([]benchEntry, error) {
 			_, err := experiments.Fig10(experiments.ScaleConfig{})
 			return err
 		}},
+		// The churn study at the 5% failure rate exercises the full fault
+		// path (flap injection, disruption, rerouting, reconvergence) so a
+		// regression in any of those layers shows up as lost events/sec.
+		{name: "FigChurn", fn: func() error {
+			_, err := experiments.FigChurn(experiments.ChurnConfig{Rates: []float64{0.05}})
+			return err
+		}},
 	}
 	scenario, err := experiments.NewEnforceScenario()
 	if err != nil {

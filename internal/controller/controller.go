@@ -42,6 +42,10 @@ type ctrlMetrics struct {
 	failovers    *telemetry.Counter // shard failovers (mesh only)
 	solHits      *telemetry.Counter // cross-port solution cache hits
 	solMisses    *telemetry.Counter // cross-port solution cache misses
+	reconverges  *telemetry.Counter // topology-change reconvergence passes
+	reconvDegr   *telemetry.Counter // reconvergences past deadline → fair-share
+	quarantines  *telemetry.Counter // apps quarantined for profile drift
+	unquarants   *telemetry.Counter // apps released from quarantine
 	apps         *telemetry.Gauge
 	conns        *telemetry.Gauge
 }
@@ -60,6 +64,10 @@ func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
 		failovers:    reg.Counter(l("controller.failovers")),
 		solHits:      reg.Counter(l("controller.solcache_hits")),
 		solMisses:    reg.Counter(l("controller.solcache_misses")),
+		reconverges:  reg.Counter(l("controller.reconverges")),
+		reconvDegr:   reg.Counter(l("controller.reconverge_degraded")),
+		quarantines:  reg.Counter(l("controller.quarantines")),
+		unquarants:   reg.Counter(l("controller.unquarantines")),
 		apps:         reg.Gauge(l("controller.apps")),
 		conns:        reg.Gauge(l("controller.conns")),
 	}
@@ -131,6 +139,16 @@ type Config struct {
 	// fresh Eq. 2 solve and PL→queue mapping per port. For A/B
 	// benchmarking; determinism is unaffected.
 	NoSolutionCache bool
+	// ReconvergeDeadline bounds a topology-change reconvergence pass
+	// (TopologyChanged). If the pass errors or overruns the deadline, the
+	// controller degrades every configured port to baseline fair-share —
+	// the port-level analogue of PR 1's control-plane degradation — and
+	// recovers on the next successful enforcement. 0 disables the
+	// watchdog, which also keeps the simulation paths free of wall-clock
+	// reads.
+	ReconvergeDeadline time.Duration
+	// Drift parameterizes the profile-drift quarantine (see quarantine.go).
+	Drift DriftConfig
 	// Telemetry is the registry the controller reports into. nil selects
 	// telemetry.Default.
 	Telemetry *telemetry.Registry
@@ -162,6 +180,7 @@ func (c *Config) fill() error {
 		// A moderate sensitivity: slowdown 2x at 25% bandwidth.
 		c.DefaultCoeffs = []float64{2.4, -1.87, 0.47}
 	}
+	c.Drift.fill()
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default
 	}
@@ -227,6 +246,20 @@ type Centralized struct {
 	// registered set). Ports remember the epoch they were enforced under
 	// (see portState) and sols discards entries from other epochs.
 	solEpoch uint64
+
+	// lastTopoEpoch is the topology liveness epoch the last enforcement
+	// ran under; a mismatch means links failed or recovered since, so
+	// every memoized plan (port memos and the solution cache) is suspect
+	// and solEpoch is bumped before any plan is reused.
+	lastTopoEpoch uint64
+	// degraded records that the last reconvergence overran its deadline
+	// (or failed) and the fabric was dropped to baseline fair-share.
+	degraded bool
+
+	// drift tracks per-app residuals between observed slowdowns and the
+	// polynomial model, driving quarantine (see quarantine.go). Lazily
+	// allocated: nil until the first observation.
+	drift map[AppID]*driftState
 
 	// lastCalc is how long the most recent full weight recomputation
 	// took; the same durations feed tel.solve, whose histogram is the
@@ -597,6 +630,7 @@ func (c *Centralized) enforcePortsLocked(path []topology.LinkID) error {
 // per-port paths (rollback re-enforcement) go through enforcePortLocked
 // and record nothing.
 func (c *Centralized) enforceBatchLocked(ports []topology.LinkID) error {
+	c.syncTopoEpochLocked()
 	start := time.Now()
 	defer func() {
 		c.lastCalc = time.Since(start)
@@ -754,12 +788,25 @@ func (c *Centralized) applyPlanLocked(p *portPlan) error {
 // enforcePortLocked recomputes and pushes a single port outside any
 // timed batch — the rollback re-enforcement path.
 func (c *Centralized) enforcePortLocked(port topology.LinkID) error {
+	c.syncTopoEpochLocked()
 	var sc planScratch
 	plan, err := c.computePortPlan(port, &sc)
 	if err != nil {
 		return err
 	}
 	return c.applyPlanLocked(&plan)
+}
+
+// syncTopoEpochLocked invalidates every memoized plan when the topology's
+// liveness epoch moved since the last enforcement: a link failure or
+// recovery can change a port's capacity context or queue set, so a stale
+// cached (app set, queue count) plan must never be applied afterwards.
+// With a static topology the epoch never moves and this is a no-op.
+func (c *Centralized) syncTopoEpochLocked() {
+	if ep := c.cfg.Topology.Epoch(); ep != c.lastTopoEpoch {
+		c.lastTopoEpoch = ep
+		c.solEpoch++
+	}
 }
 
 // weightsFor returns the Eq. 2 weights for the given (sorted) apps at a
@@ -791,16 +838,65 @@ func (c *Centralized) weightsFor(ids []AppID, port topology.LinkID) ([]float64, 
 		}
 		return weights, nil
 	}
-	objs := make([]solver.Objective, len(ids))
-	for i, id := range ids {
+	weights, err := c.solveWeights(ids)
+	if err != nil {
+		return nil, fmt.Errorf("controller: Eq.2 on port %d: %w", port, err)
+	}
+	return weights, nil
+}
+
+// solveWeights runs Eq. 2 over the (sorted) apps, pinning quarantined
+// applications at the plain fair share CSaba/len(ids) and solving the
+// model-driven optimization over the remainder with the leftover budget.
+// With nothing quarantined (the steady state) this is exactly the
+// original solve. Read-only; safe from plan workers.
+func (c *Centralized) solveWeights(ids []AppID) ([]float64, error) {
+	fair := c.cfg.CSaba / float64(len(ids))
+	nq := 0
+	for _, id := range ids {
+		if ds := c.drift[id]; ds != nil && ds.quarantined {
+			nq++
+		}
+	}
+	if nq == len(ids) {
+		weights := make([]float64, len(ids))
+		for i := range weights {
+			weights[i] = fair
+		}
+		return weights, nil
+	}
+	modeled := ids
+	if nq > 0 {
+		modeled = make([]AppID, 0, len(ids)-nq)
+		for _, id := range ids {
+			if ds := c.drift[id]; ds == nil || !ds.quarantined {
+				modeled = append(modeled, id)
+			}
+		}
+	}
+	objs := make([]solver.Objective, len(modeled))
+	for i, id := range modeled {
 		objs[i] = solver.NewMonotonePoly(c.apps[id].coeffs)
 	}
-	weights, err := solver.Minimize(objs, solver.Options{
-		Total:    c.cfg.CSaba,
+	solved, err := solver.Minimize(objs, solver.Options{
+		Total:    c.cfg.CSaba - fair*float64(nq),
 		MinShare: c.cfg.MinShare,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("controller: Eq.2 on port %d: %w", port, err)
+		return nil, err
+	}
+	if nq == 0 {
+		return solved, nil
+	}
+	weights := make([]float64, len(ids))
+	k := 0
+	for i, id := range ids {
+		if ds := c.drift[id]; ds != nil && ds.quarantined {
+			weights[i] = fair
+		} else {
+			weights[i] = solved[k]
+			k++
+		}
 	}
 	return weights, nil
 }
@@ -815,14 +911,7 @@ func (c *Centralized) globalWeightsLocked() (map[AppID]float64, error) {
 		all = append(all, id)
 	}
 	sortAppIDs(all)
-	objs := make([]solver.Objective, len(all))
-	for i, id := range all {
-		objs[i] = solver.NewMonotonePoly(c.apps[id].coeffs)
-	}
-	weights, err := solver.Minimize(objs, solver.Options{
-		Total:    c.cfg.CSaba,
-		MinShare: c.cfg.MinShare,
-	})
+	weights, err := c.solveWeights(all)
 	if err != nil {
 		return nil, fmt.Errorf("controller: global Eq.2: %w", err)
 	}

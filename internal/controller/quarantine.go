@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"saba/internal/regression"
+)
+
+// Profile-drift quarantine. Saba's whole allocation rests on the offline
+// sensitivity profiles (paper §4): if an application's behavior drifts
+// from its polynomial model — a new code version, a dataset change, an
+// adversarial profile — Eq. 2 optimizes against fiction and can starve
+// well-behaved neighbors. The controller therefore cross-checks observed
+// per-app slowdowns against the model's prediction at the granted
+// bandwidth; an app whose relative residual exceeds Threshold for Windows
+// consecutive observations is quarantined to the plain fair share
+// (CSaba/n, see solveWeights) until the model tracks reality again for
+// Windows consecutive observations.
+//
+// Quarantine is a Centralized-only feature: the distributed design reads
+// an offline mapping database by construction (§5.4) and has no runtime
+// feedback channel to act on.
+
+// DriftConfig parameterizes the profile-drift quarantine.
+type DriftConfig struct {
+	// Threshold is the relative residual |observed−predicted|/predicted
+	// above which an observation window counts as drifted. 0 → 0.25.
+	Threshold float64
+	// Windows is the number of consecutive drifted (clean) observations
+	// before an app is quarantined (released). 0 → 3.
+	Windows int
+}
+
+func (d *DriftConfig) fill() {
+	if d.Threshold <= 0 {
+		d.Threshold = 0.25
+	}
+	if d.Windows <= 0 {
+		d.Windows = 3
+	}
+}
+
+// driftState tracks one application's consecutive drifted/clean windows.
+type driftState struct {
+	bad, good   int
+	quarantined bool
+}
+
+// ObserveSlowdown feeds one measurement window for an application: the
+// bandwidth fraction it was granted and the slowdown actually observed
+// (≥ 1, same normalization as the profiler's samples). It returns whether
+// the app's quarantine state changed; on a change the controller re-solves
+// and re-enforces every port immediately.
+func (c *Centralized) ObserveSlowdown(id AppID, bwFraction, observed float64) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	if c.drift == nil {
+		c.drift = map[AppID]*driftState{}
+	}
+	ds := c.drift[id]
+	if ds == nil {
+		ds = &driftState{}
+		c.drift[id] = ds
+	}
+	predicted := regression.Polynomial{Coeffs: app.coeffs}.Eval(bwFraction)
+	if predicted < 1 {
+		predicted = 1 // a slowdown below 1 is outside the model's domain
+	}
+	if residual := math.Abs(observed-predicted) / predicted; residual > c.cfg.Drift.Threshold {
+		ds.bad++
+		ds.good = 0
+	} else {
+		ds.good++
+		ds.bad = 0
+	}
+	switch {
+	case !ds.quarantined && ds.bad >= c.cfg.Drift.Windows:
+		ds.quarantined = true
+		ds.bad, ds.good = 0, 0
+		c.tel.quarantines.Inc()
+	case ds.quarantined && ds.good >= c.cfg.Drift.Windows:
+		ds.quarantined = false
+		ds.bad, ds.good = 0, 0
+		c.tel.unquarants.Inc()
+	default:
+		return false, nil
+	}
+	// Weight inputs changed: drop the global solve and every memoized
+	// plan, then re-enforce the fabric with the app pinned (or restored).
+	c.globalW = nil
+	c.solEpoch++
+	return true, c.enforceAllLocked()
+}
+
+// Quarantined reports whether the application is currently pinned to the
+// fair share for profile drift.
+func (c *Centralized) Quarantined(id AppID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.drift[id]
+	return ds != nil && ds.quarantined
+}

@@ -1,0 +1,319 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"saba/internal/netsim"
+	"saba/internal/topology"
+)
+
+// rigFabricController is rigController on a spine-leaf fabric, where
+// failed links have live alternates for reconvergence to find.
+func rigFabricController(t *testing.T) (*Centralized, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2,
+		HostsPerToR: 4, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology: top,
+		Table:    testTable(t),
+		Enforcer: wfq,
+		PLs:      16,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, wfq, top
+}
+
+func TestTopologyChangedReroutesPorts(t *testing.T) {
+	c, wfq, top := rigFabricController(t)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	if _, err := c.ConnCreate(a, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], dst); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := orig[len(orig)/2]
+	if wfq.Config(mid) == nil {
+		t.Fatalf("port %d on the connection's path not configured", mid)
+	}
+
+	// A no-op reconvergence (nothing failed) keeps the fabric enforced.
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if wfq.Config(mid) == nil {
+		t.Fatal("no-op reconvergence dropped a configured port")
+	}
+
+	if _, err := top.FailLink(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("clean reconvergence reported degraded")
+	}
+	if wfq.Config(mid) != nil {
+		t.Fatalf("failed link %d still configured after reconvergence", mid)
+	}
+	alt, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range alt {
+		if wfq.Config(l) == nil {
+			t.Errorf("rerouted path port %d not configured", l)
+		}
+	}
+
+	// Healing the link converges back onto the original LFT path.
+	if _, err := top.RestoreLink(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if wfq.Config(mid) == nil {
+		t.Fatal("restored link not re-configured after reconvergence")
+	}
+}
+
+func TestTopologyChangedCutOffConnKeepsState(t *testing.T) {
+	c, wfq, top := rigFabricController(t)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	if _, err := c.ConnCreate(a, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	uplink := top.OutLinks(src)[0]
+	if _, err := top.FailLink(uplink); err != nil {
+		t.Fatal(err)
+	}
+	// The connection has no live path: reconvergence keeps it registered
+	// but occupying no ports, exactly like the simulator stalling the flow.
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Conns() != 1 {
+		t.Fatalf("Conns = %d after cut-off, want 1 (kept, pathless)", c.Conns())
+	}
+	orig, _ := top.Route(dst, src) // reverse stays live; forward ports must be gone
+	_ = orig
+	if wfq.Config(uplink) != nil {
+		t.Fatal("cut-off connection's uplink still configured")
+	}
+	// Healing re-detects the path and re-enforces it.
+	if _, err := top.RestoreLink(uplink); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if wfq.Config(uplink) == nil {
+		t.Fatal("healed connection not re-enforced")
+	}
+}
+
+func TestReconvergeDeadlineDegradesAndRecovers(t *testing.T) {
+	c, wfq, top := rigFabricController(t)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[len(hosts)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[len(hosts)-1]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[len(hosts)-1])
+
+	// A 1ns watchdog cannot be met by any real pass: the controller must
+	// degrade every port to fair-share rather than leave stale weights.
+	c.cfg.ReconvergeDeadline = time.Nanosecond
+	if _, err := top.FailLink(path[len(path)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Degraded() {
+		t.Fatal("deadline overrun did not degrade the controller")
+	}
+	for _, l := range path {
+		if wfq.Config(l) != nil {
+			t.Fatalf("degraded controller left port %d configured", l)
+		}
+	}
+
+	// With a generous deadline the next pass recovers full enforcement.
+	c.cfg.ReconvergeDeadline = time.Hour
+	if err := c.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("controller still degraded after a passing reconvergence")
+	}
+	alt, err := top.Route(hosts[0], hosts[len(hosts)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range alt {
+		if wfq.Config(l) == nil {
+			t.Errorf("recovered pass left port %d unconfigured", l)
+		}
+	}
+}
+
+func TestMeshTopologyChangedReplaysConns(t *testing.T) {
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2,
+		HostsPerToR: 4, Queues: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	db, err := BuildMappingDB(testTable(t), 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(top, db, wfq, 2, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	a, _, _ := m.Register("steep")
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	if _, err := m.ConnCreate(a, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := top.Route(src, dst)
+	mid := orig[len(orig)/2]
+	if wfq.Config(mid) == nil {
+		t.Fatalf("port %d not configured by the mesh", mid)
+	}
+	if _, err := top.FailLink(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TopologyChanged(); err != nil {
+		t.Fatal(err)
+	}
+	if wfq.Config(mid) != nil {
+		t.Fatal("mesh left the failed link configured")
+	}
+	alt, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range alt {
+		if wfq.Config(l) == nil {
+			t.Errorf("mesh rerouted path port %d not configured", l)
+		}
+	}
+}
+
+func TestQuarantineOnProfileDrift(t *testing.T) {
+	c, wfq, top := rigController(t, 4, 16)
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[2])
+	down := path[len(path)-1]
+	plA, _ := c.PL(a)
+	plB, _ := c.PL(b)
+	before := wfq.Config(down)
+	if before == nil {
+		t.Fatal("shared port not configured")
+	}
+	wA0 := before.Weights[before.PLQueue[plA]]
+	wB0 := before.Weights[before.PLQueue[plB]]
+	if wA0 <= wB0 {
+		t.Fatalf("precondition: steep weight %g should exceed flat %g", wA0, wB0)
+	}
+
+	// "steep" at bwFraction 0.5 predicts 5.2 - 6.0*0.5 + 1.8*0.25 = 2.65;
+	// observing 10 is a ~277% residual — far over the default 25%.
+	const granted, drifted, clean = 0.5, 10.0, 2.65
+	for i := 0; i < 2; i++ {
+		changed, err := c.ObserveSlowdown(a, granted, drifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Fatalf("quarantined after %d windows, want %d", i+1, 3)
+		}
+	}
+	changed, err := c.ObserveSlowdown(a, granted, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !c.Quarantined(a) {
+		t.Fatalf("changed=%v quarantined=%v after 3 drifted windows", changed, c.Quarantined(a))
+	}
+	during := wfq.Config(down)
+	wA1 := during.Weights[during.PLQueue[plA]]
+	wB1 := during.Weights[during.PLQueue[plB]]
+	if wA1 >= wA0 {
+		t.Errorf("quarantined app's weight did not drop: %g → %g", wA0, wA1)
+	}
+	if wA1 > wB1 {
+		t.Errorf("quarantined app still outweighs its neighbor: %g vs %g", wA1, wB1)
+	}
+
+	// One clean window is not enough; a full consecutive run releases.
+	if changed, _ := c.ObserveSlowdown(a, granted, clean); changed {
+		t.Fatal("released after a single clean window")
+	}
+	// A drifted window resets the clean streak.
+	if _, err := c.ObserveSlowdown(a, granted, drifted); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if changed, _ := c.ObserveSlowdown(a, granted, clean); changed {
+			t.Fatalf("released after %d clean windows post-reset", i+1)
+		}
+	}
+	changed, err = c.ObserveSlowdown(a, granted, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || c.Quarantined(a) {
+		t.Fatalf("changed=%v quarantined=%v after 3 clean windows", changed, c.Quarantined(a))
+	}
+	after := wfq.Config(down)
+	wA2 := after.Weights[after.PLQueue[plA]]
+	if wA2 != wA0 {
+		t.Errorf("released weights differ from pre-quarantine: %g vs %g", wA2, wA0)
+	}
+
+	if _, err := c.ObserveSlowdown(AppID(404), granted, clean); err == nil {
+		t.Fatal("ObserveSlowdown on unknown app should error")
+	}
+}

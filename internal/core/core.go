@@ -97,6 +97,10 @@ type RunConfig struct {
 	// the escape hatch for validating the incremental path against the
 	// reference behavior.
 	FullRecompute bool
+	// BeforeRun, when set, is invoked on the fully assembled engine just
+	// before the simulation starts — the hook churn experiments use to
+	// install fault schedules (faults.InstallLinkFlaps).
+	BeforeRun func(*netsim.Engine) error
 }
 
 // Result reports a run.
@@ -261,6 +265,24 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 		}
 		if err := j.Start(e); err != nil {
 			return Result{}, err
+		}
+	}
+
+	// Data-plane fault tolerance: when the controller can reconverge,
+	// every applied failure/restore triggers path re-detection and port
+	// re-enforcement, and the engine re-rates the fabric under the new
+	// weights.
+	if tc, ok := ctrl.(interface{ TopologyChanged() error }); ok {
+		e.OnTopologyChange = func(e *netsim.Engine, _ uint64) {
+			if err := tc.TopologyChanged(); err != nil && runErr == nil {
+				runErr = fmt.Errorf("core: reconvergence: %w", err)
+			}
+			e.MarkDirty()
+		}
+	}
+	if cfg.BeforeRun != nil {
+		if err := cfg.BeforeRun(e); err != nil {
+			return Result{}, fmt.Errorf("core: before-run hook: %w", err)
 		}
 	}
 

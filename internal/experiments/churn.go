@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saba/internal/core"
+	"saba/internal/faults"
+	"saba/internal/netsim"
+)
+
+// FigChurn quantifies how much of Saba's steady-state speedup over the
+// FECN baseline survives data-plane churn. Phase 1 measures the
+// steady-state speedup on a healthy fabric; phase 2 replays the same
+// placement under seeded link-flap schedules at increasing failure rates
+// (both policies see the *identical* schedule, so the comparison isolates
+// the allocation discipline from the failure pattern). Retention is the
+// churned speedup as a fraction of the steady one.
+
+// ChurnConfig parameterizes FigChurn.
+type ChurnConfig struct {
+	Scale ScaleConfig
+	// Rates are the per-cable failure probabilities per flap wave.
+	// nil → {0.01, 0.05, 0.10} (the 1–10% sweep).
+	Rates []float64
+	// Waves is the number of flap waves spread across the steady-state
+	// makespan; 0 → 20. The generator's downtime default (30% of the
+	// wave period) applies.
+	Waves int
+}
+
+func (c *ChurnConfig) fill() {
+	c.Scale.fill()
+	if c.Rates == nil {
+		c.Rates = []float64{0.01, 0.05, 0.10}
+	}
+	if c.Waves <= 0 {
+		c.Waves = 20
+	}
+}
+
+// FigChurnResult reports speedup retention under link churn.
+type FigChurnResult struct {
+	Hosts     int
+	Rates     []float64
+	Steady    float64   // healthy-fabric Saba speedup over baseline
+	Churned   []float64 // speedup at each failure rate
+	Retention []float64 // Churned[i] / Steady
+}
+
+// FigChurn runs the churn study.
+func FigChurn(cfg ChurnConfig) (*FigChurnResult, error) {
+	cfg.fill()
+
+	// Phase 1: steady state on a healthy fabric (shared, read-only env).
+	env, err := newScaleEnv(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	base, err := env.run(core.PolicyBaseline, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("churn steady baseline: %w", err)
+	}
+	saba, err := env.run(core.PolicySaba, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("churn steady saba: %w", err)
+	}
+	steady, err := speedupOf(env, base, saba)
+	if err != nil {
+		return nil, err
+	}
+
+	// Size the flap schedule off the measured steady run: waves span the
+	// baseline makespan, and the horizon leaves room for churn-slowed
+	// runs to keep seeing flaps.
+	period := base.Makespan / float64(cfg.Waves)
+	horizon := 2 * maxf(base.Makespan, saba.Makespan)
+
+	out := &FigChurnResult{
+		Hosts:     len(env.top.Hosts()),
+		Rates:     cfg.Rates,
+		Steady:    steady,
+		Churned:   make([]float64, len(cfg.Rates)),
+		Retention: make([]float64, len(cfg.Rates)),
+	}
+	// Phase 2: one cell per failure rate. Each cell builds its own env —
+	// fault injection mutates topology liveness, so cells must not share
+	// the fabric the way the read-only studies do. Within a cell the two
+	// policies run sequentially over the same topology; every flap
+	// restores before the engine idles, so the fabric is healthy again
+	// between runs.
+	err = runCells(len(cfg.Rates), func(i int) error {
+		cell, err := newScaleEnv(cfg.Scale)
+		if err != nil {
+			return err
+		}
+		flaps := faults.GenerateLinkFlaps(cell.top, faults.FlapScheduleConfig{
+			Seed:     cfg.Scale.Seed + int64(i),
+			Rate:     cfg.Rates[i],
+			Period:   period,
+			Horizon:  horizon,
+			CoreOnly: true,
+		})
+		install := func(e *netsim.Engine) error { return faults.InstallLinkFlaps(e, flaps) }
+		baseC, err := cell.runWith(core.PolicyBaseline, 0, install)
+		if err != nil {
+			return fmt.Errorf("churn rate %g baseline: %w", cfg.Rates[i], err)
+		}
+		sabaC, err := cell.runWith(core.PolicySaba, 0, install)
+		if err != nil {
+			return fmt.Errorf("churn rate %g saba: %w", cfg.Rates[i], err)
+		}
+		sp, err := speedupOf(cell, baseC, sabaC)
+		if err != nil {
+			return err
+		}
+		out.Churned[i] = sp
+		out.Retention[i] = sp / out.Steady
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// speedupOf averages per-workload speedups of res over base on env's
+// placement (the Fig. 10 aggregation).
+func speedupOf(env *scaleEnv, base, res core.Result) (float64, error) {
+	samples := map[string][]float64{}
+	for i := range env.jobs {
+		samples[env.jobs[i].Spec.Name] = append(samples[env.jobs[i].Spec.Name],
+			base.Completions[i]/res.Completions[i])
+	}
+	sp, err := collectSpeedups(samples)
+	if err != nil {
+		return 0, err
+	}
+	return sp.Average, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the churn study.
+func (r *FigChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FigChurn — Saba speedup retention under link churn (%d hosts, steady %.2fx)\n",
+		r.Hosts, r.Steady)
+	for i, rate := range r.Rates {
+		fmt.Fprintf(&b, "fail=%4.1f%%  speedup=%.2fx  retention=%.0f%%\n",
+			100*rate, r.Churned[i], 100*r.Retention[i])
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"saba/internal/core"
+	"saba/internal/netsim"
 	"saba/internal/profiler"
 	"saba/internal/topology"
 	"saba/internal/workload"
@@ -132,6 +133,12 @@ func newScaleEnv(cfg ScaleConfig) (*scaleEnv, error) {
 
 // run executes the placement under a policy.
 func (env *scaleEnv) run(policy core.Policy, queues int, shards int) (core.Result, error) {
+	return env.runWith(policy, shards, nil)
+}
+
+// runWith is run plus an engine hook invoked just before the simulation
+// starts — the churn study uses it to install fault schedules.
+func (env *scaleEnv) runWith(policy core.Policy, shards int, before func(*netsim.Engine) error) (core.Result, error) {
 	return core.RunJobs(env.top, env.jobs, core.RunConfig{
 		Policy: policy,
 		Table:  env.table,
@@ -142,6 +149,7 @@ func (env *scaleEnv) run(policy core.Policy, queues int, shards int) (core.Resul
 		// baseline (paper §8.4), not the hardware-testbed one. Queue
 		// counts come from the topology; Fig. 11b rebuilds the env.
 		SimBaseline: true,
+		BeforeRun:   before,
 	})
 }
 

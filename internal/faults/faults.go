@@ -46,6 +46,10 @@ type Config struct {
 	// CallBlackholeRate is the probability a FaultyTransport call executes
 	// but its response is lost (the caller sees a transport error).
 	CallBlackholeRate float64
+	// Sleep is the clock source delay faults block on. nil selects
+	// time.Sleep (wall clock); simulation harnesses inject a virtual-clock
+	// sleeper so fault schedules are deterministic and replayable.
+	Sleep func(time.Duration)
 }
 
 // Stats counts injected faults.
@@ -70,7 +74,8 @@ func NewInjector(cfg Config) *Injector {
 }
 
 // SetConfig swaps the fault mix at runtime — tests use it to heal (or
-// degrade) the network mid-run. The seed/RNG stream is unchanged.
+// degrade) the network mid-run. The seed/RNG stream is unchanged, and a
+// nil Sleep keeps the previously installed clock source.
 func (i *Injector) SetConfig(cfg Config) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -78,6 +83,9 @@ func (i *Injector) SetConfig(cfg Config) {
 		cfg.Delay = 5 * time.Millisecond
 	}
 	cfg.Seed = i.cfg.Seed
+	if cfg.Sleep == nil {
+		cfg.Sleep = i.cfg.Sleep
+	}
 	i.cfg = cfg
 }
 
@@ -108,8 +116,12 @@ func (i *Injector) delayIfFaulted() {
 	}
 	i.stats.Delays++
 	d := i.cfg.Delay
+	sleep := i.cfg.Sleep
 	i.mu.Unlock()
-	time.Sleep(d)
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
 }
 
 func (i *Injector) count(c *uint64) {

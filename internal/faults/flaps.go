@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"saba/internal/netsim"
+	"saba/internal/topology"
+)
+
+// Data-plane fault schedules. A schedule is a seeded, fully deterministic
+// list of link flaps in *virtual* time, generated offline from the
+// topology and installed on an Engine as timed events — replaying the
+// same seed against the same topology reproduces the identical failure
+// sequence, which is what makes churn experiments comparable across
+// allocation policies.
+
+// LinkFlap takes a set of directed links down over a virtual-time window.
+// Links holds both directions of a physical cable so a flap models a
+// cable (or transceiver) outage rather than a half-duplex oddity.
+type LinkFlap struct {
+	Links  []topology.LinkID
+	DownAt float64 // virtual seconds
+	UpAt   float64 // virtual seconds (> DownAt)
+}
+
+// FlapScheduleConfig parameterizes GenerateLinkFlaps.
+type FlapScheduleConfig struct {
+	// Seed makes the schedule deterministic.
+	Seed int64
+	// Rate is the per-cable probability of failing in each flap wave
+	// (the paper-style "x% link failure rate").
+	Rate float64
+	// Period is the spacing between flap waves in virtual seconds
+	// (0 → 1s).
+	Period float64
+	// Downtime is how long a failed cable stays down (0 → 0.3×Period).
+	Downtime float64
+	// Horizon bounds the schedule: no wave is generated at or beyond it.
+	Horizon float64
+	// CoreOnly restricts flaps to switch-to-switch cables, where the
+	// fabric has path redundancy; host uplinks (single-attached) are
+	// spared. This models the common case — core links vastly outnumber
+	// and out-fail last-meter links that would just partition a host.
+	CoreOnly bool
+}
+
+// GenerateLinkFlaps builds a deterministic flap schedule: at every
+// multiple of Period before Horizon, each candidate cable independently
+// fails with probability Rate and comes back Downtime later. Cables are
+// enumerated in link-ID order and the RNG is seeded, so the schedule is a
+// pure function of (topology shape, cfg).
+func GenerateLinkFlaps(top *topology.Topology, cfg FlapScheduleConfig) []LinkFlap {
+	if cfg.Period <= 0 {
+		cfg.Period = 1.0
+	}
+	if cfg.Downtime <= 0 {
+		cfg.Downtime = 0.3 * cfg.Period
+	}
+	if cfg.Rate <= 0 || cfg.Horizon <= cfg.Period {
+		return nil
+	}
+
+	// Enumerate physical cables: pair each directed link with its
+	// reverse, keyed by the lower link ID so each cable appears once.
+	nodes := top.Nodes()
+	var cables [][]topology.LinkID
+	for _, l := range top.Links() {
+		if l.From >= l.To {
+			continue // the (To, From) side enumerates this cable
+		}
+		if cfg.CoreOnly && (nodes[l.From].Kind != topology.Switch || nodes[l.To].Kind != topology.Switch) {
+			continue
+		}
+		cable := []topology.LinkID{l.ID}
+		for _, rid := range top.OutLinks(l.To) {
+			if rl, err := top.Link(rid); err == nil && rl.To == l.From {
+				cable = append(cable, rid)
+			}
+		}
+		cables = append(cables, cable)
+	}
+	if len(cables) == 0 {
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var flaps []LinkFlap
+	for t := cfg.Period; t < cfg.Horizon; t += cfg.Period {
+		for _, cable := range cables {
+			if rng.Float64() >= cfg.Rate {
+				continue
+			}
+			flaps = append(flaps, LinkFlap{
+				Links:  cable,
+				DownAt: t,
+				UpAt:   t + cfg.Downtime,
+			})
+		}
+	}
+	return flaps
+}
+
+// InstallLinkFlaps schedules every flap on the engine as a pair of timed
+// events: a batched FailLinks at DownAt and a batched RestoreLinks at
+// UpAt. Overlapping flaps of the same cable are benign (fail/restore are
+// idempotent). Install before Run; flaps scheduled in the past error.
+func InstallLinkFlaps(e *netsim.Engine, flaps []LinkFlap) error {
+	// Stable event insertion order regardless of how the caller built or
+	// filtered the slice.
+	ordered := make([]LinkFlap, len(flaps))
+	copy(ordered, flaps)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].DownAt < ordered[j].DownAt })
+	for _, fl := range ordered {
+		links := fl.Links
+		if fl.UpAt <= fl.DownAt {
+			return fmt.Errorf("faults: flap of %v heals at %g before failing at %g", links, fl.UpAt, fl.DownAt)
+		}
+		if err := e.At(fl.DownAt, func(e *netsim.Engine) {
+			// Idempotent: a link already downed by an overlapping flap
+			// is skipped inside FailLinks.
+			_ = e.FailLinks(links...)
+		}); err != nil {
+			return err
+		}
+		if err := e.At(fl.UpAt, func(e *netsim.Engine) {
+			_ = e.RestoreLinks(links...)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"saba/internal/netsim"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+func flapFabric(t testing.TB) *topology.Topology {
+	t.Helper()
+	top, err := topology.NewSpineLeaf(topology.SpineLeafConfig{
+		Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2,
+		HostsPerToR: 4, Queues: 8, LinkCapacity: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestGenerateLinkFlapsDeterministic(t *testing.T) {
+	top := flapFabric(t)
+	cfg := FlapScheduleConfig{Seed: 11, Rate: 0.4, Period: 0.5, Horizon: 4, CoreOnly: true}
+	a := GenerateLinkFlaps(top, cfg)
+	b := GenerateLinkFlaps(top, cfg)
+	if len(a) == 0 {
+		t.Fatal("schedule empty at 40% rate over 7 waves")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (topology, config) produced different schedules")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 12
+	if c := GenerateLinkFlaps(top, cfg2); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	nodes := top.Nodes()
+	for _, fl := range a {
+		if fl.UpAt <= fl.DownAt {
+			t.Fatalf("flap heals at %g before failing at %g", fl.UpAt, fl.DownAt)
+		}
+		if fl.DownAt < cfg.Period || fl.DownAt >= cfg.Horizon {
+			t.Fatalf("flap at %g outside (0, horizon)", fl.DownAt)
+		}
+		if len(fl.Links) != 2 {
+			t.Fatalf("cable has %d directed links, want 2", len(fl.Links))
+		}
+		for _, l := range fl.Links {
+			lk, err := top.Link(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nodes[lk.From].Kind != topology.Switch || nodes[lk.To].Kind != topology.Switch {
+				t.Fatalf("CoreOnly schedule flaps host link %d", l)
+			}
+		}
+	}
+
+	if got := GenerateLinkFlaps(top, FlapScheduleConfig{Seed: 1, Rate: 0, Horizon: 4}); got != nil {
+		t.Fatal("zero rate should produce no schedule")
+	}
+	if got := GenerateLinkFlaps(top, FlapScheduleConfig{Seed: 1, Rate: 1, Period: 2, Horizon: 2}); got != nil {
+		t.Fatal("horizon within one period should produce no schedule")
+	}
+}
+
+// TestInstallLinkFlapsEndToEnd drives a real engine through a generated
+// schedule: flaps must disrupt traffic (the failure counters move) while
+// every flow still completes, since each flap heals and restores resume
+// stalled flows.
+func TestInstallLinkFlapsEndToEnd(t *testing.T) {
+	top := flapFabric(t)
+	net := netsim.NewNetwork(top)
+	reg := telemetry.NewRegistry()
+	e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+	e.SetTelemetry(reg)
+
+	hosts := top.Hosts()
+	open := map[netsim.FlowID]bool{}
+	for i := 0; i < 10; i++ {
+		id, err := e.AddFlow(netsim.FlowSpec{
+			Src:  hosts[i%len(hosts)],
+			Dst:  hosts[(i*5+7)%len(hosts)],
+			Bits: 4000,
+			Mult: 1,
+		}, func(e *netsim.Engine, id netsim.FlowID) { delete(open, id) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		open[id] = true
+	}
+	flaps := GenerateLinkFlaps(top, FlapScheduleConfig{Seed: 3, Rate: 0.5, Period: 0.5, Horizon: 3, CoreOnly: true})
+	if len(flaps) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if err := InstallLinkFlaps(e, flaps); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 0 {
+		t.Errorf("%d flows never completed under the flap schedule", len(open))
+	}
+	if e.StalledFlows() != 0 {
+		t.Errorf("StalledFlows = %d after all flaps healed, want 0", e.StalledFlows())
+	}
+	fails := reg.Counter("netsim.link_failures").Value()
+	if fails == 0 {
+		t.Error("schedule installed but no link failures recorded")
+	}
+	if rest := reg.Counter("netsim.link_restores").Value(); rest != fails {
+		t.Errorf("link_restores = %d, link_failures = %d; every flap must heal", rest, fails)
+	}
+}
+
+func TestInstallLinkFlapsRejectsBadWindow(t *testing.T) {
+	top := flapFabric(t)
+	net := netsim.NewNetwork(top)
+	e := netsim.NewEngine(net, netsim.NewIdealMaxMin(net))
+	bad := []LinkFlap{{Links: []topology.LinkID{0}, DownAt: 2, UpAt: 2}}
+	if err := InstallLinkFlaps(e, bad); err == nil {
+		t.Fatal("flap with UpAt <= DownAt should be rejected")
+	}
+}
+
+// TestInjectedSleepUsesVirtualClock covers the injectable clock source:
+// with a recording Sleep installed, delay faults must route through it —
+// no wall-clock stall — and SetConfig with a nil Sleep must keep the
+// installed sleeper rather than silently reverting to time.Sleep.
+func TestInjectedSleepUsesVirtualClock(t *testing.T) {
+	var slept []time.Duration
+	record := func(d time.Duration) { slept = append(slept, d) }
+
+	const delay = 500 * time.Millisecond
+	inj := NewInjector(Config{Seed: 9, DelayRate: 1, Delay: delay, Sleep: record})
+	addr := startEcho(t)
+	conn, err := inj.Dialer()(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= delay {
+		t.Fatalf("write blocked %v on the wall clock; the injected sleeper should have absorbed the delay", elapsed)
+	}
+	if len(slept) == 0 {
+		t.Fatal("delay fault did not call the injected sleeper")
+	}
+	for _, d := range slept {
+		if d != delay {
+			t.Errorf("injected sleeper got %v, want %v", d, delay)
+		}
+	}
+
+	// SetConfig without a Sleep keeps the recording sleeper installed.
+	inj.SetConfig(Config{DelayRate: 1, Delay: delay})
+	before := len(slept)
+	if _, err := conn.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) == before {
+		t.Fatal("SetConfig with nil Sleep reverted to the wall clock")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -175,6 +176,110 @@ func TestMultEquivalence(t *testing.T) {
 	}
 	if math.Abs(fo2.Rate-otherRate) > 1e-6 {
 		t.Errorf("competing flow rate %g != %g under Mult aggregation", fo2.Rate, otherRate)
+	}
+}
+
+// TestConservationUnderLinkFlaps runs every allocator through a seeded
+// workload with core-cable flaps and checks, on every time advance, that
+// (a) no active flow's path crosses a down link, (b) stalled flows carry
+// rate zero, and (c) no link is allocated past capacity. At the end every
+// flow must have completed — flaps may delay traffic, never strand it.
+func TestConservationUnderLinkFlaps(t *testing.T) {
+	const eps = 1e-6
+	for _, name := range []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			top := diffFabric(t)
+			net := NewNetwork(top)
+			alloc := diffAllocator(name, net, telemetry.NewRegistry())
+			e := NewEngine(net, alloc)
+
+			rng := rand.New(rand.NewSource(99))
+			hosts := top.Hosts()
+			remaining := map[FlowID]bool{}
+			for w := 0; w < 8; w++ {
+				n := 1 + rng.Intn(5)
+				specs := make([]FlowSpec, n)
+				for i := range specs {
+					s := hosts[rng.Intn(len(hosts))]
+					d := hosts[rng.Intn(len(hosts))]
+					for d == s {
+						d = hosts[rng.Intn(len(hosts))]
+					}
+					specs[i] = FlowSpec{
+						Src: s, Dst: d,
+						Bits: float64((1 + rng.Intn(4000)) * 64),
+						App:  AppID(rng.Intn(4)),
+						PL:   rng.Intn(8),
+						Mult: 1 + rng.Intn(2),
+					}
+				}
+				if err := e.At(float64(w)*0.5, func(e *Engine) {
+					ids, err := e.AddFlows(specs, func(e *Engine, id FlowID) { delete(remaining, id) })
+					if err != nil {
+						panic(err)
+					}
+					for _, id := range ids {
+						remaining[id] = true
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cables := coreCables(top)
+			frng := rand.New(rand.NewSource(7))
+			for w := 0; w < 5; w++ {
+				at := 0.3 + 0.9*float64(w)
+				cable := cables[frng.Intn(len(cables))]
+				if err := e.At(at, func(e *Engine) {
+					if err := e.FailLinks(cable...); err != nil {
+						panic(err)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.At(at+0.45, func(e *Engine) {
+					if err := e.RestoreLinks(cable...); err != nil {
+						panic(err)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			load := map[topology.LinkID]float64{}
+			e.OnAdvance = func(e *Engine, t0, t1 float64) {
+				clear(load)
+				net.ForEachActive(func(f *Flow) {
+					if f.Stalled() {
+						if f.Rate != 0 {
+							t.Errorf("stalled flow %d has rate %g during [%g,%g)", f.ID, f.Rate, t0, t1)
+						}
+						return
+					}
+					for _, l := range f.Path {
+						if !top.LinkUp(l) {
+							t.Errorf("flow %d crosses down link %d during [%g,%g)", f.ID, l, t0, t1)
+						}
+						load[l] += f.Rate
+					}
+				})
+				for l, sum := range load {
+					if c := net.Capacity(l); sum > c*(1+eps) {
+						t.Errorf("link %d oversubscribed during [%g,%g): %g > %g", l, t0, t1, sum, c)
+					}
+				}
+			}
+			if err := e.Run(math.Inf(1)); err != nil {
+				t.Fatal(err)
+			}
+			if len(remaining) != 0 {
+				t.Errorf("%d flows never completed across the flap schedule", len(remaining))
+			}
+			if e.StalledFlows() != 0 {
+				t.Errorf("StalledFlows = %d at end, want 0", e.StalledFlows())
+			}
+		})
 	}
 }
 

@@ -70,6 +70,12 @@ func configureWFQPorts(w *WFQ, net *Network, round int) {
 // runDifferential drives one seeded scenario and returns the completion
 // time of every admission (-1 when cancelled), in admission order.
 func runDifferential(t *testing.T, name string, seed int64, full bool, reg *telemetry.Registry) []float64 {
+	return runDifferentialScenario(t, name, seed, full, reg, false)
+}
+
+// runDifferentialScenario is runDifferential with an optional seeded
+// link-flap schedule layered on top (see faults_test.go).
+func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, reg *telemetry.Registry, withFlaps bool) []float64 {
 	t.Helper()
 	top := diffFabric(t)
 	net := NewNetwork(top)
@@ -139,6 +145,33 @@ func runDifferential(t *testing.T, name string, seed int64, full bool, reg *tele
 			if err := e.At(at+0.11, func(e *Engine) {
 				if victim < len(ids) && done[victim] < 0 {
 					_ = e.CancelFlow(ids[victim])
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if withFlaps {
+		// Layer a seeded link-flap schedule over the workload: both
+		// directions of a pseudo-random core (switch-to-switch) cable go
+		// down and come back while admissions and cancels keep arriving.
+		// A separate RNG keeps the admission sequence identical to the
+		// flap-free scenario for the same seed.
+		cables := coreCables(top)
+		frng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for w := 0; w < 6; w++ {
+			at := 1.3 + 1.6*float64(w)
+			cable := cables[frng.Intn(len(cables))]
+			if err := e.At(at, func(e *Engine) {
+				if err := e.FailLinks(cable...); err != nil {
+					panic(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.At(at+0.7, func(e *Engine) {
+				if err := e.RestoreLinks(cable...); err != nil {
+					panic(err)
 				}
 			}); err != nil {
 				t.Fatal(err)

@@ -22,6 +22,11 @@ type engineMetrics struct {
 	scopedRecomputes *telemetry.Counter // netsim.scoped_recomputes
 	dirtyFlows       *telemetry.Counter // netsim.dirty_flows
 	flowCompletions  *telemetry.Counter // netsim.flow_completions
+	linkFailures     *telemetry.Counter // netsim.link_failures
+	linkRestores     *telemetry.Counter // netsim.link_restores
+	flowReroutes     *telemetry.Counter // netsim.flow_reroutes
+	flowStalls       *telemetry.Counter // netsim.flow_stalls
+	flowResumes      *telemetry.Counter // netsim.flow_resumes
 	flowsActive      *telemetry.Gauge   // netsim.flows_active
 	heapSize         *telemetry.Gauge   // netsim.completion_heap_size
 	flowSeconds      *telemetry.Histogram
@@ -40,6 +45,11 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		scopedRecomputes: reg.Counter("netsim.scoped_recomputes"),
 		dirtyFlows:       reg.Counter("netsim.dirty_flows"),
 		flowCompletions:  reg.Counter("netsim.flow_completions"),
+		linkFailures:     reg.Counter("netsim.link_failures"),
+		linkRestores:     reg.Counter("netsim.link_restores"),
+		flowReroutes:     reg.Counter("netsim.flow_reroutes"),
+		flowStalls:       reg.Counter("netsim.flow_stalls"),
+		flowResumes:      reg.Counter("netsim.flow_resumes"),
 		flowsActive:      reg.Gauge("netsim.flows_active"),
 		heapSize:         reg.Gauge("netsim.completion_heap_size"),
 		flowSeconds:      reg.Histogram("netsim.flow_seconds"),
@@ -111,11 +121,23 @@ type Engine struct {
 	stack    []topology.LinkID // BFS worklist
 	done     []FlowID          // completions of the current step
 
+	// Stalled-flow tracking: flows parked with no live path after a link
+	// failure. stalled may hold stale or duplicate entries (slots recycle);
+	// resumeStalled filters on the per-flow flag, and stalledCount is the
+	// exact live count.
+	stalled      []FlowID
+	stalledCount int
+
 	// OnAdvance, when set, observes every time advance [t0, t1) with the
 	// flow rates that were in force during it — the hook used by the
 	// utilization tracer (Fig. 2). It runs after flows have progressed but
 	// before completion callbacks fire.
 	OnAdvance func(e *Engine, t0, t1 float64)
+
+	// OnTopologyChange, when set, fires after every applied link or switch
+	// failure/restore with the new topology liveness epoch. core.RunJobs
+	// wires it to the controller's reconvergence path.
+	OnTopologyChange func(e *Engine, epoch uint64)
 }
 
 // Errors returned by Run.
@@ -180,6 +202,7 @@ func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, e
 		e.setDone(id, onDone)
 	}
 	e.seedFlows = append(e.seedFlows, id)
+	e.registerIfStalled(id)
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return id, nil
@@ -199,6 +222,7 @@ func (e *Engine) AddFlows(specs []FlowSpec, onDone func(*Engine, FlowID)) ([]Flo
 			e.setDone(id, onDone)
 		}
 		e.seedFlows = append(e.seedFlows, id)
+		e.registerIfStalled(id)
 	}
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
@@ -212,6 +236,9 @@ func (e *Engine) CancelFlow(id FlowID) error {
 		return err
 	}
 	e.seedLinks = append(e.seedLinks, f.Path...)
+	if f.stalled {
+		e.stalledCount--
+	}
 	if err := e.net.RemoveFlow(id); err != nil {
 		return err
 	}

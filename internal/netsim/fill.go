@@ -142,6 +142,12 @@ func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 		if !f.active {
 			continue
 		}
+		if f.stalled {
+			// Detached by link failure with no live path: transmits
+			// nothing until the Engine re-attaches it.
+			f.Rate = 0
+			continue
+		}
 		if len(f.Path) == 0 {
 			f.Rate = LocalRate
 			continue
@@ -260,6 +266,10 @@ func (fl *Filler) runFlat(net *Network, ids []FlowID) {
 	for _, id := range ids {
 		f := &net.flows[id]
 		if !f.active {
+			continue
+		}
+		if f.stalled {
+			f.Rate = 0
 			continue
 		}
 		if len(f.Path) == 0 {

@@ -63,9 +63,17 @@ type Flow struct {
 	Start     float64 // virtual time the flow was added
 	lastSet   float64 // virtual time Remaining was last materialized
 	active    bool
-	inRun     bool    // scratch: member of the current Filler run
-	pathPos   []int32 // pathPos[k] = this flow's index within linkFlows[Path[k]]
+	inRun     bool // scratch: member of the current Filler run
+	// stalled marks a flow detached from the fabric by link failure with
+	// no live alternate path: it transmits nothing (allocators rate it 0)
+	// until a restore lets the Engine re-attach it.
+	stalled bool
+	pathPos []int32 // pathPos[k] = this flow's index within linkFlows[Path[k]]
 }
+
+// Stalled reports whether the flow is parked without a live path after a
+// failure (it holds zero rate until the Engine re-attaches it).
+func (f *Flow) Stalled() bool { return f.stalled }
 
 // RemainingAt projects the flow's residual bits at virtual time t,
 // assuming its current rate has been in force since lastSet. Allocators
@@ -92,8 +100,11 @@ type Network struct {
 	linkFlows [][]FlowID                   // linkFlows[link] = active flows crossing it
 	capEff    []float64                    // effective capacity per link (overrides applied)
 	routes    map[uint64][]topology.LinkID // (src,dst) → path memo, shared read-only
-	active    int
-	now       float64 // virtual time, advanced by the Engine
+	// routeEpoch is the topology liveness epoch the memo was filled under;
+	// any failure or restore invalidates every memoized path wholesale.
+	routeEpoch uint64
+	active     int
+	now        float64 // virtual time, advanced by the Engine
 }
 
 // NewNetwork creates an empty network over the topology.
@@ -144,15 +155,17 @@ func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
 	if spec.Bits <= 0 {
 		return 0, fmt.Errorf("%w: %g", ErrBadSize, spec.Bits)
 	}
-	rkey := uint64(uint32(spec.Src))<<32 | uint64(uint32(spec.Dst))
-	path, routed := n.routes[rkey]
-	if !routed {
-		p, err := n.top.Route(spec.Src, spec.Dst)
-		if err != nil {
+	path, err := n.routeLive(spec.Src, spec.Dst)
+	stalled := false
+	if err != nil {
+		// Under churn a flow may arrive while its only path is down;
+		// admit it stalled (zero rate) so workloads survive the outage
+		// and the Engine resumes it when a link comes back.
+		if errors.Is(err, topology.ErrNoRoute) && n.top.NumDown() > 0 {
+			path, stalled = nil, true
+		} else {
 			return 0, err
 		}
-		path = p
-		n.routes[rkey] = path
 	}
 	var id FlowID
 	if len(n.free) > 0 {
@@ -171,7 +184,7 @@ func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
 		ID: id, Src: spec.Src, Dst: spec.Dst, Path: path,
 		Size: spec.Bits, Remaining: spec.Bits,
 		App: spec.App, PL: spec.PL, Mult: mult, Coflow: spec.Coflow,
-		Start: now, lastSet: now, active: true,
+		Start: now, lastSet: now, active: true, stalled: stalled,
 	}
 	f := &n.flows[id]
 	for _, l := range path {
@@ -211,6 +224,38 @@ func (n *Network) RemoveFlow(id FlowID) error {
 	if err != nil {
 		return err
 	}
+	n.detach(f, id)
+	f.active = false
+	f.stalled = false
+	n.free = append(n.free, id)
+	n.active--
+	return nil
+}
+
+// routeLive returns a path over live links only, memoizing successes. The
+// memo is valid for a single topology liveness epoch: any FailLink/Restore
+// bumps the epoch and the next lookup drops every cached path wholesale.
+func (n *Network) routeLive(src, dst topology.NodeID) ([]topology.LinkID, error) {
+	if ep := n.top.Epoch(); ep != n.routeEpoch {
+		clear(n.routes)
+		n.routeEpoch = ep
+	}
+	rkey := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	if path, ok := n.routes[rkey]; ok {
+		return path, nil
+	}
+	path, err := n.top.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	n.routes[rkey] = path
+	return path, nil
+}
+
+// detach removes the flow from every link it occupies (swap-remove in
+// O(path length)) and clears its path. The flow stays active; the caller
+// either deactivates it (RemoveFlow) or re-attaches it on a new path.
+func (n *Network) detach(f *Flow, id FlowID) {
 	for k, l := range f.Path {
 		fs := n.linkFlows[l]
 		i := int(f.pathPos[k])
@@ -229,10 +274,21 @@ func (n *Network) RemoveFlow(id FlowID) error {
 			}
 		}
 	}
-	f.active = false
-	n.free = append(n.free, id)
-	n.active--
-	return nil
+	f.Path = nil
+	f.pathPos = f.pathPos[:0]
+}
+
+// attach places an already-active flow on a new path, registering it on
+// every link. Used by the Engine to reroute or resume flows after topology
+// changes.
+func (n *Network) attach(f *Flow, id FlowID, path []topology.LinkID) {
+	pathPos := f.pathPos[:0]
+	for _, l := range path {
+		pathPos = append(pathPos, int32(len(n.linkFlows[l])))
+		n.linkFlows[l] = append(n.linkFlows[l], id)
+	}
+	f.Path = path
+	f.pathPos = pathPos
 }
 
 func (n *Network) flow(id FlowID) (*Flow, error) {

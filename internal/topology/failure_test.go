@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// pathLive reports whether every link of a path is up.
+func pathLive(t *testing.T, top *Topology, path []LinkID) bool {
+	t.Helper()
+	for _, l := range path {
+		if !top.LinkUp(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkPath asserts contiguity and endpoint correctness.
+func checkPath(t *testing.T, top *Topology, src, dst NodeID, path []LinkID) {
+	t.Helper()
+	if len(path) == 0 {
+		t.Fatalf("empty path %d→%d", src, dst)
+	}
+	first, _ := top.Link(path[0])
+	last, _ := top.Link(path[len(path)-1])
+	if first.From != src || last.To != dst {
+		t.Fatalf("path endpoints wrong for %d→%d", src, dst)
+	}
+	for i := 1; i < len(path); i++ {
+		prev, _ := top.Link(path[i-1])
+		cur, _ := top.Link(path[i])
+		if prev.To != cur.From {
+			t.Fatalf("discontiguous path %d→%d at hop %d", src, dst, i)
+		}
+	}
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	top := smallFabric(t)
+	hosts := top.Hosts()
+	// An inter-pod pair: its LFT path crosses ToR→leaf→spine→leaf→ToR,
+	// every inter-switch hop of which has alternates.
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	orig, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail a middle (switch-to-switch) hop of the original path.
+	mid := orig[len(orig)/2]
+	if changed, err := top.FailLink(mid); err != nil || !changed {
+		t.Fatalf("FailLink(%d) = %v, %v", mid, changed, err)
+	}
+	if top.LinkUp(mid) {
+		t.Fatal("failed link still reported up")
+	}
+	if top.NumDown() != 1 {
+		t.Fatalf("NumDown = %d, want 1", top.NumDown())
+	}
+	alt, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatalf("no reroute around failed link: %v", err)
+	}
+	checkPath(t, top, src, dst, alt)
+	for _, l := range alt {
+		if l == mid {
+			t.Fatal("rerouted path crosses the failed link")
+		}
+	}
+	if !pathLive(t, top, alt) {
+		t.Fatal("rerouted path uses a down link")
+	}
+
+	// Unaffected pairs keep their exact LFT path (bit-identity of the
+	// fast path matters for the differential gate).
+	o2, _ := top.Route(hosts[1], hosts[2])
+	if changed, err := top.RestoreLink(mid); err != nil || !changed {
+		t.Fatalf("RestoreLink(%d) = %v, %v", mid, changed, err)
+	}
+	r2, _ := top.Route(hosts[1], hosts[2])
+	if len(o2) != len(r2) {
+		t.Fatal("restore changed an unaffected route")
+	}
+	for i := range o2 {
+		if o2[i] != r2[i] {
+			t.Fatal("restore changed an unaffected route")
+		}
+	}
+	// After restore, the original route comes back.
+	back, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatal("LFT route not restored after RestoreLink")
+		}
+	}
+}
+
+func TestFailLinkIdempotentAndEpoch(t *testing.T) {
+	top := smallFabric(t)
+	l := top.Links()[0].ID
+	e0 := top.Epoch()
+	if ch, err := top.FailLink(l); err != nil || !ch {
+		t.Fatalf("first FailLink = %v, %v", ch, err)
+	}
+	if top.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", top.Epoch(), e0+1)
+	}
+	if ch, err := top.FailLink(l); err != nil || ch {
+		t.Fatalf("second FailLink = %v, %v (want no-op)", ch, err)
+	}
+	if top.Epoch() != e0+1 {
+		t.Fatal("idempotent fail bumped the epoch")
+	}
+	if ch, err := top.RestoreLink(l); err != nil || !ch {
+		t.Fatalf("RestoreLink = %v, %v", ch, err)
+	}
+	if ch, err := top.RestoreLink(l); err != nil || ch {
+		t.Fatalf("second RestoreLink = %v, %v (want no-op)", ch, err)
+	}
+	if top.NumDown() != 0 {
+		t.Fatalf("NumDown = %d after full restore", top.NumDown())
+	}
+	if _, err := top.FailLink(LinkID(len(top.Links()))); err == nil {
+		t.Fatal("unknown link should error")
+	}
+}
+
+func TestHostCutOffReturnsErrNoRoute(t *testing.T) {
+	top := smallFabric(t)
+	hosts := top.Hosts()
+	src, dst := hosts[0], hosts[1]
+	// A host has a single uplink: failing it cuts the host off.
+	up := top.OutLinks(src)
+	if len(up) != 1 {
+		t.Fatalf("host %d has %d uplinks, want 1", src, len(up))
+	}
+	if _, err := top.FailLink(up[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Route(src, dst); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("Route from cut-off host: %v, want ErrNoRoute", err)
+	}
+	// The reverse direction is still alive (directed liveness).
+	if _, err := top.Route(dst, src); err != nil {
+		t.Fatalf("reverse direction should still route: %v", err)
+	}
+}
+
+func TestFailSwitch(t *testing.T) {
+	top := smallFabric(t)
+	hosts := top.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	orig, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first spine-level switch on the path (a middle hop's
+	// destination node).
+	lk, _ := top.Link(orig[len(orig)/2])
+	sw := lk.From
+	changed, err := top.FailSwitch(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) == 0 {
+		t.Fatal("FailSwitch changed no links")
+	}
+	for _, l := range changed {
+		if top.LinkUp(l) {
+			t.Fatalf("link %d still up after FailSwitch", l)
+		}
+		k, _ := top.Link(l)
+		if k.From != sw && k.To != sw {
+			t.Fatalf("FailSwitch touched unrelated link %d", l)
+		}
+	}
+	alt, err := top.Route(src, dst)
+	if err != nil {
+		t.Fatalf("no reroute around failed switch: %v", err)
+	}
+	checkPath(t, top, src, dst, alt)
+	for _, l := range alt {
+		k, _ := top.Link(l)
+		if k.From == sw || k.To == sw {
+			t.Fatal("rerouted path crosses the failed switch")
+		}
+	}
+	restored, err := top.RestoreSwitch(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(changed) {
+		t.Fatalf("RestoreSwitch changed %d links, FailSwitch changed %d", len(restored), len(changed))
+	}
+	if top.NumDown() != 0 {
+		t.Fatalf("NumDown = %d after RestoreSwitch", top.NumDown())
+	}
+	// Failing a host must be rejected.
+	if _, err := top.FailSwitch(hosts[0]); err == nil {
+		t.Fatal("FailSwitch on a host should error")
+	}
+}

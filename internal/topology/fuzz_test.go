@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRoute drives Route over a small spine-leaf fabric with a seeded
+// random set of failed links, checking the routing contract against an
+// independent BFS oracle:
+//
+//   - a returned path is contiguous, starts at src, ends at dst, and
+//     crosses no failed link;
+//   - ErrNoRoute is returned exactly when the oracle finds no live path
+//     (under the same rule that hosts do not forward transit traffic).
+func FuzzRoute(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(1))
+	f.Add(int64(2), uint8(3), uint8(0), uint8(7))
+	f.Add(int64(3), uint8(10), uint8(2), uint8(5))
+	f.Add(int64(4), uint8(40), uint8(6), uint8(3))
+	f.Add(int64(5), uint8(255), uint8(1), uint8(6))
+
+	f.Fuzz(func(t *testing.T, seed int64, nFails, srcSel, dstSel uint8) {
+		top, err := NewSpineLeaf(SpineLeafConfig{
+			Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2, HostsPerToR: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := top.Links()
+		rng := rand.New(rand.NewSource(seed))
+		fails := int(nFails) % (len(links) + 1)
+		for i := 0; i < fails; i++ {
+			if _, err := top.FailLink(LinkID(rng.Intn(len(links)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hosts := top.Hosts()
+		src := hosts[int(srcSel)%len(hosts)]
+		dst := hosts[int(dstSel)%len(hosts)]
+		if src == dst {
+			return
+		}
+
+		path, err := top.Route(src, dst)
+		reachable := liveReachable(top, src, dst)
+		if err != nil {
+			if !errors.Is(err, ErrNoRoute) {
+				t.Fatalf("Route(%d,%d) unexpected error class: %v", src, dst, err)
+			}
+			if reachable {
+				t.Fatalf("Route(%d,%d) = ErrNoRoute but a live path exists", src, dst)
+			}
+			return
+		}
+		if !reachable {
+			t.Fatalf("Route(%d,%d) found a path the oracle says cannot exist", src, dst)
+		}
+		if len(path) == 0 {
+			t.Fatalf("Route(%d,%d) returned an empty path", src, dst)
+		}
+		first, _ := top.Link(path[0])
+		last, _ := top.Link(path[len(path)-1])
+		if first.From != src || last.To != dst {
+			t.Fatalf("path endpoints wrong for %d→%d", src, dst)
+		}
+		for i, l := range path {
+			if !top.LinkUp(l) {
+				t.Fatalf("path %d→%d crosses failed link %d", src, dst, l)
+			}
+			if i > 0 {
+				prev, _ := top.Link(path[i-1])
+				cur, _ := top.Link(l)
+				if prev.To != cur.From {
+					t.Fatalf("discontiguous path %d→%d at hop %d", src, dst, i)
+				}
+			}
+		}
+
+		// Restoring everything must always make the pair routable again.
+		for _, l := range links {
+			if _, err := top.RestoreLink(l.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := top.Route(src, dst); err != nil {
+			t.Fatalf("Route(%d,%d) after full restore: %v", src, dst, err)
+		}
+	})
+}
+
+// liveReachable is the oracle: BFS over up links only, with hosts not
+// forwarding transit traffic (the same constraint real fabrics have).
+func liveReachable(top *Topology, src, dst NodeID) bool {
+	nodes := top.Nodes()
+	seen := make([]bool, len(nodes))
+	queue := []NodeID{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			return true
+		}
+		if cur != src && nodes[cur].Kind == Host {
+			continue
+		}
+		for _, l := range top.OutLinks(cur) {
+			if !top.LinkUp(l) {
+				continue
+			}
+			lk, _ := top.Link(l)
+			if !seen[lk.To] {
+				seen[lk.To] = true
+				queue = append(queue, lk.To)
+			}
+		}
+	}
+	return false
+}

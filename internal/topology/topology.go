@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a host or switch.
@@ -58,7 +60,10 @@ type Link struct {
 	Capacity float64 // bits per second
 }
 
-// Topology is an immutable network graph with forwarding state.
+// Topology is a network graph with forwarding state. The graph shape and
+// forwarding tables are immutable after construction; the only mutable
+// state is link liveness (FailLink/RestoreLink), versioned by an epoch so
+// route memos and controller solution caches can detect change.
 type Topology struct {
 	nodes []Node
 	links []Link
@@ -66,6 +71,14 @@ type Topology struct {
 	lft   []map[NodeID]LinkID // lft[node][dstHost] = out link (hosts have single uplink)
 	hosts []NodeID
 	sws   []NodeID
+
+	// Failure state. down is nil until the first failure, so a topology
+	// that never fails pays nothing. epoch increments on every liveness
+	// change; readers use it to invalidate derived state.
+	mu    sync.RWMutex
+	down  []bool
+	nDown int
+	epoch atomic.Uint64
 }
 
 // Errors returned by topology operations.
@@ -164,6 +177,12 @@ func (t *Topology) QueuesAt(id LinkID) int {
 // Route returns the directed links a flow from src to dst traverses,
 // following the forwarding tables hop by hop — exactly the path-detection
 // procedure of paper §7.2. src and dst must be hosts.
+//
+// While every link is up the forwarding-table walk is authoritative. When
+// failures exist and the table path crosses a down link, Route falls back
+// to the shortest live detour (deterministic BFS over up links, expanding
+// ports in ID order — what the subnet manager's rerouting computes), and
+// returns ErrNoRoute only when no live path exists at all.
 func (t *Topology) Route(src, dst NodeID) ([]LinkID, error) {
 	sn, err := t.Node(src)
 	if err != nil {
@@ -179,6 +198,20 @@ func (t *Topology) Route(src, dst NodeID) ([]LinkID, error) {
 	if src == dst {
 		return nil, nil // loopback traffic does not touch the network
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.nDown == 0 {
+		return t.routeLFT(src, dst)
+	}
+	path, err := t.routeLFT(src, dst)
+	if err == nil && t.pathUpLocked(path) {
+		return path, nil
+	}
+	return t.routeBFSLocked(src, dst)
+}
+
+// routeLFT walks the forwarding tables hop by hop, ignoring liveness.
+func (t *Topology) routeLFT(src, dst NodeID) ([]LinkID, error) {
 	var path []LinkID
 	cur := src
 	for cur != dst {
@@ -194,6 +227,164 @@ func (t *Topology) Route(src, dst NodeID) ([]LinkID, error) {
 	}
 	return path, nil
 }
+
+// pathUpLocked reports whether every link of a path is live.
+func (t *Topology) pathUpLocked(path []LinkID) bool {
+	for _, l := range path {
+		if t.down[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// routeBFSLocked computes the shortest live path by breadth-first search
+// over up links. Hosts do not forward, so only src and dst may be hosts
+// on the path. Expansion visits out-links in ID order and keeps the first
+// parent found, so the detour is deterministic for a given failure set.
+func (t *Topology) routeBFSLocked(src, dst NodeID) ([]LinkID, error) {
+	prev := make([]LinkID, len(t.nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	seen := make([]bool, len(t.nodes))
+	seen[src] = true
+	queue := make([]NodeID, 0, len(t.nodes))
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		if cur != src && t.nodes[cur].Kind == Host {
+			continue // hosts terminate paths; they never forward
+		}
+		for _, l := range t.out[cur] {
+			if t.down[l] {
+				continue
+			}
+			to := t.links[l].To
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			prev[to] = l
+			queue = append(queue, to)
+		}
+	}
+	if prev[dst] < 0 {
+		return nil, fmt.Errorf("%w: from %d to %d (no live path)", ErrNoRoute, src, dst)
+	}
+	var path []LinkID
+	for cur := dst; cur != src; {
+		l := prev[cur]
+		path = append(path, l)
+		cur = t.links[l].From
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// FailLink marks a directed link down, reporting whether the state
+// changed (failing an already-down link is an idempotent no-op). Every
+// change bumps the topology epoch.
+func (t *Topology) FailLink(id LinkID) (bool, error) {
+	if int(id) < 0 || int(id) >= len(t.links) {
+		return false, fmt.Errorf("topology: unknown link %d", id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down == nil {
+		t.down = make([]bool, len(t.links))
+	}
+	if t.down[id] {
+		return false, nil
+	}
+	t.down[id] = true
+	t.nDown++
+	t.epoch.Add(1)
+	return true, nil
+}
+
+// RestoreLink brings a failed link back up, reporting whether the state
+// changed. Every change bumps the topology epoch.
+func (t *Topology) RestoreLink(id LinkID) (bool, error) {
+	if int(id) < 0 || int(id) >= len(t.links) {
+		return false, fmt.Errorf("topology: unknown link %d", id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.down == nil || !t.down[id] {
+		return false, nil
+	}
+	t.down[id] = false
+	t.nDown--
+	t.epoch.Add(1)
+	return true, nil
+}
+
+// FailSwitch fails every link attached to a switch (both directions of
+// each cable — a powered-off switch neither sends nor receives) and
+// returns the links whose state actually changed, in ID order.
+func (t *Topology) FailSwitch(n NodeID) ([]LinkID, error) {
+	return t.setSwitchLinks(n, (*Topology).FailLink)
+}
+
+// RestoreSwitch restores every link attached to a switch, returning the
+// links whose state actually changed, in ID order.
+func (t *Topology) RestoreSwitch(n NodeID) ([]LinkID, error) {
+	return t.setSwitchLinks(n, (*Topology).RestoreLink)
+}
+
+func (t *Topology) setSwitchLinks(n NodeID, op func(*Topology, LinkID) (bool, error)) ([]LinkID, error) {
+	node, err := t.Node(n)
+	if err != nil {
+		return nil, err
+	}
+	if node.Kind != Switch {
+		return nil, fmt.Errorf("topology: node %d is not a switch", n)
+	}
+	var changed []LinkID
+	for i := range t.links {
+		if t.links[i].From != n && t.links[i].To != n {
+			continue
+		}
+		ch, err := op(t, LinkID(i))
+		if err != nil {
+			return changed, err
+		}
+		if ch {
+			changed = append(changed, LinkID(i))
+		}
+	}
+	return changed, nil
+}
+
+// LinkUp reports whether a link is live (unknown links are not).
+func (t *Topology) LinkUp(id LinkID) bool {
+	if int(id) < 0 || int(id) >= len(t.links) {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.down == nil || !t.down[id]
+}
+
+// NumDown returns the count of currently failed links.
+func (t *Topology) NumDown() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nDown
+}
+
+// Epoch returns the liveness version: it increments on every FailLink or
+// RestoreLink that changes state. Derived caches (route memos, solution
+// caches) compare epochs to detect staleness without tracking individual
+// links.
+func (t *Topology) Epoch() uint64 { return t.epoch.Load() }
 
 // hashDst provides the deterministic spreading the subnet manager applies
 // when several equal-cost uplinks exist: destination-based so that all
