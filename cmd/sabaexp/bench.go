@@ -68,6 +68,14 @@ func buildBenchSuite() ([]benchEntry, error) {
 			_, err := experiments.FigChurn(experiments.ChurnConfig{Rates: []float64{0.05}})
 			return err
 		}},
+		// The drift-recovery study drives the whole online-learning loop —
+		// quarantine, ring fits, validation, promotion, and the recovery
+		// simulation — so a slowdown in the learner or the extra solve-epoch
+		// invalidations surfaces here.
+		{name: "FigDrift", fn: func() error {
+			_, err := experiments.FigDrift(experiments.DriftStudyConfig{})
+			return err
+		}},
 	}
 	scenario, err := experiments.NewEnforceScenario()
 	if err != nil {

@@ -31,45 +31,53 @@ import (
 // enforcement hot path touches only atomics). Both deployments report
 // the same inventory so dashboards work across §5.4 variants.
 type ctrlMetrics struct {
-	solve        *telemetry.Histogram // Eq. 2 full-recompute wall time (Fig. 12)
-	ports        *telemetry.Counter   // port configurations pushed
-	reclusters   *telemetry.Counter   // app→PL k-means reruns
-	rollbacks    *telemetry.Counter   // transactional conn op unwinds
-	registers    *telemetry.Counter
-	deregisters  *telemetry.Counter
-	connCreates  *telemetry.Counter
-	connDestroys *telemetry.Counter
-	failovers    *telemetry.Counter // shard failovers (mesh only)
-	solHits      *telemetry.Counter // cross-port solution cache hits
-	solMisses    *telemetry.Counter // cross-port solution cache misses
-	reconverges  *telemetry.Counter // topology-change reconvergence passes
-	reconvDegr   *telemetry.Counter // reconvergences past deadline → fair-share
-	quarantines  *telemetry.Counter // apps quarantined for profile drift
-	unquarants   *telemetry.Counter // apps released from quarantine
-	apps         *telemetry.Gauge
-	conns        *telemetry.Gauge
+	solve            *telemetry.Histogram // Eq. 2 full-recompute wall time (Fig. 12)
+	ports            *telemetry.Counter   // port configurations pushed
+	reclusters       *telemetry.Counter   // app→PL k-means reruns
+	rollbacks        *telemetry.Counter   // transactional conn op unwinds
+	registers        *telemetry.Counter
+	deregisters      *telemetry.Counter
+	connCreates      *telemetry.Counter
+	connDestroys     *telemetry.Counter
+	failovers        *telemetry.Counter // shard failovers (mesh only)
+	solHits          *telemetry.Counter // cross-port solution cache hits
+	solMisses        *telemetry.Counter // cross-port solution cache misses
+	reconverges      *telemetry.Counter // topology-change reconvergence passes
+	reconvDegr       *telemetry.Counter // reconvergences past deadline → fair-share
+	quarantines      *telemetry.Counter // apps quarantined for profile drift
+	unquarants       *telemetry.Counter // apps released from quarantine
+	profileRefits    *telemetry.Counter // learned models promoted (learner.go)
+	refitRejected    *telemetry.Counter // refits failing validation or the R² bar
+	profileRollbacks *telemetry.Counter // promoted models rolled back in probation
+	apps             *telemetry.Gauge
+	conns            *telemetry.Gauge
+	quarApps         *telemetry.Gauge // apps currently quarantined
 }
 
 func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
 	l := func(name string) string { return telemetry.Label(name, "deploy", deploy) }
 	return ctrlMetrics{
-		solve:        reg.Histogram(l("controller.solve_seconds")),
-		ports:        reg.Counter(l("controller.ports_configured")),
-		reclusters:   reg.Counter(l("controller.reclusters")),
-		rollbacks:    reg.Counter(l("controller.rollbacks")),
-		registers:    reg.Counter(l("controller.registers")),
-		deregisters:  reg.Counter(l("controller.deregisters")),
-		connCreates:  reg.Counter(l("controller.conn_creates")),
-		connDestroys: reg.Counter(l("controller.conn_destroys")),
-		failovers:    reg.Counter(l("controller.failovers")),
-		solHits:      reg.Counter(l("controller.solcache_hits")),
-		solMisses:    reg.Counter(l("controller.solcache_misses")),
-		reconverges:  reg.Counter(l("controller.reconverges")),
-		reconvDegr:   reg.Counter(l("controller.reconverge_degraded")),
-		quarantines:  reg.Counter(l("controller.quarantines")),
-		unquarants:   reg.Counter(l("controller.unquarantines")),
-		apps:         reg.Gauge(l("controller.apps")),
-		conns:        reg.Gauge(l("controller.conns")),
+		solve:            reg.Histogram(l("controller.solve_seconds")),
+		ports:            reg.Counter(l("controller.ports_configured")),
+		reclusters:       reg.Counter(l("controller.reclusters")),
+		rollbacks:        reg.Counter(l("controller.rollbacks")),
+		registers:        reg.Counter(l("controller.registers")),
+		deregisters:      reg.Counter(l("controller.deregisters")),
+		connCreates:      reg.Counter(l("controller.conn_creates")),
+		connDestroys:     reg.Counter(l("controller.conn_destroys")),
+		failovers:        reg.Counter(l("controller.failovers")),
+		solHits:          reg.Counter(l("controller.solcache_hits")),
+		solMisses:        reg.Counter(l("controller.solcache_misses")),
+		reconverges:      reg.Counter(l("controller.reconverges")),
+		reconvDegr:       reg.Counter(l("controller.reconverge_degraded")),
+		quarantines:      reg.Counter(l("controller.quarantines")),
+		unquarants:       reg.Counter(l("controller.unquarantines")),
+		profileRefits:    reg.Counter(l("controller.profile_refits")),
+		refitRejected:    reg.Counter(l("controller.refit_rejected")),
+		profileRollbacks: reg.Counter(l("controller.profile_rollbacks")),
+		apps:             reg.Gauge(l("controller.apps")),
+		conns:            reg.Gauge(l("controller.conns")),
+		quarApps:         reg.Gauge(l("controller.quarantined_apps")),
 	}
 }
 
@@ -399,6 +407,10 @@ func (c *Centralized) Deregister(id AppID) error {
 		return fmt.Errorf("%w: %d has %d", ErrHasConns, id, app.conns)
 	}
 	delete(c.apps, id)
+	if c.drift[id] != nil {
+		delete(c.drift, id)
+		c.updateQuarGaugeLocked()
+	}
 	if len(c.apps) == 0 {
 		c.hier = nil
 		c.plPoints = nil

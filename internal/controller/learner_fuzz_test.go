@@ -1,0 +1,102 @@
+package controller
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/regression"
+	"saba/internal/topology"
+)
+
+// FuzzFitPromote drives the online learner with adversarial observation
+// streams — random sample clouds, spikes, NaN/Inf poison, sub-floor
+// slowdowns — and asserts the promotion invariant after every single
+// observation: an installed learned model is always monotone
+// non-increasing and ≥ 1 over [0, 1]. The CI smoke runs it for 10s like
+// FuzzRoute; `go test` alone replays the seed corpus.
+func FuzzFitPromote(f *testing.F) {
+	f.Add(int64(1), uint8(40))
+	f.Add(int64(42), uint8(64))
+	f.Add(int64(-7), uint8(200))
+	f.Add(int64(987654321), uint8(13))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
+		top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 4, Queues: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := netsim.NewNetwork(top)
+		wfq := netsim.NewWFQ(net)
+		c, err := NewCentralized(Config{
+			Topology: top,
+			Table:    profiler_testTable(),
+			Enforcer: wfq,
+			Seed:     1,
+			// A permissive learner so refits actually trigger inside short
+			// fuzz streams: the guardrails under test must hold even with
+			// the evidence gates at their weakest useful settings.
+			Drift: DriftConfig{
+				Learn:        true,
+				MinSamples:   6,
+				RingSize:     24,
+				MinSpread:    0.05,
+				R2Bar:        0.5,
+				HoldoutEvery: 3,
+				Windows:      2,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := c.Register("steep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := top.Hosts()
+		if _, err := c.ConnCreate(id, hosts[0], hosts[1]); err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + int(steps)
+		for i := 0; i < n; i++ {
+			b := rng.Float64()
+			var d float64
+			switch rng.Intn(10) {
+			case 0:
+				d = math.NaN()
+			case 1:
+				d = math.Inf(1)
+			case 2:
+				d = rng.Float64() // sub-floor
+			case 3:
+				d = 1 + rng.ExpFloat64()*100 // wild spike
+			default:
+				d = 1 + rng.ExpFloat64()*3
+			}
+			if _, err := c.ObserveSlowdown(id, b, d); err != nil {
+				t.Fatal(err)
+			}
+			coeffs, learned, err := c.ModelOf(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if learned && !c.Quarantined(id) {
+				p := regression.Polynomial{Coeffs: coeffs}
+				if !regression.ValidateSlowdownModel(p, 0) {
+					t.Fatalf("observation %d promoted an invalid model: %v", i+1, coeffs)
+				}
+			}
+		}
+	})
+}
+
+// profiler_testTable builds the table without a *testing.T (fuzz workers
+// construct it inside the fuzz function).
+func profiler_testTable() *profiler.Table {
+	tab := profiler.NewTable()
+	_ = tab.Put(profiler.Entry{Name: "steep", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}, R2: 0.95})
+	return tab
+}

@@ -1,0 +1,470 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/netsim"
+	"saba/internal/regression"
+	"saba/internal/topology"
+)
+
+// rigLearner is rigController with the online profile learner enabled.
+func rigLearner(t *testing.T, hosts, pls int, drift DriftConfig) (*Centralized, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	drift.Learn = true
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: hosts, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology: top,
+		Table:    testTable(t),
+		Enforcer: wfq,
+		PLs:      pls,
+		Seed:     1,
+		Drift:    drift,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, wfq, top
+}
+
+// newTruth is the post-drift reality the learner should recover in these
+// tests: a valid slowdown curve (monotone non-increasing, ≥ 1, D(1)=1)
+// that disagrees sharply with the "steep" profile at low bandwidth.
+var newTruth = regression.Polynomial{Coeffs: []float64{2.2, -1.5, 0.3}}
+
+func TestResidualDenominatorClamp(t *testing.T) {
+	// A mis-fit model can predict ≤ 0 near full bandwidth. The residual
+	// must clamp only the DENOMINATOR to the slowdown floor: the numerator
+	// keeps the full |observed − predicted| so a garbage model still looks
+	// as wrong as it is.
+	misfit := []float64{0.5, -2.0} // predicts -1.5 at b=1
+	r := driftResidual(misfit, 1.0, 1.0)
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("residual of negative prediction = %v, want finite", r)
+	}
+	// predicted=-1.5, denom clamps to 1: |1.0 − (−1.5)|/1 = 2.5.
+	if math.Abs(r-2.5) > 1e-12 {
+		t.Errorf("residual = %g, want 2.5 (numerator unclamped, denominator floored)", r)
+	}
+
+	// A positive but sub-1 prediction also floors the denominator.
+	r = driftResidual([]float64{0.5}, 0.5, 1.0)
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("residual with prediction 0.5 = %g, want 0.5", r)
+	}
+
+	// Non-finite predictions and observations are maximally drifted, not
+	// silently clean: NaN compares false against any threshold, so without
+	// this a broken model would wedge the counters in the clean state.
+	if r := driftResidual([]float64{math.NaN()}, 0.5, 2.0); !math.IsInf(r, 1) {
+		t.Errorf("NaN prediction residual = %v, want +Inf", r)
+	}
+	if r := driftResidual([]float64{2.0}, 0.5, math.NaN()); !math.IsInf(r, 1) {
+		t.Errorf("NaN observation residual = %v, want +Inf", r)
+	}
+	if r := driftResidual([]float64{2.0}, 0.5, math.Inf(1)); !math.IsInf(r, 1) {
+		t.Errorf("Inf observation residual = %v, want +Inf", r)
+	}
+}
+
+// driveToQuarantine feeds drifted observations (reality = newTruth) until
+// the app is quarantined, returning how many were needed.
+func driveToQuarantine(t *testing.T, c *Centralized, id AppID, fractions []float64) int {
+	t.Helper()
+	for i, b := range fractions {
+		changed, err := c.ObserveSlowdown(id, b, newTruth.Eval(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed && c.Quarantined(id) {
+			return i + 1
+		}
+	}
+	t.Fatal("app never quarantined")
+	return 0
+}
+
+// driveToPromotion continues the observation stream until the learner
+// promotes a refit, returning how many post-quarantine observations it
+// took.
+func driveToPromotion(t *testing.T, c *Centralized, id AppID, fractions []float64) int {
+	t.Helper()
+	for i, b := range fractions {
+		changed, err := c.ObserveSlowdown(id, b, newTruth.Eval(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			if c.Quarantined(id) {
+				t.Fatalf("observation %d re-quarantined instead of promoting", i+1)
+			}
+			return i + 1
+		}
+	}
+	t.Fatal("learner never promoted a model")
+	return 0
+}
+
+// Fractions kept ≤ 0.7: above that the old "steep" model happens to agree
+// with newTruth within the drift threshold, and three consecutive such
+// observations would release the quarantine through the transient path.
+var (
+	quarFractions  = []float64{0.5, 0.3, 0.6}
+	learnFractions = []float64{0.1, 0.7, 0.2, 0.45, 0.55, 0.35, 0.65, 0.25, 0.15, 0.4, 0.3, 0.5, 0.6, 0.22, 0.68}
+)
+
+func TestOnlineRelearnPromotes(t *testing.T) {
+	c, wfq, top := rigLearner(t, 4, 16, DriftConfig{})
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[2])
+	down := path[len(path)-1]
+	plA, _ := c.PL(a)
+	before := wfq.Config(down)
+	wA0 := before.Weights[before.PLQueue[plA]]
+
+	if n := driveToQuarantine(t, c, a, quarFractions); n != 3 {
+		t.Fatalf("quarantined after %d windows, want 3", n)
+	}
+	quarantined := wfq.Config(down)
+	wAq := quarantined.Weights[quarantined.PLQueue[plA]]
+	if wAq >= wA0 {
+		t.Fatalf("quarantine did not drop the weight: %g → %g", wA0, wAq)
+	}
+
+	refits0 := c.tel.profileRefits.Value()
+	driveToPromotion(t, c, a, learnFractions)
+	if c.Quarantined(a) {
+		t.Fatal("promoted app still quarantined")
+	}
+	if got := c.tel.profileRefits.Value(); got != refits0+1 {
+		t.Fatalf("profile_refits = %d, want %d", got, refits0+1)
+	}
+
+	coeffs, learned, err := c.ModelOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !learned {
+		t.Fatal("ModelOf reports the promoted model as not learned")
+	}
+	// The observations were exact evaluations of newTruth (which already
+	// satisfies D(1)=1, matching the anchor), so the refit must recover it.
+	fit := regression.Polynomial{Coeffs: coeffs}
+	for _, bw := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		if got, want := fit.Eval(bw), newTruth.Eval(bw); math.Abs(got-want) > 0.05 {
+			t.Errorf("learned model at b=%g: %g, want ≈%g", bw, got, want)
+		}
+	}
+	if !regression.ValidateSlowdownModel(fit, 0) {
+		t.Errorf("promoted model fails the sanity check: %v", coeffs)
+	}
+
+	// The promoted model must drive enforcement: the app comes off the
+	// fair-share pin and back into the Eq. 2 solve (newTruth is still the
+	// more sensitive of the two apps, so it wins more than fair share).
+	after := wfq.Config(down)
+	wA2 := after.Weights[after.PLQueue[plA]]
+	if wA2 <= wAq {
+		t.Errorf("promoted model did not lift the app off fair share: weight %g, pinned %g", wA2, wAq)
+	}
+}
+
+func TestQuarantineStateChangeInvalidatesSolutionCache(t *testing.T) {
+	// PR 4's solution cache memoizes full port configurations per app set;
+	// a quarantine state change alters the weights behind an UNCHANGED app
+	// set, so serving a cached entry across the transition would silently
+	// re-apply stale weights. Every transition must bump the solve epoch
+	// (entries from other epochs are discarded wholesale).
+	c, wfq, top := rigLearner(t, 4, 16, DriftConfig{})
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	b, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[2])
+	down := path[len(path)-1]
+	plA, _ := c.PL(a)
+	weightOf := func() float64 {
+		cfg := wfq.Config(down)
+		return cfg.Weights[cfg.PLQueue[plA]]
+	}
+
+	w0 := weightOf()
+	epoch0 := c.solEpoch
+
+	// Entry: quarantine pins "steep" at fair share.
+	driveToQuarantine(t, c, a, quarFractions)
+	if c.solEpoch <= epoch0 {
+		t.Fatalf("quarantine entry did not bump the solve epoch: %d → %d", epoch0, c.solEpoch)
+	}
+	w1 := weightOf()
+	if w1 == w0 {
+		t.Fatal("stale solution served across quarantine entry: weight unchanged")
+	}
+
+	// Promotion: the learned model replaces the stale one.
+	epoch1 := c.solEpoch
+	driveToPromotion(t, c, a, learnFractions)
+	if c.solEpoch <= epoch1 {
+		t.Fatalf("promotion did not bump the solve epoch: %d → %d", epoch1, c.solEpoch)
+	}
+	if w2 := weightOf(); w2 == w1 {
+		t.Fatal("stale solution served across promotion: weight unchanged")
+	}
+
+	// Transient release (separate controller): quarantine then feed clean
+	// observations of the ORIGINAL model; the release must restore the
+	// original weights through a fresh solve, not a stale cache entry.
+	c2, wfq2, top2 := rigLearner(t, 4, 16, DriftConfig{})
+	hosts2 := top2.Hosts()
+	a2, _, _ := c2.Register("steep")
+	b2, _, _ := c2.Register("flat")
+	if _, err := c2.ConnCreate(a2, hosts2[0], hosts2[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ConnCreate(b2, hosts2[1], hosts2[2]); err != nil {
+		t.Fatal(err)
+	}
+	_ = b2
+	path2, _ := top2.Route(hosts2[0], hosts2[2])
+	down2 := path2[len(path2)-1]
+	plA2, _ := c2.PL(a2)
+	weightOf2 := func() float64 {
+		cfg := wfq2.Config(down2)
+		return cfg.Weights[cfg.PLQueue[plA2]]
+	}
+	v0 := weightOf2()
+	driveToQuarantine(t, c2, a2, quarFractions)
+	epoch2 := c2.solEpoch
+	steep := regression.Polynomial{Coeffs: []float64{5.2, -6.0, 1.8}}
+	for i := 0; i < 3; i++ {
+		if _, err := c2.ObserveSlowdown(a2, 0.5, steep.Eval(0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.Quarantined(a2) {
+		t.Fatal("clean observations did not release the quarantine")
+	}
+	if c2.solEpoch <= epoch2 {
+		t.Fatalf("release did not bump the solve epoch: %d → %d", epoch2, c2.solEpoch)
+	}
+	if v2 := weightOf2(); v2 != v0 {
+		t.Errorf("release restored weight %g, want pre-quarantine %g", v2, v0)
+	}
+}
+
+func TestPromotedModelRollsBackWithinWindows(t *testing.T) {
+	c, wfq, top := rigLearner(t, 4, 16, DriftConfig{})
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	bApp, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(bApp, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := top.Route(hosts[0], hosts[2])
+	down := path[len(path)-1]
+	plA, _ := c.PL(a)
+	weightOf := func() float64 {
+		cfg := wfq.Config(down)
+		return cfg.Weights[cfg.PLQueue[plA]]
+	}
+
+	driveToQuarantine(t, c, a, quarFractions)
+	wFair := weightOf()
+	driveToPromotion(t, c, a, learnFractions)
+	origNeed := c.cfg.Drift.MinSamples
+
+	// The workload flaps again: observations contradict the freshly
+	// promoted model during its probation window. Rollback must land
+	// within Windows observations — deterministic, not probabilistic.
+	windows := c.cfg.Drift.Windows
+	rolledBack := false
+	for i := 0; i < windows; i++ {
+		changed, err := c.ObserveSlowdown(a, 0.5, 10.0) // newTruth predicts 1.525
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			if i != windows-1 {
+				t.Fatalf("rollback after %d observations, want exactly %d", i+1, windows)
+			}
+			rolledBack = true
+		}
+	}
+	if !rolledBack || !c.Quarantined(a) {
+		t.Fatalf("promoted model did not roll back within %d observations", windows)
+	}
+	if got := c.tel.profileRollbacks.Value(); got != 1 {
+		t.Fatalf("profile_rollbacks = %d, want 1", got)
+	}
+
+	// Rolled back to fair share...
+	if w := weightOf(); w != wFair {
+		t.Errorf("rollback weight %g, want fair-share %g", w, wFair)
+	}
+	// ...with the pre-learning coefficients restored...
+	coeffs, learned, err := c.ModelOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned {
+		t.Error("rolled-back model still marked learned")
+	}
+	orig := []float64{5.2, -6.0, 1.8}
+	for i := range orig {
+		if math.Abs(coeffs[i]-orig[i]) > 1e-12 {
+			t.Fatalf("rollback coeffs = %v, want original %v", coeffs, orig)
+		}
+	}
+	// ...and a widened evidence requirement (hysteresis).
+	ds := c.drift[a]
+	if want := origNeed * c.cfg.Drift.Widen; ds.need != want {
+		t.Errorf("post-rollback sample requirement = %d, want %d", ds.need, want)
+	}
+	if len(ds.ring) != 0 {
+		t.Errorf("post-rollback ring holds %d stale samples, want 0", len(ds.ring))
+	}
+}
+
+func TestProbationPassMakesModelPermanent(t *testing.T) {
+	c, _, top := rigLearner(t, 4, 16, DriftConfig{})
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	bApp, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(bApp, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	driveToQuarantine(t, c, a, quarFractions)
+	driveToPromotion(t, c, a, learnFractions)
+
+	ds := c.drift[a]
+	if !ds.promoted || ds.probation != c.cfg.Drift.Probation {
+		t.Fatalf("post-promotion state: promoted=%v probation=%d", ds.promoted, ds.probation)
+	}
+	// Clean observations (matching the learned model) walk probation down.
+	for i := 0; i < c.cfg.Drift.Probation; i++ {
+		if changed, err := c.ObserveSlowdown(a, 0.5, newTruth.Eval(0.5)); err != nil || changed {
+			t.Fatalf("probation observation %d: changed=%v err=%v", i+1, changed, err)
+		}
+	}
+	if ds.promoted || ds.probation != 0 {
+		t.Fatalf("probation did not clear: promoted=%v probation=%d", ds.promoted, ds.probation)
+	}
+	if _, learned, _ := c.ModelOf(a); !learned {
+		t.Error("model no longer marked learned after clearing probation")
+	}
+	if ds.need != c.cfg.Drift.MinSamples {
+		t.Errorf("hysteresis did not reset: need=%d, want %d", ds.need, c.cfg.Drift.MinSamples)
+	}
+}
+
+func TestFlatTruthPromotesDespiteDegenerateR2(t *testing.T) {
+	// An app that drifts to near-insensitivity (slowdown ≈ constant) is
+	// the degenerate case for the R² gate: the holdout samples have no
+	// variance for the model to explain, so even a near-perfect fit
+	// scores 0 and would be vetoed forever. The residual fallback must
+	// promote it: every holdout prediction sits well within half the
+	// drift threshold.
+	flatTruth := regression.Polynomial{Coeffs: []float64{1.05}}
+	c, _, top := rigLearner(t, 4, 16, DriftConfig{})
+	hosts := top.Hosts()
+	a, _, _ := c.Register("steep")
+	bApp, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(a, hosts[0], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(bApp, hosts[1], hosts[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// "steep" predicts 2.2–3.6 at these fractions; a constant 1.05 is far
+	// drifted, so the third window quarantines.
+	for _, b := range quarFractions {
+		if _, err := c.ObserveSlowdown(a, b, flatTruth.Eval(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Quarantined(a) {
+		t.Fatal("flat reality did not quarantine the steep profile")
+	}
+
+	promoted := false
+	for _, b := range learnFractions {
+		changed, err := c.ObserveSlowdown(a, b, flatTruth.Eval(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			promoted = true
+			break
+		}
+	}
+	if !promoted || c.Quarantined(a) {
+		t.Fatal("flat-truth refit was never promoted (degenerate-R² fallback broken)")
+	}
+	coeffs, learned, err := c.ModelOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !learned {
+		t.Fatal("promoted flat model not marked learned")
+	}
+	fit := regression.Polynomial{Coeffs: coeffs}
+	if !regression.ValidateSlowdownModel(fit, 0) {
+		t.Fatalf("promoted flat model fails the sanity check: %v", coeffs)
+	}
+	// The learned curve must be flat-ish: between the floor and the true
+	// constant (the (1,1) anchor pulls the full-bandwidth end down).
+	for _, bw := range []float64{0.1, 0.3, 0.5, 0.7} {
+		if got := fit.Eval(bw); got < 1 || got > 1.15 {
+			t.Errorf("learned flat model at b=%g: %g, want within [1, 1.15]", bw, got)
+		}
+	}
+}
+
+func TestObservationRingBounded(t *testing.T) {
+	ds := &driftState{}
+	for i := 0; i < 100; i++ {
+		ds.record(0.5, 2, 8)
+	}
+	if len(ds.ring) != 8 {
+		t.Fatalf("ring length %d, want 8", len(ds.ring))
+	}
+	// Poison samples are refused.
+	ds.record(math.NaN(), 2, 8)
+	ds.record(0.5, math.Inf(1), 8)
+	ds.record(-0.1, 2, 8)
+	ds.record(1.5, 2, 8)
+	if len(ds.ring) != 8 {
+		t.Fatalf("ring accepted poison samples: length %d", len(ds.ring))
+	}
+	// Sub-floor slowdowns clamp to the floor rather than being dropped.
+	ds.record(0.9, 0.5, 8)
+	if got := ds.ring[len(ds.ring)-1].d; got != 1 {
+		t.Errorf("sub-floor slowdown recorded as %g, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"saba/internal/regression"
+	"saba/internal/telemetry"
 )
 
 // Profile-drift quarantine. Saba's whole allocation rests on the offline
@@ -18,18 +19,63 @@ import (
 // (CSaba/n, see solveWeights) until the model tracks reality again for
 // Windows consecutive observations.
 //
+// With Learn enabled the quarantine stops being a one-way door: the
+// controller accumulates observed (bandwidth, slowdown) samples while an
+// app is quarantined, refits its polynomial online, and promotes the new
+// model once it validates — the detect → relearn → validate → promote →
+// (rollback) state machine of learner.go.
+//
 // Quarantine is a Centralized-only feature: the distributed design reads
 // an offline mapping database by construction (§5.4) and has no runtime
 // feedback channel to act on.
 
-// DriftConfig parameterizes the profile-drift quarantine.
+// DriftConfig parameterizes the profile-drift quarantine and the online
+// profile learner layered on top of it.
 type DriftConfig struct {
-	// Threshold is the relative residual |observed−predicted|/predicted
+	// Threshold is the relative residual |observed−predicted|/denominator
 	// above which an observation window counts as drifted. 0 → 0.25.
 	Threshold float64
 	// Windows is the number of consecutive drifted (clean) observations
 	// before an app is quarantined (released). 0 → 3.
 	Windows int
+
+	// Learn enables online profile relearning for quarantined apps (see
+	// learner.go). Off by default: without it the quarantine behaves
+	// exactly as before — detection and fair-share pinning only.
+	Learn bool
+	// RingSize bounds the per-app observation ring. 0 → 64.
+	RingSize int
+	// MinSamples is how many ring samples a quarantined app needs before
+	// a refit is attempted (widened after a rollback). 0 → 12.
+	MinSamples int
+	// MinSpread is the minimum bandwidth-fraction spread (max−min) the
+	// ring must cover before a refit is attempted: refitting a cluster of
+	// near-identical fractions would be ill-conditioned by construction.
+	// 0 → 0.2.
+	MinSpread float64
+	// R2Bar is the cross-validated R² a refit must clear on held-out
+	// samples to be promoted. 0 → 0.9.
+	R2Bar float64
+	// HoldoutEvery holds out every k-th ring sample from the fit for
+	// cross-validation. 0 → 4.
+	HoldoutEvery int
+	// Decay is the per-sample recency decay of fit weights: the i-th
+	// newest sample is weighted Decay^i (times the profiler's 1/slowdown²
+	// relative weighting). 0 → 0.97.
+	Decay float64
+	// Probation is the number of clean observations a freshly promoted
+	// model must survive before it is trusted permanently; re-triggered
+	// drift inside the window rolls back to fair share. 0 → 2·Windows.
+	Probation int
+	// Widen multiplies MinSamples after a probation rollback (hysteresis:
+	// a flapping workload must present more evidence each time, so it
+	// cannot oscillate the solver). 0 → 2. The requirement is capped at
+	// RingSize.
+	Widen int
+	// Degree is the polynomial degree of online refits. 0 → 2. Refits
+	// that fail validation at Degree are retried at degree 1 (a monotone
+	// line is the sanest minimal slowdown model) before rejection.
+	Degree int
 }
 
 func (d *DriftConfig) fill() {
@@ -39,19 +85,105 @@ func (d *DriftConfig) fill() {
 	if d.Windows <= 0 {
 		d.Windows = 3
 	}
+	if d.RingSize <= 0 {
+		d.RingSize = 64
+	}
+	if d.MinSamples <= 0 {
+		d.MinSamples = 12
+	}
+	if d.MinSamples > d.RingSize {
+		d.MinSamples = d.RingSize
+	}
+	if d.MinSpread <= 0 {
+		d.MinSpread = 0.2
+	}
+	if d.R2Bar <= 0 {
+		d.R2Bar = 0.9
+	}
+	if d.HoldoutEvery <= 0 {
+		d.HoldoutEvery = 4
+	}
+	if d.Decay <= 0 || d.Decay > 1 {
+		d.Decay = 0.97
+	}
+	if d.Probation <= 0 {
+		d.Probation = 2 * d.Windows
+	}
+	if d.Widen <= 1 {
+		d.Widen = 2
+	}
+	if d.Degree <= 0 {
+		d.Degree = 2
+	}
 }
 
-// driftState tracks one application's consecutive drifted/clean windows.
+// obsSample is one runtime observation: granted bandwidth fraction and
+// the slowdown measured there.
+type obsSample struct {
+	b, d float64
+}
+
+// driftState tracks one application's drift counters and, with Learn
+// enabled, its online-learning state (see learner.go for the state
+// machine).
 type driftState struct {
 	bad, good   int
 	quarantined bool
+
+	// Learning state (zero unless DriftConfig.Learn):
+	ring       []obsSample // bounded recency ring of observations
+	need       int         // samples required before a refit attempt
+	promoted   bool        // current model is a learned one, on probation
+	learned    bool        // current model was learned online
+	probation  int         // clean observations left until trusted
+	origCoeffs []float64   // pre-learning model, restored on rollback
+	modelAge   uint64      // observations since the current model was installed
+	ageGauge   *telemetry.Gauge
+}
+
+// driftResidual computes the relative residual of one observation against
+// the model. The denominator is clamped to ≥ 1 (the slowdown floor): a
+// mis-fit polynomial can predict ≤ 0 near full bandwidth, and dividing by
+// it would emit Inf/NaN residuals that wedge the drift counters — NaN
+// compares false against any threshold, so a garbage model would count
+// every window as clean. Clamping only the denominator keeps the
+// numerator honest about how far off the model is. Non-finite predictions
+// or observations are maximally drifted by definition.
+func driftResidual(coeffs []float64, bwFraction, observed float64) float64 {
+	predicted := regression.Polynomial{Coeffs: coeffs}.Eval(bwFraction)
+	if math.IsNaN(predicted) || math.IsInf(predicted, 0) ||
+		math.IsNaN(observed) || math.IsInf(observed, 0) {
+		return math.Inf(1)
+	}
+	denom := predicted
+	if denom < 1 {
+		denom = 1
+	}
+	return math.Abs(observed-predicted) / denom
+}
+
+// driftFor returns (creating if needed) the drift state for an app.
+func (c *Centralized) driftFor(id AppID) *driftState {
+	if c.drift == nil {
+		c.drift = map[AppID]*driftState{}
+	}
+	ds := c.drift[id]
+	if ds == nil {
+		ds = &driftState{need: c.cfg.Drift.MinSamples}
+		if c.cfg.Drift.Learn {
+			ds.ageGauge = c.modelAgeGauge(id)
+		}
+		c.drift[id] = ds
+	}
+	return ds
 }
 
 // ObserveSlowdown feeds one measurement window for an application: the
 // bandwidth fraction it was granted and the slowdown actually observed
 // (≥ 1, same normalization as the profiler's samples). It returns whether
-// the app's quarantine state changed; on a change the controller re-solves
-// and re-enforces every port immediately.
+// the app's allocation inputs changed (quarantine entered or left, model
+// promoted or rolled back); on a change the controller re-solves and
+// re-enforces every port immediately.
 func (c *Centralized) ObserveSlowdown(id AppID, bwFraction, observed float64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -59,34 +191,51 @@ func (c *Centralized) ObserveSlowdown(id AppID, bwFraction, observed float64) (b
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrUnknownApp, id)
 	}
-	if c.drift == nil {
-		c.drift = map[AppID]*driftState{}
-	}
-	ds := c.drift[id]
-	if ds == nil {
-		ds = &driftState{}
-		c.drift[id] = ds
-	}
-	predicted := regression.Polynomial{Coeffs: app.coeffs}.Eval(bwFraction)
-	if predicted < 1 {
-		predicted = 1 // a slowdown below 1 is outside the model's domain
-	}
-	if residual := math.Abs(observed-predicted) / predicted; residual > c.cfg.Drift.Threshold {
+	ds := c.driftFor(id)
+	learn := c.cfg.Drift.Learn
+
+	drifted := driftResidual(app.coeffs, bwFraction, observed) > c.cfg.Drift.Threshold
+	if drifted {
 		ds.bad++
 		ds.good = 0
 	} else {
 		ds.good++
 		ds.bad = 0
 	}
+	if learn {
+		ds.record(bwFraction, observed, c.cfg.Drift.RingSize)
+		ds.modelAge++
+		ds.ageGauge.Set(float64(ds.modelAge))
+	}
+
 	switch {
 	case !ds.quarantined && ds.bad >= c.cfg.Drift.Windows:
-		ds.quarantined = true
-		ds.bad, ds.good = 0, 0
-		c.tel.quarantines.Inc()
+		if learn && ds.promoted && ds.probation > 0 {
+			c.rollbackLocked(app, ds)
+		} else {
+			c.quarantineLocked(app, ds)
+		}
 	case ds.quarantined && ds.good >= c.cfg.Drift.Windows:
+		// The original model tracks reality again (transient drift):
+		// release without relearning.
 		ds.quarantined = false
 		ds.bad, ds.good = 0, 0
+		ds.need = c.cfg.Drift.MinSamples
 		c.tel.unquarants.Inc()
+		c.updateQuarGaugeLocked()
+	case ds.quarantined && learn:
+		if !c.tryRefitLocked(app, ds) {
+			return false, nil
+		}
+	case learn && ds.promoted && ds.probation > 0 && !drifted:
+		ds.probation--
+		if ds.probation == 0 {
+			// Survived probation: the learned model is now the trusted
+			// baseline and the hysteresis resets.
+			ds.promoted = false
+			ds.need = c.cfg.Drift.MinSamples
+		}
+		return false, nil
 	default:
 		return false, nil
 	}
@@ -97,6 +246,25 @@ func (c *Centralized) ObserveSlowdown(id AppID, bwFraction, observed float64) (b
 	return true, c.enforceAllLocked()
 }
 
+// quarantineLocked pins the app to the fair share and, with Learn on,
+// starts accumulating evidence for a refit. Ring samples observed before
+// the drift window describe the old reality and would poison the fit, so
+// only the Windows observations that triggered the quarantine are kept.
+func (c *Centralized) quarantineLocked(app *appState, ds *driftState) {
+	ds.quarantined = true
+	ds.bad, ds.good = 0, 0
+	if c.cfg.Drift.Learn {
+		if ds.origCoeffs == nil {
+			ds.origCoeffs = append([]float64(nil), app.coeffs...)
+		}
+		if keep := c.cfg.Drift.Windows; len(ds.ring) > keep {
+			ds.ring = append(ds.ring[:0], ds.ring[len(ds.ring)-keep:]...)
+		}
+	}
+	c.tel.quarantines.Inc()
+	c.updateQuarGaugeLocked()
+}
+
 // Quarantined reports whether the application is currently pinned to the
 // fair share for profile drift.
 func (c *Centralized) Quarantined(id AppID) bool {
@@ -104,4 +272,36 @@ func (c *Centralized) Quarantined(id AppID) bool {
 	defer c.mu.Unlock()
 	ds := c.drift[id]
 	return ds != nil && ds.quarantined
+}
+
+// ForceQuarantine pins an application to the fair share as if drift
+// detection had fired, re-enforcing the fabric. Experiment harnesses use
+// it to construct the "stale profile, already detected" starting state
+// without replaying an observation stream.
+func (c *Centralized) ForceQuarantine(id AppID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	ds := c.driftFor(id)
+	if ds.quarantined {
+		return nil
+	}
+	c.quarantineLocked(app, ds)
+	c.globalW = nil
+	c.solEpoch++
+	return c.enforceAllLocked()
+}
+
+// updateQuarGaugeLocked recomputes the quarantined-apps gauge.
+func (c *Centralized) updateQuarGaugeLocked() {
+	n := 0
+	for _, ds := range c.drift {
+		if ds.quarantined {
+			n++
+		}
+	}
+	c.tel.quarApps.Set(float64(n))
 }

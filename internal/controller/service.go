@@ -2,6 +2,7 @@ package controller
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"saba/internal/rpc"
@@ -21,20 +22,36 @@ type API interface {
 	PL(id AppID) (int, error)
 }
 
-// Statically assert both deployments implement the API.
+// SlowdownObserver is the optional API extension for runtime slowdown
+// feedback (the drift quarantine and online profile learner, see
+// quarantine.go and learner.go). Centralized implements it; Mesh does
+// not — the distributed design reads an offline mapping database by
+// construction (§5.4) and has no feedback channel.
+type SlowdownObserver interface {
+	ObserveSlowdown(id AppID, bwFraction, observed float64) (bool, error)
+}
+
+// Statically assert both deployments implement the API, and that the
+// centralized one observes slowdowns.
 var (
-	_ API = (*Centralized)(nil)
-	_ API = (*Mesh)(nil)
+	_ API              = (*Centralized)(nil)
+	_ API              = (*Mesh)(nil)
+	_ SlowdownObserver = (*Centralized)(nil)
 )
 
 // RPC method names (the software interface of §6).
 const (
-	MethodAppRegister   = "saba.app_register"
-	MethodAppDeregister = "saba.app_deregister"
-	MethodAppPL         = "saba.app_pl"
-	MethodConnCreate    = "saba.conn_create"
-	MethodConnDestroy   = "saba.conn_destroy"
+	MethodAppRegister     = "saba.app_register"
+	MethodAppDeregister   = "saba.app_deregister"
+	MethodAppPL           = "saba.app_pl"
+	MethodConnCreate      = "saba.conn_create"
+	MethodConnDestroy     = "saba.conn_destroy"
+	MethodObserveSlowdown = "saba.observe_slowdown"
 )
+
+// ErrNoObserver is returned for observe_slowdown calls against a
+// controller deployment without runtime feedback (Mesh).
+var ErrNoObserver = errors.New("controller: deployment does not support slowdown observation")
 
 // Wire formats shared by the service and the Saba library client.
 type (
@@ -76,6 +93,19 @@ type (
 	PLReply struct {
 		App AppID `json:"app"`
 		PL  int   `json:"pl"`
+	}
+	// ObserveArgs reports one runtime slowdown measurement: the bandwidth
+	// fraction the application saw over the window and the slowdown
+	// relative to its unthrottled baseline.
+	ObserveArgs struct {
+		App      AppID   `json:"app"`
+		Fraction float64 `json:"fraction"`
+		Slowdown float64 `json:"slowdown"`
+	}
+	// ObserveReply reports whether the observation changed the app's
+	// allocation (quarantine entry/exit, model promotion or rollback).
+	ObserveReply struct {
+		Changed bool `json:"changed"`
 	}
 )
 
@@ -125,7 +155,7 @@ func Serve(srv *rpc.Server, api API) error {
 	}); err != nil {
 		return err
 	}
-	return srv.Handle(MethodAppPL, func(raw json.RawMessage) (any, error) {
+	if err := srv.Handle(MethodAppPL, func(raw json.RawMessage) (any, error) {
 		var args PLArgs
 		if err := json.Unmarshal(raw, &args); err != nil {
 			return nil, fmt.Errorf("controller: bad app_pl args: %w", err)
@@ -135,5 +165,25 @@ func Serve(srv *rpc.Server, api API) error {
 			return nil, err
 		}
 		return PLReply{App: args.App, PL: pl}, nil
+	}); err != nil {
+		return err
+	}
+	// observe_slowdown is registered unconditionally so the wire surface
+	// is deployment-independent; a deployment without feedback answers
+	// with a permanent (non-retryable) error.
+	return srv.Handle(MethodObserveSlowdown, func(raw json.RawMessage) (any, error) {
+		var args ObserveArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad observe_slowdown args: %w", err)
+		}
+		obs, ok := api.(SlowdownObserver)
+		if !ok {
+			return nil, ErrNoObserver
+		}
+		changed, err := obs.ObserveSlowdown(args.App, args.Fraction, args.Slowdown)
+		if err != nil {
+			return nil, err
+		}
+		return ObserveReply{Changed: changed}, nil
 	})
 }

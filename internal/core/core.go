@@ -101,6 +101,14 @@ type RunConfig struct {
 	// before the simulation starts — the hook churn experiments use to
 	// install fault schedules (faults.InstallLinkFlaps).
 	BeforeRun func(*netsim.Engine) error
+	// Drift parameterizes the centralized controller's profile-drift
+	// quarantine and online learner. The zero value keeps the defaults.
+	Drift controller.DriftConfig
+	// AfterRegister, when set, is invoked once every application has
+	// registered (and announced its connections) but before any job
+	// starts. apps[i] is job i's controller-assigned ID. The drift
+	// experiment uses it to pre-quarantine stale-profile apps.
+	AfterRegister func(ctrl controller.API, apps []netsim.AppID) error
 }
 
 // Result reports a run.
@@ -156,6 +164,7 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 			PLs:      cfg.PLs,
 			CSaba:    cfg.CSaba,
 			Seed:     cfg.Seed,
+			Drift:    cfg.Drift,
 		})
 		if err != nil {
 			return Result{}, err
@@ -249,6 +258,16 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 				}
 				e.MarkDirty()
 			}
+		}
+	}
+
+	if cfg.AfterRegister != nil && ctrl != nil {
+		apps := make([]netsim.AppID, len(jobRefs))
+		for i, j := range jobRefs {
+			apps[i] = j.App
+		}
+		if err := cfg.AfterRegister(ctrl, apps); err != nil {
+			return Result{}, fmt.Errorf("core: after-register hook: %w", err)
 		}
 	}
 

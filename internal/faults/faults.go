@@ -226,6 +226,7 @@ type Transport interface {
 	ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error)
 	ConnDestroy(cid controller.ConnID) error
 	PL(id controller.AppID) (int, error)
+	ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error)
 	Close() error
 }
 
@@ -322,6 +323,19 @@ func (ft *FaultyTransport) PL(id controller.AppID) (int, error) {
 		return 0, resetErr("call")
 	}
 	return pl, err
+}
+
+// ObserveSlowdown implements Transport.
+func (ft *FaultyTransport) ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error) {
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return false, resetErr("call")
+	}
+	changed, err := ft.T.ObserveSlowdown(id, bwFraction, observed)
+	if blackhole {
+		return false, resetErr("call")
+	}
+	return changed, err
 }
 
 // Close implements Transport (never faulted: teardown must succeed).

@@ -79,8 +79,16 @@ func (p Polynomial) String() string {
 var (
 	ErrTooFewSamples = errors.New("regression: need at least degree+1 samples")
 	ErrBadDegree     = errors.New("regression: degree must be >= 0")
-	ErrSingular      = errors.New("regression: singular normal equations (degenerate samples)")
+	// ErrIllConditioned flags degenerate sample sets: fewer distinct
+	// bandwidths than coefficients, or normal equations whose pivots are
+	// negligible relative to the matrix scale. Fits on such inputs would
+	// produce wildly unstable coefficients, so they are refused.
+	ErrIllConditioned = errors.New("regression: ill-conditioned normal equations (degenerate samples)")
 )
+
+// ErrSingular is the historical name for ErrIllConditioned; errors.Is
+// treats them as the same error.
+var ErrSingular = ErrIllConditioned
 
 // Fit computes the least-squares polynomial of the given degree through
 // the samples by solving the normal equations VᵀV c = Vᵀy with Gaussian
@@ -107,6 +115,13 @@ func FitWeighted(samples []Sample, degree int, weights []float64) (Polynomial, e
 	n := degree + 1
 	if len(samples) < n {
 		return Polynomial{}, fmt.Errorf("%w: degree %d with %d samples", ErrTooFewSamples, degree, len(samples))
+	}
+	// A degree-k fit needs k+1 distinct abscissae; duplicated bandwidths
+	// contribute no new information and make the Vandermonde matrix rank
+	// deficient. Detect it up front (O(n²) over a handful of samples) so
+	// callers get a typed error rather than elimination noise.
+	if distinctBandwidths(samples) < n {
+		return Polynomial{}, fmt.Errorf("%w: degree %d with %d distinct bandwidths", ErrIllConditioned, degree, distinctBandwidths(samples))
 	}
 
 	// Build the weighted normal equations. A is n×n, rhs is n.
@@ -145,10 +160,46 @@ func FitWeighted(samples []Sample, degree int, weights []float64) (Polynomial, e
 	return Polynomial{Coeffs: coeffs}, nil
 }
 
+// distinctBandwidths counts samples with pairwise-distinct abscissae.
+// Two bandwidths closer than 1e-9 (fractions live in (0,1], so this is
+// a relative tolerance too) are treated as the same profiling point.
+func distinctBandwidths(samples []Sample) int {
+	distinct := 0
+	for i, s := range samples {
+		dup := false
+		for j := 0; j < i; j++ {
+			if math.Abs(samples[j].Bandwidth-s.Bandwidth) < 1e-9 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct++
+		}
+	}
+	return distinct
+}
+
 // solveLinear solves a·x = b in place using Gaussian elimination with
-// partial pivoting. a and b are clobbered.
+// partial pivoting. a and b are clobbered. Pivots are judged against the
+// matrix's own scale (max absolute entry), not an absolute epsilon: the
+// normal equations of well-spread samples with large weights can have
+// entries in the thousands, where an absolute 1e-12 test would pass a
+// pivot that is numerically zero at that scale.
 func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 	n := len(a)
+	scale := 0.0
+	for _, row := range a {
+		for _, v := range row {
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+	}
+	if scale == 0 {
+		return nil, ErrIllConditioned
+	}
+	tol := scale * float64(n) * 1e-13
 	for col := 0; col < n; col++ {
 		// Partial pivot: pick the row with the largest magnitude in col.
 		pivot := col
@@ -157,8 +208,8 @@ func solveLinear(a [][]float64, b []float64) ([]float64, error) {
 				pivot = r
 			}
 		}
-		if math.Abs(a[pivot][col]) < 1e-12 {
-			return nil, ErrSingular
+		if math.Abs(a[pivot][col]) < tol {
+			return nil, ErrIllConditioned
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		b[col], b[pivot] = b[pivot], b[col]
@@ -223,4 +274,47 @@ func RSquared(p Polynomial, samples []Sample) float64 {
 // samples (used by the dataset-size / node-count studies, Fig. 6b/6c).
 func CrossValidateR2(p Polynomial, eval []Sample) float64 {
 	return RSquared(p, eval)
+}
+
+// validateGrid is the number of evaluation points ValidateSlowdownModel
+// checks over [lo, 1]. 257 matches the solver's monotone-envelope grid,
+// so a model that passes here is (up to grid resolution) exactly the
+// curve the weight solve will use.
+const validateGrid = 257
+
+// ValidateSlowdownModel reports whether p is a physically plausible
+// slowdown curve over bandwidth fractions [lo, 1]: finite, monotone
+// non-increasing in bandwidth, and never below 1 (an application cannot
+// run faster than its unthrottled baseline). lo <= 0 selects 0. The
+// online profile learner refuses to promote refitted models that fail
+// this check — a noisy or adversarial sample cloud can produce an
+// excellent in-sample R² and still be nonsense outside the sampled
+// window.
+func ValidateSlowdownModel(p Polynomial, lo float64) bool {
+	if len(p.Coeffs) == 0 {
+		return false
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= 1 {
+		lo = 0
+	}
+	prev := math.Inf(1)
+	for i := 0; i < validateGrid; i++ {
+		b := lo + (1-lo)*float64(i)/float64(validateGrid-1)
+		v := p.Eval(b)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		if v < 1-1e-9 {
+			return false
+		}
+		// Allow tiny upward wiggle from floating-point noise, nothing more.
+		if v > prev+1e-9 {
+			return false
+		}
+		prev = v
+	}
+	return true
 }

@@ -1,6 +1,7 @@
 package regression
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -206,6 +207,151 @@ func TestPolynomialString(t *testing.T) {
 	var empty Polynomial
 	if empty.String() != "0" {
 		t.Errorf("empty String() = %q, want 0", empty.String())
+	}
+}
+
+func TestFitIllConditioned(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []Sample
+		degree  int
+		wantErr bool
+	}{
+		{
+			name:    "duplicate x, quadratic",
+			samples: []Sample{{0.5, 1}, {0.5, 2}, {0.5, 3}},
+			degree:  2,
+			wantErr: true,
+		},
+		{
+			name:    "two distinct x, quadratic",
+			samples: []Sample{{0.25, 3}, {0.25, 3.1}, {0.75, 1.2}},
+			degree:  2,
+			wantErr: true,
+		},
+		{
+			name:    "near-duplicate x below tolerance",
+			samples: []Sample{{0.5, 2}, {0.5 + 1e-12, 2.1}},
+			degree:  1,
+			wantErr: true,
+		},
+		{
+			name:    "duplicate x but enough distinct points",
+			samples: []Sample{{0.25, 3}, {0.25, 3.1}, {0.5, 2}, {1, 1}},
+			degree:  2,
+			wantErr: false,
+		},
+		{
+			name:    "well-spread profile points",
+			samples: []Sample{{0.05, 9}, {0.1, 6}, {0.25, 3.5}, {0.5, 2}, {0.75, 1.4}, {0.9, 1.1}, {1, 1}},
+			degree:  3,
+			wantErr: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Fit(tt.samples, tt.degree)
+			if tt.wantErr {
+				if !errors.Is(err, ErrIllConditioned) {
+					t.Fatalf("Fit err = %v, want ErrIllConditioned", err)
+				}
+				if !errors.Is(err, ErrSingular) {
+					t.Fatal("ErrSingular alias must match ErrIllConditioned")
+				}
+			} else if err != nil {
+				t.Fatalf("Fit err = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestSolveLinearNearSingular(t *testing.T) {
+	tests := []struct {
+		name    string
+		a       [][]float64
+		b       []float64
+		wantErr bool
+	}{
+		{
+			name:    "exactly singular rows",
+			a:       [][]float64{{1, 2}, {2, 4}},
+			b:       []float64{1, 2},
+			wantErr: true,
+		},
+		{
+			name: "near-singular relative to scale",
+			// Second row differs from a multiple of the first by ~1e-15
+			// of the matrix scale — numerically rank one at this scale.
+			a:       [][]float64{{1e6, 2e6}, {2e6, 4e6 + 1e-9}},
+			b:       []float64{1, 2},
+			wantErr: true,
+		},
+		{
+			name:    "zero matrix",
+			a:       [][]float64{{0, 0}, {0, 0}},
+			b:       []float64{0, 0},
+			wantErr: true,
+		},
+		{
+			name:    "well-conditioned",
+			a:       [][]float64{{2, 1}, {1, 3}},
+			b:       []float64{3, 5},
+			wantErr: false,
+		},
+		{
+			name: "small but well-conditioned entries",
+			// An absolute 1e-12 pivot threshold would wrongly reject this.
+			a:       [][]float64{{2e-13, 1e-13}, {1e-13, 3e-13}},
+			b:       []float64{3e-13, 5e-13},
+			wantErr: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x, err := solveLinear(tt.a, tt.b)
+			if tt.wantErr {
+				if !errors.Is(err, ErrIllConditioned) {
+					t.Fatalf("solveLinear err = %v, want ErrIllConditioned", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("solveLinear err = %v, want nil", err)
+			}
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("solution contains non-finite value: %v", x)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateSlowdownModel(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Polynomial
+		lo   float64
+		want bool
+	}{
+		{"sane decreasing curve", Polynomial{Coeffs: []float64{5.2, -6, 1.8}}, 0, true},
+		{"constant one", Polynomial{Coeffs: []float64{1}}, 0, true},
+		{"dips below one", Polynomial{Coeffs: []float64{2, -1.5}}, 0, false},
+		{"increasing in bandwidth", Polynomial{Coeffs: []float64{1, 0.5}}, 0, false},
+		{"non-monotone bump", Polynomial{Coeffs: []float64{3, -8, 6}}, 0, false},
+		{"empty polynomial", Polynomial{}, 0, false},
+		{"NaN coefficient", Polynomial{Coeffs: []float64{math.NaN(), 1}}, 0, false},
+		// 2 + 0.1b - b² peaks at b=0.05: non-monotone from 0, but monotone
+		// decreasing and >= 1 over [0.1, 1].
+		{"non-monotone near zero", Polynomial{Coeffs: []float64{2, 0.1, -1}}, 0, false},
+		{"lo excludes the bump", Polynomial{Coeffs: []float64{2, 0.1, -1}}, 0.1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ValidateSlowdownModel(tt.p, tt.lo); got != tt.want {
+				t.Errorf("ValidateSlowdownModel(%v, lo=%g) = %v, want %v", tt.p.Coeffs, tt.lo, got, tt.want)
+			}
+		})
 	}
 }
 

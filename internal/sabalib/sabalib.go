@@ -34,6 +34,7 @@ type libMetrics struct {
 	queuedOps       *telemetry.Counter // operations queued while degraded
 	replayedOps     *telemetry.Counter // queued operations the reconciler landed
 	droppedOps      *telemetry.Counter // replays the controller rejected terminally
+	droppedObs      *telemetry.Counter // slowdown observations dropped while degraded
 }
 
 func newLibMetrics(reg *telemetry.Registry) libMetrics {
@@ -42,6 +43,7 @@ func newLibMetrics(reg *telemetry.Registry) libMetrics {
 		queuedOps:       reg.Counter("sabalib.queued_ops"),
 		replayedOps:     reg.Counter("sabalib.replayed_ops"),
 		droppedOps:      reg.Counter("sabalib.dropped_ops"),
+		droppedObs:      reg.Counter("sabalib.dropped_observations"),
 	}
 }
 
@@ -54,6 +56,7 @@ type Transport interface {
 	ConnCreate(id controller.AppID, src, dst topology.NodeID) (controller.ConnID, error)
 	ConnDestroy(cid controller.ConnID) error
 	PL(id controller.AppID) (int, error)
+	ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error)
 	Close() error
 }
 
@@ -119,6 +122,17 @@ func (t *RPCTransport) PL(id controller.AppID) (int, error) {
 	return reply.PL, nil
 }
 
+// ObserveSlowdown implements Transport.
+func (t *RPCTransport) ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error) {
+	var reply controller.ObserveReply
+	err := t.client.Call(controller.MethodObserveSlowdown,
+		controller.ObserveArgs{App: id, Fraction: bwFraction, Slowdown: observed}, &reply)
+	if err != nil {
+		return false, err
+	}
+	return reply.Changed, nil
+}
+
 // Close implements Transport.
 func (t *RPCTransport) Close() error { return t.client.Close() }
 
@@ -149,6 +163,17 @@ func (t *DirectTransport) ConnDestroy(cid controller.ConnID) error {
 
 // PL implements Transport.
 func (t *DirectTransport) PL(id controller.AppID) (int, error) { return t.API.PL(id) }
+
+// ObserveSlowdown implements Transport. A deployment without runtime
+// feedback (Mesh) returns controller.ErrNoObserver, mirroring what the
+// RPC service answers.
+func (t *DirectTransport) ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error) {
+	obs, ok := t.API.(controller.SlowdownObserver)
+	if !ok {
+		return false, controller.ErrNoObserver
+	}
+	return obs.ObserveSlowdown(id, bwFraction, observed)
+}
 
 // Close implements Transport.
 func (t *DirectTransport) Close() error { return nil }
@@ -336,6 +361,40 @@ func (l *Library) App() (controller.AppID, error) {
 		return 0, ErrDegraded
 	}
 	return l.app, nil
+}
+
+// ReportSlowdown feeds one runtime measurement window upstream: the
+// bandwidth fraction the application saw and the slowdown relative to
+// its unthrottled baseline (the same normalization as the profiler's
+// samples). The controller cross-checks it against the sensitivity model
+// and drives the drift quarantine / online profile learner. It returns
+// whether the observation changed the allocation.
+//
+// Unlike registrations and connection ops, observations are perishable:
+// a measurement describes a past window, and replaying stale windows
+// after an outage would feed the drift detector fiction. While degraded
+// (or when the registration is still queued, so no controller-side app
+// ID exists) observations are therefore dropped, not queued.
+func (l *Library) ReportSlowdown(bwFraction, observed float64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.registered {
+		return false, ErrNotRegistered
+	}
+	if l.degraded || l.pendingReg {
+		l.tel.droppedObs.Inc()
+		return false, nil
+	}
+	changed, err := l.transport.ObserveSlowdown(l.app, bwFraction, observed)
+	if err != nil {
+		if l.unreachableLocked(err) {
+			l.enterDegradedLocked()
+			l.tel.droppedObs.Inc()
+			return false, nil
+		}
+		return false, fmt.Errorf("sabalib: observe_slowdown: %w", err)
+	}
+	return changed, nil
 }
 
 // Degraded reports whether the library is currently in the fair-share

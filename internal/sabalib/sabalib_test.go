@@ -93,6 +93,101 @@ func TestFullLifecycleOverRPC(t *testing.T) {
 	}
 }
 
+func TestReportSlowdownOverRPC(t *testing.T) {
+	// The drift-feedback path end to end over real sockets: three drifted
+	// windows quarantine the app (the controller answers changed=true).
+	addr, top, _ := rigService(t)
+	tr, err := DialController(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(tr)
+	defer lib.Close()
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	hosts := top.Hosts()
+	conn, err := lib.ConnCreate(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Destroy()
+
+	// "LR" predicts 2.65 at half bandwidth; observing 10 is far drifted.
+	for i := 0; i < 2; i++ {
+		changed, err := lib.ReportSlowdown(0.5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Fatalf("allocation changed after %d windows, want 3", i+1)
+		}
+	}
+	changed, err := lib.ReportSlowdown(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("third drifted window did not change the allocation")
+	}
+}
+
+func TestReportSlowdownDroppedWhileDegraded(t *testing.T) {
+	// Observations are perishable: while the controller is unreachable
+	// they are dropped, never queued for replay — a stale window replayed
+	// later would feed the drift detector fiction.
+	tr := DialControllerOptions("127.0.0.1:1", rpc.Options{
+		Timeout: 50 * time.Millisecond,
+	})
+	lib := NewWithOptions(tr, Options{Degrade: true})
+	defer lib.Close()
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	if !lib.Degraded() {
+		t.Fatal("library should be degraded against an unreachable controller")
+	}
+	pending := lib.PendingOps()
+	changed, err := lib.ReportSlowdown(0.5, 10)
+	if err != nil {
+		t.Fatalf("degraded ReportSlowdown err = %v, want nil (dropped)", err)
+	}
+	if changed {
+		t.Error("dropped observation reported an allocation change")
+	}
+	if got := lib.PendingOps(); got != pending {
+		t.Errorf("observation was queued: pending %d → %d", pending, got)
+	}
+}
+
+// noObserverAPI is a controller.API without slowdown feedback (like Mesh).
+type noObserverAPI struct{ controller.API }
+
+func TestReportSlowdownNoObserver(t *testing.T) {
+	// Wrap a real API so DirectTransport's type assertion fails — the
+	// Mesh situation. The library must surface the error (it is not
+	// retryable), not degrade or queue.
+	top, _ := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 2, Queues: 8})
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	tab := profiler.NewTable()
+	tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}})
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(&DirectTransport{API: noObserverAPI{API: ctrl}})
+	defer lib.Close()
+	if err := lib.Register("LR"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.ReportSlowdown(0.5, 10); err == nil {
+		t.Fatal("ReportSlowdown against a non-observing deployment should error")
+	}
+}
+
 func TestLibraryStateMachine(t *testing.T) {
 	addr, top, _ := rigService(t)
 	tr, err := DialController(addr, time.Second)
