@@ -76,6 +76,13 @@ func buildBenchSuite() ([]benchEntry, error) {
 			_, err := experiments.FigDrift(experiments.DriftStudyConfig{})
 			return err
 		}},
+		// One at-scale run under the telemetry-only allocator, measured in
+		// decentralized price-iteration rounds/sec — the controller-free
+		// hot path's cost (per-port AIMD iterations plus signal broadcast),
+		// with zero controller RPCs to hide behind.
+		{name: "DecentralConverge", counter: "decentral.rounds", fn: func() error {
+			return experiments.RunDecentralAtScale(experiments.ScaleConfig{})
+		}},
 	}
 	scenario, err := experiments.NewEnforceScenario()
 	if err != nil {

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,decentral,all")
 	setups := flag.Int("setups", 25, "cluster setups for fig 8 (paper: 500)")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
@@ -100,6 +100,10 @@ func run(fig string, setups int, seed int64, full bool, out string) error {
 		}},
 		{"drift", func() error {
 			r, err := experiments.FigDrift(experiments.DriftStudyConfig{Seed: seed})
+			return show(r, err)
+		}},
+		{"decentral", func() error {
+			r, err := experiments.FigDecentral(experiments.DecentralStudyConfig{Scale: scale})
 			return show(r, err)
 		}},
 		{"12", func() error {

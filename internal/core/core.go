@@ -10,9 +10,11 @@ import (
 	"fmt"
 
 	"saba/internal/controller"
+	"saba/internal/decentral"
 	"saba/internal/netsim"
 	"saba/internal/profiler"
 	"saba/internal/sabalib"
+	"saba/internal/solver"
 	"saba/internal/topology"
 	"saba/internal/workload"
 )
@@ -35,6 +37,10 @@ const (
 	PolicyHoma
 	// PolicySincronia is the clairvoyant coflow scheduler (study 6).
 	PolicySincronia
+	// PolicySabaDecentral is Saba with no controller at all: hosts
+	// self-adjust toward the Eq. 2 weights from broadcast telemetry
+	// signals (the Söze-style deployment mode).
+	PolicySabaDecentral
 )
 
 func (p Policy) String() string {
@@ -51,6 +57,8 @@ func (p Policy) String() string {
 		return "homa"
 	case PolicySincronia:
 		return "sincronia"
+	case PolicySabaDecentral:
+		return "saba-decentral"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -139,6 +147,8 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 
 	var alloc netsim.Allocator
 	var ctrl controller.API
+	var dec *netsim.Decentral
+	var decChannel *decentral.Channel
 	switch cfg.Policy {
 	case PolicyBaseline:
 		fecn := netsim.NewFECN(net, cfg.FECNEfficiency)
@@ -192,6 +202,16 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 			return Result{}, err
 		}
 		alloc, ctrl = wfq, mesh
+	case PolicySabaDecentral:
+		if cfg.Table == nil {
+			return Result{}, errors.New("core: Saba policy requires a sensitivity table")
+		}
+		dec = netsim.NewDecentral(net, netsim.DecentralConfig{
+			Params: decentral.Params{Total: cfg.CSaba},
+		})
+		decChannel = decentral.NewChannel()
+		dec.SetChannel(decChannel)
+		alloc = dec
 	default:
 		return Result{}, fmt.Errorf("core: unknown policy %d", cfg.Policy)
 	}
@@ -235,6 +255,35 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 			}
 			app, _ := lib.App()
 			j.App = app
+			for _, pair := range shufflePairs(js.Nodes, cfg.FanOut) {
+				conn, err := lib.ConnCreate(pair[0], pair[1])
+				if err != nil {
+					return Result{}, err
+				}
+				ctls[i].conns = append(ctls[i].conns, conn)
+			}
+			ctls[i].lib = lib
+		} else if dec != nil {
+			// Controller-free registration: the library is transportless —
+			// Fig. 7's calls resolve locally — and the allocator learns the
+			// application's sensitivity model the way hosts would announce
+			// it (a one-time broadcast, not a hot-path RPC).
+			obj := decentralObjective(cfg.Table, js.Spec.Name)
+			dec.SetObjective(j.App, obj)
+			lib := sabalib.NewDecentral(sabalib.Options{
+				Decentral: &sabalib.DecentralOptions{
+					Source:    decChannel,
+					Objective: obj,
+					Params:    decentral.Params{Total: cfg.CSaba},
+					Now:       func() float64 { return e.Now() },
+				},
+			})
+			if err := lib.Register(js.Spec.Name); err != nil {
+				return Result{}, err
+			}
+			if err := lib.EnterDecentral(); err != nil {
+				return Result{}, err
+			}
 			for _, pair := range shufflePairs(js.Nodes, cfg.FanOut) {
 				conn, err := lib.ConnCreate(pair[0], pair[1])
 				if err != nil {
@@ -299,6 +348,34 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 			e.MarkDirty()
 		}
 	}
+	// Controller-free deployments keep the telemetry channel alive with a
+	// periodic heartbeat: the allocator re-broadcasts port utilization and
+	// every library polls its share, exercising the host-side response
+	// (and the staleness machinery) throughout the run. The sampler stops
+	// rescheduling itself once all jobs are done so the engine can idle.
+	if dec != nil {
+		const beatPeriod = 0.5 // virtual seconds between broadcasts
+		var beat func(*netsim.Engine)
+		beat = func(e *netsim.Engine) {
+			dec.Heartbeat(e.Network(), e.Now())
+			for i := range ctls {
+				if ctls[i].lib == nil {
+					continue
+				}
+				if _, _, err := ctls[i].lib.DecentralShare(); err != nil && runErr == nil {
+					runErr = fmt.Errorf("core: decentral share: %w", err)
+				}
+			}
+			if remaining > 0 {
+				if err := e.After(beatPeriod, beat); err != nil && runErr == nil {
+					runErr = fmt.Errorf("core: heartbeat: %w", err)
+				}
+			}
+		}
+		if err := e.After(beatPeriod, beat); err != nil {
+			return Result{}, fmt.Errorf("core: heartbeat: %w", err)
+		}
+	}
 	if cfg.BeforeRun != nil {
 		if err := cfg.BeforeRun(e); err != nil {
 			return Result{}, fmt.Errorf("core: before-run hook: %w", err)
@@ -323,6 +400,17 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 		res.ControllerCalc = cc.LastCalcDuration().Seconds()
 	}
 	return res, nil
+}
+
+// decentralObjective builds an application's sensitivity objective from
+// the profiled table, with the controller's moderate default for
+// unprofiled names — the same clamped-monotone envelope the centralized
+// Eq. 2 solve uses, so both deployments optimize the identical model.
+func decentralObjective(tab *profiler.Table, name string) solver.Objective {
+	if entry, ok := tab.Get(name); ok && len(entry.Coeffs) > 0 {
+		return solver.NewMonotonePoly(entry.Coeffs)
+	}
+	return solver.NewMonotonePoly(decentral.DefaultCoeffs)
 }
 
 // shufflePairs enumerates the (src, dst) connection pairs a job's shuffle

@@ -1,0 +1,98 @@
+package decentral
+
+import "sync"
+
+// PortSignal is one port's slice of a telemetry broadcast: the observed
+// utilization of the managed capacity, the congestion price the
+// decentralized state implies, and the number of applications sharing
+// the port (hosts need it only for the fair-share cold start and the
+// quiet-signal fallback).
+type PortSignal struct {
+	Port  int
+	Util  float64
+	Price float64
+	Apps  int
+}
+
+// Signal is what a host receives from the in-band telemetry channel: the
+// hottest port's state stamped with a monotone sequence number and the
+// virtual time of the broadcast. Hosts use Seq/Time for bounded-staleness
+// checks.
+type Signal struct {
+	Seq  uint64
+	Time float64
+	PortSignal
+}
+
+// Source is anything a sabalib instance can poll for the latest
+// broadcast. ok is false until the first broadcast is published.
+type Source interface {
+	Signal() (Signal, bool)
+}
+
+// Channel is the simulated in-band telemetry channel: the netsim
+// Decentral allocator publishes per-port signals into it after each
+// recompute (and on heartbeats), and sabalib instances poll it. It
+// models a broadcast medium — every reader sees the same latest state —
+// with a mutex standing in for the wire.
+type Channel struct {
+	mu    sync.Mutex
+	ports map[int]PortSignal
+	seq   uint64
+	time  float64
+}
+
+// NewChannel creates an empty channel; Signal reports ok=false until
+// the first Publish.
+func NewChannel() *Channel {
+	return &Channel{ports: make(map[int]PortSignal)}
+}
+
+// Publish broadcasts a batch of per-port signals at the given virtual
+// time, bumping the sequence number. An empty batch is a heartbeat: it
+// refreshes Seq/Time so pollers know the network is alive even when no
+// port state changed.
+func (c *Channel) Publish(now float64, updates []PortSignal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range updates {
+		c.ports[u.Port] = u
+	}
+	c.seq++
+	c.time = now
+}
+
+// Signal returns the hottest port's broadcast (highest utilization,
+// ties to the lowest port id) — the single scalar signal Söze-style
+// hosts react to. ok is false before the first publish.
+func (c *Channel) Signal() (Signal, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seq == 0 {
+		return Signal{}, false
+	}
+	var best PortSignal
+	found := false
+	for id, ps := range c.ports {
+		if !found || ps.Util > best.Util || (ps.Util == best.Util && id < best.Port) {
+			best = ps
+			found = true
+		}
+	}
+	return Signal{Seq: c.seq, Time: c.time, PortSignal: best}, true
+}
+
+// Port returns the latest broadcast for one port.
+func (c *Channel) Port(id int) (PortSignal, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps, ok := c.ports[id]
+	return ps, ok
+}
+
+// Len reports how many distinct ports have been broadcast.
+func (c *Channel) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ports)
+}

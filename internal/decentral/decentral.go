@@ -1,0 +1,388 @@
+// Package decentral implements Saba's telemetry-only decentralized
+// allocation protocol — the Söze-style deployment mode with no controller
+// on the hot path. Instead of a per-port Eq. 2 solve pushed down as WFQ
+// weights, every end host observes one broadcast congestion signal per
+// port (the utilization the switch already exports through the telemetry
+// gauges) and reacts locally:
+//
+//	λ ← λ − gain·(util − 1)              (shared price estimate)
+//	wᵢ ← (1−d)·wᵢ + d·argmin Dᵢ(w) − λw  (damped proximal response)
+//
+// where Dᵢ is the application's sensitivity model and the argmin runs
+// over the same per-app box [MinShare, MaxShare] the centralized solver
+// uses. The price update is the multiplicative AIMD-style piece: the
+// effective gain halves every time the utilization error changes sign
+// (multiplicative decrease on overshoot, additive price motion
+// otherwise), which settles the loop even for the non-convex piecewise
+// models the profiler emits. At a fixed point Σwᵢ = Total and
+// Dᵢ'(wᵢ) = λ for every interior weight — exactly the KKT conditions of
+// the per-port Eq. 2 optimum — so the decentralized iteration converges
+// to the same sensitivity-weighted allocation the controller would have
+// installed, without any RPC.
+//
+// Every host runs the identical deterministic update from the identical
+// cold start against the identical broadcast signal, so all hosts hold
+// the same (λ, w) trajectory without coordinating — the property that
+// makes the protocol controller-free rather than merely
+// controller-optional.
+package decentral
+
+import (
+	"math"
+
+	"saba/internal/solver"
+)
+
+// DefaultSignalPeriod is the assumed interval between in-band telemetry
+// broadcasts (one iteration of the update loop per signal), used to
+// convert convergence iterations into virtual time. 1ms is the
+// RTT-scale beaconing interval of INT-style switch telemetry.
+const DefaultSignalPeriod = 1e-3 // seconds
+
+// DefaultCoeffs is the sensitivity polynomial assumed for applications
+// without a profiled model — the same moderate-sensitivity default the
+// centralized controller uses (slowdown ≈ 2x at 25% bandwidth).
+var DefaultCoeffs = []float64{2.4, -1.87, 0.47}
+
+// Clamps keeping the iteration finite under arbitrary (fuzzed) inputs:
+// utilization signals are bounded before use and the price estimate is
+// kept in a fixed range far wider than any sensitivity derivative.
+const (
+	maxSignal = 16.0
+	maxPrice  = 1e6
+	maxGain   = 64.0
+)
+
+// Params tune the decentralized update. The zero value selects defaults
+// mirroring the centralized solver's box (MinShare = Total/2n,
+// MaxShare = 3·Total/n). All fields are sanitized — non-finite or
+// out-of-range values fall back to defaults — so any parameter set
+// yields a bounded iteration.
+type Params struct {
+	// Gain is the initial price step per unit of utilization error.
+	// 0 → 0.5. The effective gain halves on every error sign flip.
+	Gain float64
+	// Damping is the fraction of the proximal response applied per
+	// round, in (0, 1]. 0 → 0.5.
+	Damping float64
+	// Epsilon is the relative convergence tolerance on both the
+	// utilization error and the largest per-round weight move. 0 → 1e-3.
+	Epsilon float64
+	// MaxIters bounds Solve; 0 → 256.
+	MaxIters int
+	// Total is the capacity fraction under management (C_saba); 0 → 1.
+	Total float64
+	// MinShare / MaxShare bound each weight; 0 → solver defaults.
+	MinShare float64
+	MaxShare float64
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// fill sanitizes the parameters for a port shared by n applications.
+func (p *Params) fill(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if !finite(p.Total) || p.Total <= 0 {
+		p.Total = 1
+	}
+	if !finite(p.Gain) || p.Gain <= 0 {
+		p.Gain = 0.5
+	}
+	if p.Gain > maxGain {
+		p.Gain = maxGain
+	}
+	if !finite(p.Damping) || p.Damping <= 0 || p.Damping > 1 {
+		p.Damping = 0.5
+	}
+	if !finite(p.Epsilon) || p.Epsilon <= 0 {
+		p.Epsilon = 1e-3
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = 256
+	}
+	fn := float64(n)
+	if !finite(p.MinShare) || p.MinShare <= 0 {
+		p.MinShare = 0.5 * p.Total / fn
+	}
+	if !finite(p.MaxShare) || p.MaxShare <= 0 || p.MaxShare > p.Total {
+		p.MaxShare = 3 * p.Total / fn
+		if p.MaxShare > p.Total {
+			p.MaxShare = p.Total
+		}
+	}
+	// Relax infeasible boxes instead of failing: the loop must always
+	// have a reachable operating point.
+	if p.MinShare*fn > p.Total {
+		p.MinShare = p.Total / fn
+	}
+	if p.MaxShare*fn < p.Total {
+		p.MaxShare = p.Total
+	}
+	if p.MaxShare < p.MinShare {
+		p.MaxShare = p.MinShare
+	}
+}
+
+// Port is the iteration state one host maintains for one contended port:
+// the shared price estimate plus the per-application weights. All hosts
+// observing the port's signal hold identical copies.
+type Port struct {
+	par      Params
+	objs     []solver.Objective
+	lambda   float64
+	gain     float64 // effective gain after AIMD halvings
+	prevErr  float64
+	w        []float64
+	rounds   int
+	lastMove float64
+}
+
+// NewPort creates the cold-start state for a port shared by the given
+// applications: zero price, fair-share weights. Cold starts make the
+// trajectory a pure function of (objectives, params), which the scoped
+// vs. full differential gate relies on.
+func NewPort(objs []solver.Objective, par Params) *Port {
+	par.fill(len(objs))
+	p := &Port{par: par, objs: objs, gain: par.Gain, w: make([]float64, len(objs))}
+	fair := par.Total / float64(len(objs))
+	if fair < par.MinShare {
+		fair = par.MinShare
+	}
+	if fair > par.MaxShare {
+		fair = par.MaxShare
+	}
+	for i := range p.w {
+		p.w[i] = fair
+	}
+	return p
+}
+
+// Step consumes one telemetry broadcast: the port's observed utilization
+// (1.0 = the managed capacity exactly subscribed). Non-finite or
+// negative signals are treated as "no information" (util = 1), so a
+// corrupted or lost beacon holds the state rather than poisoning it.
+func (p *Port) Step(util float64) {
+	if !finite(util) || util < 0 {
+		util = 1
+	}
+	if util > maxSignal {
+		util = maxSignal
+	}
+	err := util - 1
+	// AIMD on the price step: crossing the target flips the error sign;
+	// halve the step so the loop spirals in instead of ringing.
+	if p.rounds > 0 && err*p.prevErr < 0 {
+		p.gain *= 0.5
+	}
+	p.prevErr = err
+	p.lambda -= p.gain * err
+	if p.lambda > maxPrice {
+		p.lambda = maxPrice
+	} else if p.lambda < -maxPrice {
+		p.lambda = -maxPrice
+	}
+	d := p.par.Damping
+	move := 0.0
+	for i, o := range p.objs {
+		target := prox(o, p.lambda, p.par.MinShare, p.par.MaxShare)
+		nw := (1-d)*p.w[i] + d*target
+		if !finite(nw) {
+			nw = p.w[i] // pathological model: hold
+		}
+		if nw < p.par.MinShare {
+			nw = p.par.MinShare
+		} else if nw > p.par.MaxShare {
+			nw = p.par.MaxShare
+		}
+		if dv := math.Abs(nw - p.w[i]); dv > move {
+			move = dv
+		}
+		p.w[i] = nw
+	}
+	p.rounds++
+	p.lastMove = move
+}
+
+// Util returns the utilization the port's own weights imply — the signal
+// the closed loop feeds back when the iteration runs to convergence
+// in-place (the simulator's fast-forward of the per-beacon dynamics).
+func (p *Port) Util() float64 {
+	s := 0.0
+	for _, w := range p.w {
+		s += w
+	}
+	return s / p.par.Total
+}
+
+// Converged reports whether the last round met the epsilon criteria:
+// utilization within Epsilon of the target and the largest weight move
+// below Epsilon·Total.
+func (p *Port) Converged() bool {
+	if p.rounds == 0 {
+		return false
+	}
+	return math.Abs(p.Util()-1) <= p.par.Epsilon && p.lastMove <= p.par.Epsilon*p.par.Total
+}
+
+// Solve runs the closed loop to convergence (or MaxIters), normalizes
+// the weights onto the Total simplex, and reports whether the epsilon
+// criteria were met.
+func (p *Port) Solve() bool {
+	converged := false
+	for r := 0; r < p.par.MaxIters; r++ {
+		p.Step(p.Util())
+		if p.Converged() {
+			converged = true
+			break
+		}
+	}
+	p.Normalize()
+	return converged
+}
+
+// Normalize scales the weights to sum exactly to Total. The relative
+// weights are what the scheduler enforces, so this is presentation — it
+// removes the residual utilization error without moving the ratios.
+func (p *Port) Normalize() {
+	s := 0.0
+	for _, w := range p.w {
+		s += w
+	}
+	if !finite(s) || s <= 0 {
+		return
+	}
+	scale := p.par.Total / s
+	for i := range p.w {
+		p.w[i] *= scale
+	}
+}
+
+// Weights returns the current weight vector (read-only; owned by the
+// port).
+func (p *Port) Weights() []float64 { return p.w }
+
+// Rounds returns how many signal rounds the port has consumed.
+func (p *Port) Rounds() int { return p.rounds }
+
+// Price returns the congestion price the port's state implies — the
+// negated dual estimate (positive when bandwidth is scarce for the
+// profiled models, whose derivatives are negative).
+func (p *Port) Price() float64 { return -p.lambda }
+
+// ShareRates converts the weights into host pacing rates on a link of
+// the given capacity: proportional shares that never sum past the
+// capacity. A non-positive or non-finite capacity yields zero rates.
+func (p *Port) ShareRates(capacity float64) []float64 {
+	rates := make([]float64, len(p.w))
+	if !finite(capacity) || capacity <= 0 {
+		return rates
+	}
+	s := 0.0
+	for _, w := range p.w {
+		s += w
+	}
+	if !finite(s) || s <= 0 {
+		return rates
+	}
+	for i, w := range p.w {
+		rates[i] = capacity * w / s
+	}
+	return rates
+}
+
+// Respond computes one host-side reaction to a broadcast signal: the
+// damped proximal response of the application's sensitivity model to the
+// advertised price. prev is the host's previous share (≤ 0 selects the
+// fair-share cold start). This is the sabalib-facing half of the
+// protocol: a host that cannot run the full per-port loop (it sees only
+// the channel, not the port's full membership) still converges to its
+// own weight because the price already encodes everyone else's demand.
+func Respond(o solver.Objective, sig Signal, prev float64, par Params) float64 {
+	n := sig.Apps
+	if n < 1 {
+		n = 1
+	}
+	par.fill(n)
+	if prev <= 0 || !finite(prev) {
+		prev = par.Total / float64(n)
+	}
+	lambda := -sig.Price
+	if !finite(lambda) {
+		lambda = 0
+	} else if lambda > maxPrice {
+		lambda = maxPrice
+	} else if lambda < -maxPrice {
+		lambda = -maxPrice
+	}
+	target := prox(o, lambda, par.MinShare, par.MaxShare)
+	w := (1-par.Damping)*prev + par.Damping*target
+	if !finite(w) || w < par.MinShare {
+		w = par.MinShare
+	} else if w > par.MaxShare {
+		w = par.MaxShare
+	}
+	return w
+}
+
+// FairShare is the local fallback share when the signal goes quiet: the
+// equal split of the managed capacity among the port's last-known
+// population — the same operating point sabalib's degraded mode provides
+// through the switches' default queue.
+func FairShare(par Params, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	par.fill(n)
+	return par.Total / float64(n)
+}
+
+// prox minimizes D(w) − λ·w over [lo, hi]: a dense grid scan (the
+// profiler's piecewise-linear models attain minima at breakpoints, which
+// the grid resolves) refined by golden-section search around the best
+// cell for smooth models. Candidates never leave [lo, hi], so the result
+// is always in the box regardless of the objective's behavior.
+func prox(o solver.Objective, lambda, lo, hi float64) float64 {
+	if !(hi > lo) {
+		return lo
+	}
+	const steps = 64
+	h := (hi - lo) / steps
+	bestW := lo
+	bestV := o.Value(lo) - lambda*lo
+	for i := 1; i <= steps; i++ {
+		w := lo + h*float64(i)
+		if v := o.Value(w) - lambda*w; v < bestV {
+			bestV, bestW = v, w
+		}
+	}
+	a := bestW - h
+	if a < lo {
+		a = lo
+	}
+	b := bestW + h
+	if b > hi {
+		b = hi
+	}
+	f := func(w float64) float64 { return o.Value(w) - lambda*w }
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for k := 0; k < 48 && b-a > 1e-12; k++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	if m := (a + b) / 2; f(m) < bestV {
+		bestW = m
+	}
+	return bestW
+}

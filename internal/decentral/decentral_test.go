@@ -1,0 +1,266 @@
+package decentral
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/solver"
+)
+
+func objs(coeffs ...[]float64) []solver.Objective {
+	out := make([]solver.Objective, len(coeffs))
+	for i, c := range coeffs {
+		out[i] = solver.PolyObjective{Coeffs: c}
+	}
+	return out
+}
+
+// monotoneObjs builds the clamped-monotone envelopes the controller uses
+// in production, so the parity test runs against the real model class.
+func monotoneObjs(coeffs ...[]float64) []solver.Objective {
+	out := make([]solver.Objective, len(coeffs))
+	for i, c := range coeffs {
+		out[i] = solver.NewMonotonePoly(c)
+	}
+	return out
+}
+
+func maxRelGap(got, want []float64) float64 {
+	gap := 0.0
+	for i := range got {
+		if want[i] <= 0 {
+			continue
+		}
+		if g := math.Abs(got[i]-want[i]) / want[i]; g > gap {
+			gap = g
+		}
+	}
+	return gap
+}
+
+// The decentralized fixed point must land within 5% of the centralized
+// Eq. 2 solve for convex sensitivity models — the core claim of the
+// protocol.
+func TestPortMatchesCentralizedSolve(t *testing.T) {
+	cases := []struct {
+		name string
+		objs []solver.Objective
+	}{
+		{"two-apps-convex", objs(
+			[]float64{3.0, -2.5, 0.6},
+			[]float64{1.5, -0.55},
+		)},
+		{"three-apps-mixed", objs(
+			[]float64{2.4, -1.87, 0.47},
+			[]float64{4.0, -4.5, 1.6},
+			[]float64{1.2, -0.21},
+		)},
+		{"monotone-envelopes", monotoneObjs(
+			[]float64{2.4, -1.87, 0.47},
+			[]float64{3.2, -3.1, 1.0},
+			[]float64{1.8, -1.0, 0.25},
+			[]float64{2.0, -1.4, 0.4},
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := solver.Minimize(tc.objs, solver.Options{Total: 1})
+			if err != nil {
+				t.Fatalf("Minimize: %v", err)
+			}
+			p := NewPort(tc.objs, Params{})
+			converged := p.Solve()
+			if !converged {
+				t.Fatalf("port did not converge in %d rounds", p.Rounds())
+			}
+			if gap := maxRelGap(p.Weights(), want); gap > 0.05 {
+				t.Fatalf("gap %.3f > 5%%: got %v want %v", gap, p.Weights(), want)
+			}
+		})
+	}
+}
+
+func TestPortDeterministic(t *testing.T) {
+	o := objs([]float64{2.4, -1.87, 0.47}, []float64{4.0, -4.5, 1.6})
+	a := NewPort(o, Params{})
+	b := NewPort(o, Params{})
+	a.Solve()
+	b.Solve()
+	for i := range a.Weights() {
+		if math.Float64bits(a.Weights()[i]) != math.Float64bits(b.Weights()[i]) {
+			t.Fatalf("non-deterministic weight %d: %v vs %v", i, a.Weights()[i], b.Weights()[i])
+		}
+	}
+	if a.Rounds() != b.Rounds() {
+		t.Fatalf("non-deterministic rounds: %d vs %d", a.Rounds(), b.Rounds())
+	}
+}
+
+func TestNormalizeSumsToTotal(t *testing.T) {
+	p := NewPort(objs([]float64{2.4, -1.87, 0.47}, []float64{1.5, -0.55}), Params{Total: 4})
+	p.Solve()
+	s := 0.0
+	for _, w := range p.Weights() {
+		s += w
+	}
+	if math.Abs(s-4) > 1e-9 {
+		t.Fatalf("weights sum %v, want 4", s)
+	}
+}
+
+func TestShareRatesNeverExceedCapacity(t *testing.T) {
+	p := NewPort(objs([]float64{2.4, -1.87, 0.47}, []float64{4.0, -4.5, 1.6}), Params{})
+	p.Solve()
+	rates := p.ShareRates(1000)
+	s := 0.0
+	for _, r := range rates {
+		if r < 0 || math.IsNaN(r) {
+			t.Fatalf("bad rate %v", r)
+		}
+		s += r
+	}
+	if s > 1000+1e-6 {
+		t.Fatalf("rates sum %v exceeds capacity", s)
+	}
+	for _, c := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		for _, r := range p.ShareRates(c) {
+			if r != 0 {
+				t.Fatalf("capacity %v should yield zero rates, got %v", c, r)
+			}
+		}
+	}
+}
+
+func TestSingleAppTakesTotal(t *testing.T) {
+	p := NewPort(objs([]float64{2.4, -1.87, 0.47}), Params{})
+	p.Solve()
+	if math.Abs(p.Weights()[0]-1) > 1e-9 {
+		t.Fatalf("single app weight %v, want 1", p.Weights()[0])
+	}
+}
+
+// Hostile parameters must sanitize to the defaults rather than corrupt
+// the iteration.
+func TestParamsSanitize(t *testing.T) {
+	bad := Params{
+		Gain:     math.NaN(),
+		Damping:  math.Inf(1),
+		Epsilon:  -3,
+		MaxIters: -1,
+		Total:    math.Inf(-1),
+		MinShare: math.NaN(),
+		MaxShare: -7,
+	}
+	p := NewPort(objs([]float64{2.4, -1.87, 0.47}, []float64{1.5, -0.55}), bad)
+	p.Solve()
+	for i, w := range p.Weights() {
+		if !finite(w) || w < 0 {
+			t.Fatalf("weight %d = %v under hostile params", i, w)
+		}
+	}
+}
+
+// A corrupted signal stream (NaN, Inf, negative) must never push the
+// weights out of the box or onto NaN.
+func TestStepHostileSignals(t *testing.T) {
+	p := NewPort(objs([]float64{2.4, -1.87, 0.47}, []float64{4.0, -4.5, 1.6}), Params{})
+	for _, u := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3, 1e300, 0, 0.5, 2} {
+		p.Step(u)
+		for i, w := range p.Weights() {
+			if !finite(w) || w < p.par.MinShare-1e-12 || w > p.par.MaxShare+1e-12 {
+				t.Fatalf("signal %v drove weight %d to %v", u, i, w)
+			}
+		}
+	}
+}
+
+func TestRespondConvergesToPortWeight(t *testing.T) {
+	o := objs([]float64{2.4, -1.87, 0.47}, []float64{4.0, -4.5, 1.6}, []float64{1.2, -0.21})
+	p := NewPort(o, Params{})
+	p.Solve()
+	// A host that only sees the broadcast price should converge to the
+	// same weight the full port state computed for its objective.
+	sig := Signal{Seq: 1, Time: 0, PortSignal: PortSignal{Util: p.Util(), Price: p.Price(), Apps: len(o)}}
+	for i, obj := range o {
+		share := 0.0
+		for k := 0; k < 64; k++ {
+			share = Respond(obj, sig, share, Params{})
+		}
+		// Compare pre-normalization targets: Respond sees the raw price.
+		target := prox(obj, -p.Price(), p.par.MinShare, p.par.MaxShare)
+		if math.Abs(share-target) > 0.02 {
+			t.Fatalf("app %d: Respond settled at %v, port prox target %v", i, share, target)
+		}
+	}
+}
+
+func TestRespondHostileInputs(t *testing.T) {
+	obj := solver.PolyObjective{Coeffs: DefaultCoeffs}
+	sigs := []Signal{
+		{PortSignal: PortSignal{Util: math.NaN(), Price: math.NaN(), Apps: -3}},
+		{PortSignal: PortSignal{Util: math.Inf(1), Price: math.Inf(-1), Apps: 0}},
+		{PortSignal: PortSignal{Util: -1, Price: 1e300, Apps: 1000000}},
+	}
+	for _, sig := range sigs {
+		w := Respond(obj, sig, math.NaN(), Params{Gain: math.Inf(1)})
+		if !finite(w) || w < 0 {
+			t.Fatalf("Respond(%+v) = %v", sig, w)
+		}
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	if got := FairShare(Params{Total: 8}, 4); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("FairShare = %v, want 2", got)
+	}
+	if got := FairShare(Params{}, 0); !finite(got) || got <= 0 {
+		t.Fatalf("FairShare n=0 = %v", got)
+	}
+}
+
+func TestChannelSignalHottestPort(t *testing.T) {
+	c := NewChannel()
+	if _, ok := c.Signal(); ok {
+		t.Fatal("empty channel reported a signal")
+	}
+	c.Publish(1.5, []PortSignal{
+		{Port: 3, Util: 0.8, Price: 0.1, Apps: 2},
+		{Port: 7, Util: 1.2, Price: 0.4, Apps: 3},
+		{Port: 5, Util: 1.2, Price: 0.3, Apps: 1},
+	})
+	sig, ok := c.Signal()
+	if !ok {
+		t.Fatal("no signal after publish")
+	}
+	if sig.Port != 5 {
+		t.Fatalf("hottest port %d, want 5 (tie to lowest id)", sig.Port)
+	}
+	if sig.Seq != 1 || sig.Time != 1.5 {
+		t.Fatalf("seq/time = %d/%v", sig.Seq, sig.Time)
+	}
+	// Heartbeat bumps seq/time without touching port state.
+	c.Publish(2.5, nil)
+	sig2, _ := c.Signal()
+	if sig2.Seq != 2 || sig2.Time != 2.5 || sig2.Port != 5 {
+		t.Fatalf("heartbeat signal %+v", sig2)
+	}
+	if ps, ok := c.Port(3); !ok || ps.Util != 0.8 {
+		t.Fatalf("Port(3) = %+v, %v", ps, ok)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestProxStaysInBox(t *testing.T) {
+	o := solver.PolyObjective{Coeffs: []float64{2.4, -1.87, 0.47}}
+	for _, lambda := range []float64{-1e6, -1, 0, 1, 1e6, math.NaN()} {
+		w := prox(o, lambda, 0.1, 0.7)
+		if !(w >= 0.1 && w <= 0.7) {
+			t.Fatalf("prox(λ=%v) = %v outside [0.1, 0.7]", lambda, w)
+		}
+	}
+	if w := prox(o, 1, 0.5, 0.5); w != 0.5 {
+		t.Fatalf("degenerate box: %v", w)
+	}
+}

@@ -1,0 +1,56 @@
+package decentral
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/solver"
+)
+
+// FuzzDecentralUpdate drives the full update loop with arbitrary gain,
+// damping, model coefficients, and an arbitrary signal sequence, and
+// asserts the two safety invariants of the protocol: weights (and the
+// rates derived from them) are never NaN or negative, and the derived
+// rates never oversubscribe the link capacity.
+func FuzzDecentralUpdate(f *testing.F) {
+	f.Add(0.5, 0.5, 2.4, -1.87, 0.47, 1.3, 0.7, 1.0, uint8(3))
+	f.Add(64.0, 1.0, -5.0, 10.0, -3.0, 0.0, 100.0, -2.0, uint8(7))
+	f.Add(math.Inf(1), math.NaN(), 0.0, 0.0, 0.0, math.NaN(), math.Inf(-1), 1e308, uint8(1))
+	f.Fuzz(func(t *testing.T, gain, damping, c0, c1, c2, s0, s1, s2 float64, n uint8) {
+		apps := int(n%6) + 1
+		os := make([]solver.Objective, apps)
+		for i := range os {
+			// Perturb the coefficients per app so the port is asymmetric.
+			os[i] = solver.PolyObjective{Coeffs: []float64{c0 + float64(i)*0.1, c1, c2}}
+		}
+		par := Params{Gain: gain, Damping: damping}
+		p := NewPort(os, par)
+		sigs := []float64{s0, s1, s2, s0 * s1, s1 - s2, -s0}
+		for r := 0; r < 48; r++ {
+			p.Step(sigs[r%len(sigs)])
+			for i, w := range p.Weights() {
+				if math.IsNaN(w) || w < 0 {
+					t.Fatalf("round %d: weight[%d] = %v", r, i, w)
+				}
+			}
+		}
+		p.Normalize()
+		const capacity = 1000.0
+		sum := 0.0
+		for i, r := range p.ShareRates(capacity) {
+			if math.IsNaN(r) || r < 0 {
+				t.Fatalf("rate[%d] = %v", i, r)
+			}
+			sum += r
+		}
+		if sum > capacity*(1+1e-9) {
+			t.Fatalf("rates sum %v exceed capacity %v", sum, capacity)
+		}
+		// Respond must hold the same invariants for a lone host.
+		sig := Signal{Seq: 1, PortSignal: PortSignal{Util: s0, Price: s1, Apps: apps}}
+		w := Respond(os[0], sig, s2, par)
+		if math.IsNaN(w) || w < 0 {
+			t.Fatalf("Respond = %v", w)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"saba/internal/core"
+	"saba/internal/decentral"
+	"saba/internal/faults"
+	"saba/internal/netsim"
+	"saba/internal/solver"
+	"saba/internal/telemetry"
+)
+
+// FigDecentral evaluates the controller-free deployment mode end to end:
+//
+//  1. Convergence probe — how many telemetry rounds (and how much
+//     virtual time at the beaconing period) the decentralized iteration
+//     needs to get within 5% of the centralized Eq. 2 rates for the
+//     study's own profiled sensitivity models.
+//  2. Fig 10 — speedup over the FECN baseline at scale, decentralized vs
+//     the centralized and mesh controllers, with no controller RPC on
+//     any hot path.
+//  3. FigChurn — speedup retention under seeded link flaps, where
+//     controller-free reconvergence (no replay, no reconvergence RPC
+//     storm) should hold its own against the mesh.
+
+// DecentralStudyConfig parameterizes FigDecentral.
+type DecentralStudyConfig struct {
+	Scale ScaleConfig
+	// ChurnRate is the per-cable failure probability per flap wave for
+	// the churn phase; 0 → 0.05 (the acceptance point).
+	ChurnRate float64
+	// Waves is the flap-wave count across the steady makespan; 0 → 20.
+	Waves int
+}
+
+func (c *DecentralStudyConfig) fill() {
+	c.Scale.fill()
+	if c.ChurnRate == 0 {
+		c.ChurnRate = 0.05
+	}
+	if c.Waves <= 0 {
+		c.Waves = 20
+	}
+}
+
+// FigDecentralResult reports the three phases.
+type FigDecentralResult struct {
+	Hosts int
+
+	// Steady-state Fig 10 speedups over the baseline.
+	SpeedupCentralized float64
+	SpeedupMesh        float64
+	SpeedupDecentral   float64
+	CentralizedRatio   float64 // decentral / centralized (acceptance ≥ 0.95)
+
+	// Convergence probe against the centralized Eq. 2 solve.
+	ProbeApps  int
+	ProbeIters int     // rounds to within 5% of the centralized rates
+	ProbeTime  float64 // ProbeIters × decentral.DefaultSignalPeriod (s)
+	ProbeGap   float64 // final max relative gap
+
+	// Churn phase at ChurnRate.
+	ChurnRate        float64
+	ChurnCentralized float64
+	ChurnMesh        float64
+	ChurnDecentral   float64
+	MeshRatio        float64 // decentral / mesh under churn (acceptance ≥ 0.90)
+
+	// Telemetry evidence that the decentralized path actually ran.
+	Rounds          uint64 // decentral.rounds consumed across the study
+	ModeTransitions uint64 // sabalib.mode_transitions across the study
+}
+
+// FigDecentral runs the controller-free study.
+func FigDecentral(cfg DecentralStudyConfig) (*FigDecentralResult, error) {
+	cfg.fill()
+	rounds0 := telemetry.Default.Counter("decentral.rounds").Value()
+	trans0 := telemetry.Default.Counter("sabalib.mode_transitions").Value()
+
+	env, err := newScaleEnv(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigDecentralResult{Hosts: len(env.top.Hosts()), ChurnRate: cfg.ChurnRate}
+
+	// Convergence probe on the study's own profiled models.
+	if err := out.probe(env); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: steady-state Fig 10 comparison.
+	base, err := env.run(core.PolicyBaseline, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("decentral steady baseline: %w", err)
+	}
+	policies := []core.Policy{core.PolicySaba, core.PolicySabaDistributed, core.PolicySabaDecentral}
+	steady := make([]float64, len(policies))
+	err = runCells(len(policies), func(p int) error {
+		res, err := env.run(policies[p], 0, 4)
+		if err != nil {
+			return fmt.Errorf("decentral steady %v: %w", policies[p], err)
+		}
+		steady[p], err = speedupOf(env, base, res)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SpeedupCentralized, out.SpeedupMesh, out.SpeedupDecentral = steady[0], steady[1], steady[2]
+	if out.SpeedupCentralized > 0 {
+		out.CentralizedRatio = out.SpeedupDecentral / out.SpeedupCentralized
+	}
+
+	// Phase 2: the FigChurn point at ChurnRate. One cell per policy, each
+	// with its own env (fault injection mutates topology liveness) but the
+	// IDENTICAL flap schedule, so the comparison isolates the allocation
+	// discipline from the failure pattern.
+	period := base.Makespan / float64(cfg.Waves)
+	horizon := 2 * maxf(base.Makespan, base.Makespan)
+	for _, s := range steady {
+		if s > 0 {
+			horizon = maxf(horizon, 2*base.Makespan/s)
+		}
+	}
+	churned := make([]float64, len(policies))
+	err = runCells(len(policies), func(p int) error {
+		cell, err := newScaleEnv(cfg.Scale)
+		if err != nil {
+			return err
+		}
+		flaps := faults.GenerateLinkFlaps(cell.top, faults.FlapScheduleConfig{
+			Seed:     cfg.Scale.Seed + 1,
+			Rate:     cfg.ChurnRate,
+			Period:   period,
+			Horizon:  horizon,
+			CoreOnly: true,
+		})
+		install := func(e *netsim.Engine) error { return faults.InstallLinkFlaps(e, flaps) }
+		baseC, err := cell.runWith(core.PolicyBaseline, 0, install)
+		if err != nil {
+			return fmt.Errorf("decentral churn baseline: %w", err)
+		}
+		resC, err := cell.runWith(policies[p], 4, install)
+		if err != nil {
+			return fmt.Errorf("decentral churn %v: %w", policies[p], err)
+		}
+		churned[p], err = speedupOf(cell, baseC, resC)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.ChurnCentralized, out.ChurnMesh, out.ChurnDecentral = churned[0], churned[1], churned[2]
+	if out.ChurnMesh > 0 {
+		out.MeshRatio = out.ChurnDecentral / out.ChurnMesh
+	}
+
+	out.Rounds = telemetry.Default.Counter("decentral.rounds").Value() - rounds0
+	out.ModeTransitions = telemetry.Default.Counter("sabalib.mode_transitions").Value() - trans0
+	return out, nil
+}
+
+// probe measures convergence of the decentralized iteration against the
+// centralized Eq. 2 solve over the study's own profiled models, in
+// telemetry rounds and virtual beacon time.
+func (r *FigDecentralResult) probe(env *scaleEnv) error {
+	n := len(env.jobs)
+	if n > 8 {
+		n = 8
+	}
+	objs := make([]solver.Objective, 0, n)
+	for i := 0; i < n; i++ {
+		entry, ok := env.table.Get(env.jobs[i].Spec.Name)
+		if !ok {
+			continue
+		}
+		objs = append(objs, solver.NewMonotonePoly(entry.Coeffs))
+	}
+	if len(objs) < 2 {
+		return fmt.Errorf("decentral probe: only %d profiled models", len(objs))
+	}
+	want, err := solver.Minimize(objs, solver.Options{Total: 1})
+	if err != nil {
+		return fmt.Errorf("decentral probe: centralized solve: %w", err)
+	}
+	gapTo := func(w []float64) float64 {
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if sum <= 0 {
+			return math.Inf(1)
+		}
+		gap := 0.0
+		for i, v := range w {
+			if want[i] <= 0 {
+				continue
+			}
+			if g := math.Abs(v/sum-want[i]) / want[i]; g > gap {
+				gap = g
+			}
+		}
+		return gap
+	}
+	port := decentral.NewPort(objs, decentral.Params{})
+	r.ProbeApps = len(objs)
+	r.ProbeIters = -1
+	const maxRounds = 512
+	for k := 1; k <= maxRounds; k++ {
+		port.Step(port.Util())
+		if g := gapTo(port.Weights()); g <= 0.05 && r.ProbeIters < 0 {
+			r.ProbeIters = k
+			r.ProbeGap = g
+		}
+		if r.ProbeIters >= 0 && port.Converged() {
+			break
+		}
+	}
+	r.ProbeGap = gapTo(port.Weights())
+	if r.ProbeIters < 0 {
+		return fmt.Errorf("decentral probe: no 5%% convergence within %d rounds (gap %.3f)", maxRounds, r.ProbeGap)
+	}
+	r.ProbeTime = float64(r.ProbeIters) * decentral.DefaultSignalPeriod
+	return nil
+}
+
+// RunDecentralAtScale executes one decentralized at-scale run — the
+// kernel of the DecentralConverge bench cell, exported so cmd/sabaexp
+// can benchmark it against the decentral.rounds counter.
+func RunDecentralAtScale(cfg ScaleConfig) error {
+	env, err := newScaleEnv(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = env.run(core.PolicySabaDecentral, 0, 0)
+	return err
+}
+
+// String renders the study.
+func (r *FigDecentralResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FigDecentral — controller-free allocation (%d hosts)\n", r.Hosts)
+	fmt.Fprintf(&b, "convergence: %d apps to within 5%% of Eq. 2 in %d rounds (%.1fms of beacons, final gap %.1f%%)\n",
+		r.ProbeApps, r.ProbeIters, 1e3*r.ProbeTime, 100*r.ProbeGap)
+	fmt.Fprintf(&b, "steady:  centralized=%.2fx  mesh=%.2fx  decentral=%.2fx  (decentral/centralized=%.0f%%)\n",
+		r.SpeedupCentralized, r.SpeedupMesh, r.SpeedupDecentral, 100*r.CentralizedRatio)
+	fmt.Fprintf(&b, "churn %d%%: centralized=%.2fx  mesh=%.2fx  decentral=%.2fx  (decentral/mesh=%.0f%%)\n",
+		int(100*r.ChurnRate), r.ChurnCentralized, r.ChurnMesh, r.ChurnDecentral, 100*r.MeshRatio)
+	fmt.Fprintf(&b, "telemetry: %d decentral rounds, %d mode transitions, zero controller RPCs\n",
+		r.Rounds, r.ModeTransitions)
+	return b.String()
+}

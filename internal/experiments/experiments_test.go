@@ -376,3 +376,41 @@ func TestFig12Overhead(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestFigDecentralConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("at-scale study skipped in -short")
+	}
+	r, err := FigDecentral(DecentralStudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acceptance: the telemetry-only allocator lands within 5% of the
+	// centralized Eq. 2 speedup on Fig 10 with no controller RPC on the
+	// hot path...
+	if r.CentralizedRatio < 0.95 {
+		t.Errorf("decentral/centralized = %.0f%%, want ≥ 95%%", 100*r.CentralizedRatio)
+	}
+	// ...and retains ≥ 90% of the mesh controller's speedup under 5%
+	// link churn.
+	if r.MeshRatio < 0.90 {
+		t.Errorf("decentral/mesh under churn = %.0f%%, want ≥ 90%%", 100*r.MeshRatio)
+	}
+	if r.ProbeGap > 0.05 {
+		t.Errorf("probe gap = %.1f%%, want ≤ 5%%", 100*r.ProbeGap)
+	}
+	if r.ProbeIters <= 0 || r.ProbeTime <= 0 {
+		t.Errorf("probe did not converge: iters=%d time=%v", r.ProbeIters, r.ProbeTime)
+	}
+	// The decentralized path must actually have run: telemetry rounds
+	// accumulated and libraries entered ModeDecentral.
+	if r.Rounds == 0 {
+		t.Error("no decentral rounds recorded")
+	}
+	if r.ModeTransitions == 0 {
+		t.Error("no mode transitions recorded")
+	}
+	if r.String() == "" {
+		t.Error("empty render")
+	}
+}

@@ -186,7 +186,7 @@ func TestMultEquivalence(t *testing.T) {
 // flow must have completed — flaps may delay traffic, never strand it.
 func TestConservationUnderLinkFlaps(t *testing.T) {
 	const eps = 1e-6
-	for _, name := range []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia"} {
+	for _, name := range []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia", "decentral"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/decentral"
+	"saba/internal/solver"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+// decentralSingleSwitch builds a one-switch network with two hosts per
+// app sending through the same uplink, so the shared port is genuinely
+// contended between applications.
+func decentralFixture(t *testing.T, apps int) (*Network, *Decentral) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 2 * apps, Queues: 8, LinkCapacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(top)
+	d := NewDecentral(net, DecentralConfig{})
+	d.SetTelemetry(telemetry.NewRegistry())
+	return net, d
+}
+
+// Weights on a contended port must match the centralized Eq. 2 solve for
+// the same sensitivity models, within the protocol's 5% bound.
+func TestDecentralMatchesEq2OnContendedPort(t *testing.T) {
+	net, d := decentralFixture(t, 2)
+	hosts := net.Topology().Hosts()
+
+	coeffs := [][]float64{{4.0, -4.5, 1.6}, {1.2, -0.21}}
+	objs := make([]solver.Objective, len(coeffs))
+	for i, c := range coeffs {
+		objs[i] = solver.PolyObjective{Coeffs: c}
+		d.SetObjective(AppID(i), objs[i])
+	}
+
+	// Both apps send to host 0, so its downlink is the contended port.
+	for i := 1; i < 4; i++ {
+		app := AppID(0)
+		if i >= 2 {
+			app = AppID(1)
+		}
+		if _, err := net.AddFlow(0, FlowSpec{Src: hosts[i], Dst: hosts[0], Bits: 1e9, App: app}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Allocate(net)
+
+	want, err := solver.Minimize(objs, solver.Options{Total: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-app aggregate rate on the contended downlink.
+	got := make([]float64, 2)
+	for _, id := range net.ActiveIDs() {
+		f, _ := net.Flow(id)
+		got[f.App] += f.Rate
+	}
+	sum := got[0] + got[1]
+	for i := range got {
+		gap := math.Abs(got[i]/sum-want[i]) / want[i]
+		if gap > 0.05 {
+			t.Errorf("app %d share %.4f, centralized %.4f (gap %.1f%%)", i, got[i]/sum, want[i], gap*100)
+		}
+	}
+
+	st := d.Stats()
+	if st.Solves == 0 || st.Rounds == 0 {
+		t.Errorf("stats not recorded: %+v", st)
+	}
+}
+
+// The per-port solution must be reused across allocations and across
+// ports sharing the same app set.
+func TestDecentralSolutionCache(t *testing.T) {
+	net, d := decentralFixture(t, 2)
+	hosts := net.Topology().Hosts()
+	d.SetObjective(0, solver.PolyObjective{Coeffs: []float64{4.0, -4.5, 1.6}})
+	d.SetObjective(1, solver.PolyObjective{Coeffs: []float64{1.2, -0.21}})
+	for i := 1; i < 4; i++ {
+		app := AppID(i % 2)
+		if _, err := net.AddFlow(0, FlowSpec{Src: hosts[i], Dst: hosts[0], Bits: 1e9, App: app}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Allocate(net)
+	s1 := d.Stats()
+	d.Allocate(net)
+	s2 := d.Stats()
+	if s2.Solves != s1.Solves {
+		t.Errorf("re-allocation re-solved: %d -> %d solves", s1.Solves, s2.Solves)
+	}
+	if s2.CacheHits <= s1.CacheHits {
+		t.Errorf("re-allocation did not hit the cache: %d -> %d hits", s1.CacheHits, s2.CacheHits)
+	}
+	// Changing a model invalidates the cache.
+	d.SetObjective(0, solver.PolyObjective{Coeffs: []float64{2.0, -1.0}})
+	d.Allocate(net)
+	if s3 := d.Stats(); s3.Solves == s2.Solves {
+		t.Error("SetObjective did not invalidate the solution cache")
+	}
+}
+
+// The allocator must never oversubscribe a link, whatever the weights.
+func TestDecentralConservation(t *testing.T) {
+	net, d := decentralFixture(t, 3)
+	hosts := net.Topology().Hosts()
+	d.SetObjective(0, solver.PolyObjective{Coeffs: []float64{4.0, -4.5, 1.6}})
+	d.SetObjective(1, solver.PolyObjective{Coeffs: []float64{2.4, -1.87, 0.47}})
+	for i := 1; i < len(hosts); i++ {
+		if _, err := net.AddFlow(0, FlowSpec{Src: hosts[i], Dst: hosts[(i+1)%3], Bits: 1e9, App: AppID(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Allocate(net)
+	for _, lk := range net.Topology().Links() {
+		load := 0.0
+		for _, id := range net.FlowsOn(lk.ID) {
+			f, _ := net.Flow(id)
+			load += f.Rate * float64(f.Mult)
+		}
+		if c := net.Capacity(lk.ID); load > c*(1+1e-9) {
+			t.Errorf("link %d: load %.3f exceeds capacity %.3f", lk.ID, load, c)
+		}
+	}
+}
+
+// The channel must carry the touched ports' signals after an allocation
+// and heartbeats must keep it fresh without changing port state.
+func TestDecentralPublishesSignals(t *testing.T) {
+	net, d := decentralFixture(t, 2)
+	hosts := net.Topology().Hosts()
+	ch := decentral.NewChannel()
+	d.SetChannel(ch)
+	d.SetObjective(0, solver.PolyObjective{Coeffs: []float64{4.0, -4.5, 1.6}})
+	d.SetObjective(1, solver.PolyObjective{Coeffs: []float64{1.2, -0.21}})
+	for i := 1; i < 4; i++ {
+		if _, err := net.AddFlow(0, FlowSpec{Src: hosts[i], Dst: hosts[0], Bits: 1e9, App: AppID(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Allocate(net)
+	sig, ok := ch.Signal()
+	if !ok {
+		t.Fatal("no signal after allocation")
+	}
+	if sig.Apps != 2 {
+		t.Errorf("hottest port apps = %d, want 2", sig.Apps)
+	}
+	if sig.Util <= 0 {
+		t.Errorf("hottest port util = %v, want > 0", sig.Util)
+	}
+	seq := sig.Seq
+	d.Heartbeat(net, 1.0)
+	sig2, _ := ch.Signal()
+	if sig2.Seq <= seq || sig2.Time != 1.0 {
+		t.Errorf("heartbeat did not refresh: seq %d -> %d, time %v", seq, sig2.Seq, sig2.Time)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"saba/internal/solver"
 	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
@@ -28,7 +29,7 @@ func diffFabric(t testing.TB) *topology.Topology {
 	return top
 }
 
-// diffAllocator builds one of the five disciplines against a network,
+// diffAllocator builds one of the six disciplines against a network,
 // configuring WFQ's ports the way the controller would.
 func diffAllocator(name string, net *Network, reg *telemetry.Registry) Allocator {
 	switch name {
@@ -45,6 +46,16 @@ func diffAllocator(name string, net *Network, reg *telemetry.Registry) Allocator
 		w.SetTelemetry(reg)
 		configureWFQPorts(w, net, 0)
 		return w
+	case "decentral":
+		d := NewDecentral(net, DecentralConfig{})
+		d.SetTelemetry(reg)
+		// Deterministic convex sensitivity models for the scenario's four
+		// applications, spanning sensitive to indifferent.
+		d.SetObjective(0, solver.PolyObjective{Coeffs: []float64{4.0, -4.5, 1.6}})
+		d.SetObjective(1, solver.PolyObjective{Coeffs: []float64{2.4, -1.87, 0.47}})
+		d.SetObjective(2, solver.PolyObjective{Coeffs: []float64{1.8, -1.0, 0.25}})
+		d.SetObjective(3, solver.PolyObjective{Coeffs: []float64{1.2, -0.21}})
+		return d
 	}
 	panic("unknown allocator " + name)
 }
@@ -195,8 +206,8 @@ func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, r
 }
 
 func TestDifferentialScopedMatchesFull(t *testing.T) {
-	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia"}
-	scopable := map[string]bool{"ideal-maxmin": true, "fecn": true, "wfq": true}
+	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia", "decentral"}
+	scopable := map[string]bool{"ideal-maxmin": true, "fecn": true, "wfq": true, "decentral": true}
 	for _, name := range allocators {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -5,11 +5,20 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"strconv"
+	"sync/atomic"
 
 	"saba/internal/sim"
 	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
+
+// engineSeq hands every engine a process-unique id for its telemetry
+// label set. Before this, the utilization gauges were keyed by allocator
+// name alone, so two engines running the same allocator concurrently
+// (sabaexp -parallel) raced on one shared gauge and overwrote each
+// other's readings.
+var engineSeq atomic.Uint64
 
 // engineMetrics holds the simulator's telemetry instruments, resolved
 // once at construction so the event loop never does registry lookups.
@@ -31,15 +40,20 @@ type engineMetrics struct {
 	heapSize         *telemetry.Gauge   // netsim.completion_heap_size
 	flowSeconds      *telemetry.Histogram
 
-	// Per-allocator port-utilization gauges, cached by allocator name
-	// (allocators can be swapped mid-run via SetAllocator).
-	utilMax  map[string]*telemetry.Gauge // netsim.port_util_max{alloc=...}
-	utilMean map[string]*telemetry.Gauge // netsim.port_util_mean{alloc=...}
+	// Per-allocator port-utilization gauges, cached by (allocator name)
+	// within this engine's metrics (allocators can be swapped mid-run via
+	// SetAllocator). The label set additionally carries the engine id so
+	// two engines running the same allocator concurrently never share a
+	// gauge.
+	engineID string
+	utilMax  map[string]*telemetry.Gauge // netsim.port_util_max{alloc=...,engine=...}
+	utilMean map[string]*telemetry.Gauge // netsim.port_util_mean{alloc=...,engine=...}
 }
 
-func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+func newEngineMetrics(reg *telemetry.Registry, engineID string) *engineMetrics {
 	return &engineMetrics{
 		reg:              reg,
+		engineID:         engineID,
 		events:           reg.Counter("netsim.events"),
 		rateRecomputes:   reg.Counter("netsim.rate_recomputes"),
 		scopedRecomputes: reg.Counter("netsim.scoped_recomputes"),
@@ -63,12 +77,12 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 func (m *engineMetrics) utilGauges(alloc string) (max, mean *telemetry.Gauge) {
 	max = m.utilMax[alloc]
 	if max == nil {
-		max = m.reg.Gauge(telemetry.Label("netsim.port_util_max", "alloc", alloc))
+		max = m.reg.Gauge(telemetry.Label("netsim.port_util_max", "alloc", alloc, "engine", m.engineID))
 		m.utilMax[alloc] = max
 	}
 	mean = m.utilMean[alloc]
 	if mean == nil {
-		mean = m.reg.Gauge(telemetry.Label("netsim.port_util_mean", "alloc", alloc))
+		mean = m.reg.Gauge(telemetry.Label("netsim.port_util_mean", "alloc", alloc, "engine", m.engineID))
 		m.utilMean[alloc] = mean
 	}
 	return max, mean
@@ -90,12 +104,13 @@ func (m *engineMetrics) utilGauges(alloc string) (max, mean *telemetry.Gauge) {
 // AllocateScoped and fall back to a full recompute; SetFullRecompute
 // forces the pre-refactor global path for A/B validation.
 type Engine struct {
-	net    *Network
-	alloc  Allocator
-	clock  sim.Clock
-	events sim.Queue
-	onDone []func(*Engine, FlowID) // indexed by FlowID; nil = no callback
-	tel    *engineMetrics
+	net      *Network
+	alloc    Allocator
+	clock    sim.Clock
+	events   sim.Queue
+	onDone   []func(*Engine, FlowID) // indexed by FlowID; nil = no callback
+	tel      *engineMetrics
+	engineID string // process-unique telemetry label, from engineSeq
 
 	dirty    bool
 	dirtyAll bool // recompute cannot be scoped (allocator swap, reconfig)
@@ -148,17 +163,19 @@ var (
 
 // NewEngine creates an engine over the network with the given allocator.
 func NewEngine(net *Network, alloc Allocator) *Engine {
+	id := strconv.FormatUint(engineSeq.Add(1), 10)
 	return &Engine{
-		net:   net,
-		alloc: alloc,
-		tel:   newEngineMetrics(telemetry.Default),
+		net:      net,
+		alloc:    alloc,
+		engineID: id,
+		tel:      newEngineMetrics(telemetry.Default, id),
 	}
 }
 
 // SetTelemetry rebinds the engine's instruments to reg (tests use this to
 // isolate from the process-wide default registry).
 func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
-	e.tel = newEngineMetrics(reg)
+	e.tel = newEngineMetrics(reg, e.engineID)
 }
 
 // SetFullRecompute disables (true) or re-enables (false) scoped rate

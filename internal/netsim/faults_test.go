@@ -40,7 +40,7 @@ func coreCables(top *topology.Topology) [][]topology.LinkID {
 // produce bit-for-bit the completion times of full recomputation, for
 // every allocator — and the whole scenario must replay identically.
 func TestDifferentialWithFlaps(t *testing.T) {
-	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia"}
+	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia", "decentral"}
 	for _, name := range allocators {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,169 @@
+package sabalib
+
+import (
+	"errors"
+	"math"
+
+	"saba/internal/decentral"
+	"saba/internal/solver"
+)
+
+// Mode identifies which allocation path is currently primary for a
+// library instance. The ROADMAP's end state inverts PR 1's hierarchy:
+// in a controller-free deployment ModeDecentral is the primary path and
+// ModeDegraded (local fair share) is the fallback when the telemetry
+// signal goes quiet, with no controller anywhere.
+type Mode int
+
+const (
+	// ModeController: allocations come from controller plans (the PR 1
+	// default, also the state a degraded library returns to after replay).
+	ModeController Mode = iota
+	// ModeDegraded: the controller or the telemetry signal is
+	// unreachable; traffic runs at the local fair-share fallback.
+	ModeDegraded
+	// ModeDecentral: shares come from broadcast telemetry signals — the
+	// controller-free deployment mode.
+	ModeDecentral
+
+	modeCount = iota
+)
+
+// String returns the operator-facing mode name (used as the telemetry
+// label value).
+func (m Mode) String() string {
+	switch m {
+	case ModeController:
+		return "controller"
+	case ModeDegraded:
+		return "degraded"
+	case ModeDecentral:
+		return "decentral"
+	}
+	return "unknown"
+}
+
+// DecentralOptions configures the controller-free deployment mode.
+type DecentralOptions struct {
+	// Source is the telemetry channel the library polls for broadcast
+	// signals (in production, in-band network telemetry; in the
+	// simulator, the netsim allocator's decentral.Channel).
+	Source decentral.Source
+	// Objective is this application's sensitivity model. nil selects the
+	// moderate default (decentral.DefaultCoeffs) — the same assumption
+	// the controller makes for unprofiled applications.
+	Objective solver.Objective
+	// Params tune the host-side response (gain, damping, box).
+	Params decentral.Params
+	// MaxStaleness bounds how old (in the Source's time base, virtual
+	// seconds in the simulator) a signal may be before the library falls
+	// back to local fair share. 0 selects 2.0.
+	MaxStaleness float64
+	// Now returns the current time in the Source's time base, used for
+	// the staleness check. nil disables staleness checking (a signal is
+	// fresh as long as one exists).
+	Now func() float64
+}
+
+// DefaultMaxStaleness is the signal age beyond which a decentralized
+// library abandons the telemetry path: ~2000 beacon intervals — far
+// past any plausible broadcast jitter, so tripping it means real signal
+// loss, not scheduling noise.
+const DefaultMaxStaleness = 2.0
+
+// ErrNoDecentral reports that the library was not configured with
+// DecentralOptions.
+var ErrNoDecentral = errors.New("sabalib: decentral mode not configured")
+
+// NewDecentral creates a controller-free library instance: no transport,
+// no reconciler, no RPC — registration and connection management are
+// purely local, and shares come from DecentralShare. The four-call
+// interface of Fig. 7 keeps working so applications are agnostic to the
+// deployment mode.
+func NewDecentral(o Options) *Library {
+	l := NewWithOptions(nil, o)
+	return l
+}
+
+// setModeLocked records a deployment-mode change, idempotently: calling
+// it with the current mode is a no-op (no counter increment), so
+// repeated degraded→decentral→degraded oscillations count each actual
+// transition exactly once.
+func (l *Library) setModeLocked(to Mode) {
+	if l.mode == to {
+		return
+	}
+	l.mode = to
+	l.tel.modeTransitions.Inc()
+	if to >= 0 && int(to) < len(l.tel.modeTo) {
+		l.tel.modeTo[to].Inc()
+	}
+}
+
+// Mode returns the library's current deployment mode.
+func (l *Library) Mode() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mode
+}
+
+// EnterDecentral switches the library onto the telemetry path
+// explicitly (normally DecentralShare flips the mode on its own as
+// signals arrive; this lets a harness assert the starting state). It is
+// idempotent.
+func (l *Library) EnterDecentral() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.Decentral == nil || l.opts.Decentral.Source == nil {
+		return ErrNoDecentral
+	}
+	l.setModeLocked(ModeDecentral)
+	return nil
+}
+
+// DecentralShare returns the application's current bandwidth share of
+// the hottest contended port, computed purely from broadcast telemetry:
+// one damped proximal response to the advertised congestion price, with
+// the previous share as the iteration's memory. fresh reports whether a
+// live signal was used; when the signal is missing or older than
+// MaxStaleness the library falls back to the local fair share over the
+// last-known port population (0 before any signal was ever seen) and
+// flips to ModeDegraded until the signal returns. Transitions in both
+// directions are idempotent and counted in sabalib.mode_transitions.
+func (l *Library) DecentralShare() (share float64, fresh bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg := l.opts.Decentral
+	if cfg == nil || cfg.Source == nil {
+		return 0, false, ErrNoDecentral
+	}
+	maxStale := cfg.MaxStaleness
+	if maxStale <= 0 {
+		maxStale = DefaultMaxStaleness
+	}
+	sig, ok := cfg.Source.Signal()
+	stale := !ok
+	if ok && cfg.Now != nil {
+		if age := cfg.Now() - sig.Time; age > maxStale || math.IsNaN(age) {
+			stale = true
+		}
+	}
+	if stale {
+		l.setModeLocked(ModeDegraded)
+		if l.lastApps == 0 {
+			return 0, false, nil
+		}
+		return decentral.FairShare(cfg.Params, l.lastApps), false, nil
+	}
+	l.setModeLocked(ModeDecentral)
+	obj := cfg.Objective
+	if obj == nil {
+		obj = solver.PolyObjective{Coeffs: decentral.DefaultCoeffs}
+	}
+	share = decentral.Respond(obj, sig, l.prevShare, cfg.Params)
+	l.prevShare = share
+	if sig.Apps > 0 {
+		l.lastApps = sig.Apps
+	}
+	return share, true, nil
+}

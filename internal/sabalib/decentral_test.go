@@ -1,0 +1,168 @@
+package sabalib
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/decentral"
+	"saba/internal/solver"
+	"saba/internal/telemetry"
+)
+
+func decentralLib(t *testing.T, ch *decentral.Channel, now func() float64) (*Library, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	l := NewDecentral(Options{
+		Telemetry: reg,
+		Decentral: &DecentralOptions{
+			Source:    ch,
+			Objective: solver.PolyObjective{Coeffs: []float64{2.4, -1.87, 0.47}},
+			Now:       now,
+		},
+	})
+	t.Cleanup(func() { l.Close() })
+	return l, reg
+}
+
+// The transportless library must support the full Fig. 7 call sequence
+// locally, with nothing queued for a reconciler that will never run.
+func TestDecentralLifecycleWithoutTransport(t *testing.T) {
+	l, _ := decentralLib(t, decentral.NewChannel(), nil)
+	if err := l.Register("ML-training"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("ML-training"); err != ErrAlreadyRegistered {
+		t.Fatalf("second register: %v", err)
+	}
+	c, err := l.ConnCreate(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID >= 0 {
+		t.Errorf("controller-free conn got non-local ID %d", c.ID)
+	}
+	if n := l.PendingOps(); n != 0 {
+		t.Errorf("PendingOps = %d, want 0 (no reconciler exists)", n)
+	}
+	if err := l.Deregister(); err == nil {
+		t.Error("deregister with live conns should fail")
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A fresh signal drives the share toward the sensitivity-weighted
+// response; a quiet signal falls back to fair share; and the
+// degraded↔decentral transitions are idempotent, counted once per
+// actual change.
+func TestDecentralShareAndStaleness(t *testing.T) {
+	ch := decentral.NewChannel()
+	now := 0.0
+	l, reg := decentralLib(t, ch, func() float64 { return now })
+	if err := l.Register("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EnterDecentral(); err != nil {
+		t.Fatal(err)
+	}
+	if m := l.Mode(); m != ModeDecentral {
+		t.Fatalf("mode after EnterDecentral = %v", m)
+	}
+
+	// No signal ever published: degrade, share unknown (0).
+	share, fresh, err := l.DecentralShare()
+	if err != nil || fresh || share != 0 {
+		t.Fatalf("quiet cold: share=%v fresh=%v err=%v", share, fresh, err)
+	}
+	if m := l.Mode(); m != ModeDegraded {
+		t.Fatalf("mode after quiet signal = %v", m)
+	}
+
+	// Signal appears: back to decentral with a real share.
+	ch.Publish(0, []decentral.PortSignal{{Port: 1, Util: 1.0, Price: 0.8, Apps: 4}})
+	share, fresh, err = l.DecentralShare()
+	if err != nil || !fresh || share <= 0 {
+		t.Fatalf("fresh: share=%v fresh=%v err=%v", share, fresh, err)
+	}
+	if m := l.Mode(); m != ModeDecentral {
+		t.Fatalf("mode after fresh signal = %v", m)
+	}
+	// Repeated fresh polls are idempotent on the mode counter.
+	for i := 0; i < 5; i++ {
+		if _, _, err := l.DecentralShare(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Signal ages out: fall back to fair share over the last population.
+	now = 10 // signal time 0, staleness default 2.0
+	share, fresh, err = l.DecentralShare()
+	if err != nil || fresh {
+		t.Fatalf("stale: fresh=%v err=%v", fresh, err)
+	}
+	if want := 1.0 / 4; math.Abs(share-want) > 1e-9 {
+		t.Errorf("stale fallback share = %v, want fair share %v", share, want)
+	}
+	if m := l.Mode(); m != ModeDegraded {
+		t.Fatalf("mode after stale signal = %v", m)
+	}
+
+	// Heartbeats revive it.
+	ch.Publish(10, nil)
+	if _, fresh, _ = l.DecentralShare(); !fresh {
+		t.Fatal("heartbeat did not refresh the signal")
+	}
+
+	// decentral→degraded→decentral→degraded→decentral = 5 transitions
+	// from the initial ModeController (1 enter + 4 flips).
+	if got := reg.Counter("sabalib.mode_transitions").Value(); got != 5 {
+		t.Errorf("mode_transitions = %d, want 5", got)
+	}
+	toDec := reg.Counter(telemetry.Label("sabalib.mode_transitions", "to", "decentral")).Value()
+	toDeg := reg.Counter(telemetry.Label("sabalib.mode_transitions", "to", "degraded")).Value()
+	if toDec != 3 || toDeg != 2 {
+		t.Errorf("labeled transitions: to=decentral %d (want 3), to=degraded %d (want 2)", toDec, toDeg)
+	}
+}
+
+// Successive fresh responses must converge (damped iteration against a
+// fixed price), not oscillate.
+func TestDecentralShareConverges(t *testing.T) {
+	ch := decentral.NewChannel()
+	l, _ := decentralLib(t, ch, nil)
+	if err := l.Register("app"); err != nil {
+		t.Fatal(err)
+	}
+	ch.Publish(0, []decentral.PortSignal{{Port: 1, Util: 1.0, Price: 0.9, Apps: 3}})
+	prev := -1.0
+	var last float64
+	for i := 0; i < 64; i++ {
+		s, fresh, err := l.DecentralShare()
+		if err != nil || !fresh {
+			t.Fatalf("iter %d: fresh=%v err=%v", i, fresh, err)
+		}
+		prev, last = last, s
+	}
+	if math.Abs(last-prev) > 1e-6 {
+		t.Errorf("share did not settle: %v -> %v", prev, last)
+	}
+}
+
+// DecentralShare without configuration must error, not panic.
+func TestDecentralShareUnconfigured(t *testing.T) {
+	l := NewDecentral(Options{Telemetry: telemetry.NewRegistry()})
+	defer l.Close()
+	if _, _, err := l.DecentralShare(); err != ErrNoDecentral {
+		t.Fatalf("err = %v, want ErrNoDecentral", err)
+	}
+	if err := l.EnterDecentral(); err != ErrNoDecentral {
+		t.Fatalf("EnterDecentral err = %v, want ErrNoDecentral", err)
+	}
+}

@@ -35,16 +35,23 @@ type libMetrics struct {
 	replayedOps     *telemetry.Counter // queued operations the reconciler landed
 	droppedOps      *telemetry.Counter // replays the controller rejected terminally
 	droppedObs      *telemetry.Counter // slowdown observations dropped while degraded
+	modeTransitions *telemetry.Counter // sabalib.mode_transitions (all mode changes)
+	modeTo          [modeCount]*telemetry.Counter
 }
 
 func newLibMetrics(reg *telemetry.Registry) libMetrics {
-	return libMetrics{
+	m := libMetrics{
 		degradedEntries: reg.Counter("sabalib.degraded_entries"),
 		queuedOps:       reg.Counter("sabalib.queued_ops"),
 		replayedOps:     reg.Counter("sabalib.replayed_ops"),
 		droppedOps:      reg.Counter("sabalib.dropped_ops"),
 		droppedObs:      reg.Counter("sabalib.dropped_observations"),
+		modeTransitions: reg.Counter("sabalib.mode_transitions"),
 	}
+	for mode := Mode(0); mode < modeCount; mode++ {
+		m.modeTo[mode] = reg.Counter(telemetry.Label("sabalib.mode_transitions", "to", mode.String()))
+	}
+	return m
 }
 
 // Transport abstracts how the connection manager reaches the controller:
@@ -208,6 +215,12 @@ type Options struct {
 	// Telemetry is the registry the library reports into. nil selects
 	// telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Decentral configures the controller-free deployment mode (see
+	// decentral.go): the library reads broadcast telemetry signals
+	// instead of controller plans. Required for NewDecentral; optional
+	// otherwise (a controller-backed library may also carry it as a
+	// last-resort path).
+	Decentral *DecentralOptions
 }
 
 // Library is the connection manager: one per application process.
@@ -235,6 +248,12 @@ type Library struct {
 	wg           sync.WaitGroup
 	closed       bool
 	tel          libMetrics
+
+	// Deployment-mode state (see decentral.go): which path is currently
+	// primary, plus the decentralized share iteration's memory.
+	mode      Mode
+	prevShare float64 // last decentralized share (0 = cold)
+	lastApps  int     // port population from the last fresh signal
 }
 
 // New creates a library instance over a transport with failure handling
@@ -290,6 +309,14 @@ func (l *Library) Register(appName string) error {
 	if l.registered {
 		return ErrAlreadyRegistered
 	}
+	if l.transport == nil {
+		// Controller-free deployment: registration is purely local. No
+		// replay is queued — there is no controller to replay against.
+		l.appName = appName
+		l.pl = l.opts.FallbackPL
+		l.registered = true
+		return nil
+	}
 	id, pl, err := l.transport.Register(appName)
 	if err == nil {
 		l.app = id
@@ -309,6 +336,7 @@ func (l *Library) Register(appName string) error {
 		l.degraded = true
 		l.tel.degradedEntries.Inc()
 	}
+	l.setModeLocked(ModeDegraded)
 	l.pendingReg = true
 	l.tel.queuedOps.Inc()
 	l.startReconcilerLocked()
@@ -334,7 +362,7 @@ func (l *Library) RefreshPL() (int, error) {
 	if !l.registered {
 		return 0, ErrNotRegistered
 	}
-	if l.degraded {
+	if l.degraded || l.transport == nil {
 		return l.pl, nil
 	}
 	pl, err := l.transport.PL(l.app)
@@ -381,7 +409,7 @@ func (l *Library) ReportSlowdown(bwFraction, observed float64) (bool, error) {
 	if !l.registered {
 		return false, ErrNotRegistered
 	}
-	if l.degraded || l.pendingReg {
+	if l.degraded || l.pendingReg || l.transport == nil {
 		l.tel.droppedObs.Inc()
 		return false, nil
 	}
@@ -438,6 +466,15 @@ func (l *Library) ConnCreate(src, dst topology.NodeID) (*Conn, error) {
 	if !l.registered {
 		return nil, ErrNotRegistered
 	}
+	if l.transport == nil {
+		// Controller-free: the connection exists only host-side. It gets a
+		// local ID without entering the replay queue (nothing will ever
+		// drain it).
+		l.nextLocal--
+		c := &Conn{ID: l.nextLocal, Src: src, Dst: dst, SL: l.pl, lib: l}
+		l.conns[c.ID] = c
+		return c, nil
+	}
 	if l.degraded {
 		return l.localConnLocked(src, dst), nil
 	}
@@ -473,6 +510,7 @@ func (l *Library) enterDegradedLocked() {
 		l.degraded = true
 		l.tel.degradedEntries.Inc()
 	}
+	l.setModeLocked(ModeDegraded)
 	l.startReconcilerLocked()
 }
 
@@ -528,6 +566,10 @@ func (l *Library) Deregister() error {
 	if len(l.conns) > 0 {
 		return fmt.Errorf("%w: %d", ErrLiveConns, len(l.conns))
 	}
+	if l.transport == nil {
+		l.registered = false
+		return nil
+	}
 	if l.degraded {
 		if l.pendingReg && len(l.pendingConns) == 0 && len(l.pendingDests) == 0 {
 			// The controller never saw us: nothing to undo remotely.
@@ -567,6 +609,9 @@ func (l *Library) Close() error {
 	app := l.app
 	l.mu.Unlock()
 	l.wg.Wait()
+	if l.transport == nil {
+		return nil
+	}
 	if registered {
 		// Best effort; the controller GCs state on connection loss anyway.
 		_ = l.transport.Deregister(app)
@@ -731,5 +776,6 @@ func (l *Library) reconcileStep() bool {
 	}
 	l.degraded = false
 	l.reconRunning = false
+	l.setModeLocked(ModeController)
 	return true
 }

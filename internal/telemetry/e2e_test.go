@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -116,8 +117,18 @@ func TestEndToEndScrape(t *testing.T) {
 			t.Errorf("metric %s = %g, want > 0", m, metrics[m])
 		}
 	}
-	if v := metrics[`netsim_port_util_max{alloc="saba-wfq"}`]; v <= 0 || v > 1+1e-9 {
-		t.Errorf(`netsim_port_util_max{alloc="saba-wfq"} = %g, want in (0, 1]`, v)
+	// The gauge label also carries the per-engine id, so match by prefix.
+	utilSeen := false
+	for m, v := range metrics {
+		if strings.HasPrefix(m, `netsim_port_util_max{alloc="saba-wfq"`) {
+			utilSeen = true
+			if v <= 0 || v > 1+1e-9 {
+				t.Errorf("%s = %g, want in (0, 1]", m, v)
+			}
+		}
+	}
+	if !utilSeen {
+		t.Error(`no netsim_port_util_max{alloc="saba-wfq",...} gauge scraped`)
 	}
 	if got, want := metrics["netsim_flow_completions"], 4.0; got != want {
 		t.Errorf("netsim_flow_completions = %g, want %g", got, want)
