@@ -8,6 +8,7 @@ import (
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
+	"saba/internal/topology"
 )
 
 // BenchResult is one benchmark's machine-readable outcome. EventsPerSec
@@ -59,6 +60,29 @@ func buildBenchSuite() ([]benchEntry, error) {
 	suite := []benchEntry{
 		{name: "Fig10AtScale", fn: func() error {
 			_, err := experiments.Fig10(experiments.ScaleConfig{})
+			return err
+		}},
+		// The same workload on the sharded engine (one event loop per
+		// pod). Note the metering difference: the serial loop counts one
+		// event per step even when a step drains several completions,
+		// while the sharded barrier rounds count every completion and
+		// timer they apply — so events/sec is comparable across runs of
+		// the same cell but not across the serial/sharded pair.
+		{name: "Fig10AtScale/sharded", fn: func() error {
+			_, err := experiments.Fig10(experiments.ScaleConfig{EngineShards: -1})
+			return err
+		}},
+		// A reduced-shape FigHyperscale (the 10k-host default belongs to
+		// `-fig hyperscale`, not a bench loop): 1,280 hosts of pod-local
+		// waves through the per-pod sharded event loops.
+		{name: "FigHyperscale", fn: func() error {
+			_, err := experiments.FigHyperscale(experiments.HyperscaleConfig{
+				Topology: topology.SpineLeafConfig{
+					Pods: 8, ToRsPerPod: 8, LeavesPerPod: 4, Spines: 4,
+					HostsPerToR: 20, Queues: 16,
+				},
+				Waves: 10, FlowsPerWave: 1024,
+			})
 			return err
 		}},
 		// The churn study at the 5% failure rate exercises the full fault

@@ -20,19 +20,27 @@ import (
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
+	"saba/internal/topology"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,decentral,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,decentral,hyperscale,all")
 	setups := flag.Int("setups", 25, "cluster setups for fig 8 (paper: 500)")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
+	shards := flag.Int("shards", 1, "simulation engine event-loop shards: 0 = one shard per pod, 1 = serial legacy path, n >= 2 = n shards")
 	out := flag.String("out", "", "directory for CSV outputs (fig 2)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells; 1 forces serial execution (results are identical at any setting)")
 	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	benchJSON := flag.String("bench-json", "", "run the simulator benchmark suite and write results as JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare fresh bench results against this baseline JSON; exit nonzero on regression")
 	flag.Parse()
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 	experiments.SetParallelism(*parallel)
 
 	if *benchJSON != "" || *benchBaseline != "" {
@@ -43,7 +51,7 @@ func main() {
 		return
 	}
 
-	err := run(*fig, *setups, *seed, *full, *out)
+	err := run(*fig, *setups, *seed, *full, *out, *shards, shardsSet)
 	if *showMetrics {
 		if merr := printMetrics(); err == nil {
 			err = merr
@@ -66,8 +74,22 @@ func printMetrics() error {
 	return nil
 }
 
-func run(fig string, setups int, seed int64, full bool, out string) error {
-	scale := experiments.ScaleConfig{Seed: seed, Full: full}
+// engineShards maps the CLI -shards convention (0 = one shard per pod,
+// 1 = serial legacy path, n >= 2 = n shards) onto the internal
+// EngineShards convention (0 = serial, -1 = per-pod).
+func engineShards(cli int) int {
+	switch cli {
+	case 0:
+		return -1
+	case 1:
+		return 0
+	default:
+		return cli
+	}
+}
+
+func run(fig string, setups int, seed int64, full bool, out string, shards int, shardsSet bool) error {
+	scale := experiments.ScaleConfig{Seed: seed, Full: full, EngineShards: engineShards(shards)}
 	type study struct {
 		name string
 		fn   func() error
@@ -104,6 +126,27 @@ func run(fig string, setups int, seed int64, full bool, out string) error {
 		}},
 		{"decentral", func() error {
 			r, err := experiments.FigDecentral(experiments.DecentralStudyConfig{Scale: scale})
+			return show(r, err)
+		}},
+		{"hyperscale", func() error {
+			// The sharded engine is the point of this figure: default to
+			// one shard per pod unless an explicit -shards was given.
+			cfg := experiments.HyperscaleConfig{Seed: seed, Shards: shards}
+			if !shardsSet {
+				cfg.Shards = 0 // HyperscaleConfig: 0 → one shard per pod
+			}
+			if fig == "all" {
+				// Reduced shape for the all-studies sweep; the 10k-host
+				// default runs when the study is requested by name.
+				cfg.Topology = topology.SpineLeafConfig{
+					Pods: 4, ToRsPerPod: 4, LeavesPerPod: 2, Spines: 2,
+					HostsPerToR: 10, Queues: 16,
+				}
+				cfg.Waves = 10
+				cfg.FlowsPerWave = 256
+				cfg.CompareSerial = true
+			}
+			r, err := experiments.FigHyperscale(cfg)
 			return show(r, err)
 		}},
 		{"12", func() error {

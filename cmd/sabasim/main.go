@@ -37,10 +37,11 @@ func main() {
 	compare := flag.String("compare", "", "also run this policy and report speedups")
 	seed := flag.Int64("seed", 1, "scenario seed")
 	queues := flag.Int("queues", 8, "per-port queues")
+	shards := flag.Int("shards", 1, "simulation engine event-loop shards: 0 = one shard per pod, 1 = serial legacy path, n >= 2 = n shards")
 	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	flag.Parse()
 
-	err := run(*hosts, *jobs, *policy, *compare, *seed, *queues)
+	err := run(*hosts, *jobs, *policy, *compare, *seed, *queues, *shards)
 	if *showMetrics {
 		if merr := printMetrics(); err == nil {
 			err = merr
@@ -71,7 +72,21 @@ func policyNames() []string {
 	return names
 }
 
-func run(hosts, jobCount int, policyName, compareName string, seed int64, queues int) error {
+// engineShards maps the CLI -shards convention (0 = one shard per pod,
+// 1 = serial legacy path, n >= 2 = n shards) onto the internal
+// core.RunConfig.EngineShards convention (0 = serial, -1 = per-pod).
+func engineShards(cli int) int {
+	switch cli {
+	case 0:
+		return -1
+	case 1:
+		return 0
+	default:
+		return cli
+	}
+}
+
+func run(hosts, jobCount int, policyName, compareName string, seed int64, queues, shards int) error {
 	pol, ok := policies[policyName]
 	if !ok {
 		return fmt.Errorf("unknown policy %q", policyName)
@@ -107,7 +122,9 @@ func run(hosts, jobCount int, policyName, compareName string, seed int64, queues
 		jobs = append(jobs, core.JobSpec{Spec: p.Spec, DatasetScale: p.DatasetScale, Nodes: nodes})
 	}
 
-	res, err := core.RunJobs(top, jobs, core.RunConfig{Policy: pol, Table: table, Seed: seed})
+	res, err := core.RunJobs(top, jobs, core.RunConfig{
+		Policy: pol, Table: table, Seed: seed, EngineShards: engineShards(shards),
+	})
 	if err != nil {
 		return err
 	}
@@ -125,7 +142,9 @@ func run(hosts, jobCount int, policyName, compareName string, seed int64, queues
 	if !ok {
 		return fmt.Errorf("unknown policy %q", compareName)
 	}
-	cmpRes, err := core.RunJobs(top, jobs, core.RunConfig{Policy: cmpPol, Table: table, Seed: seed})
+	cmpRes, err := core.RunJobs(top, jobs, core.RunConfig{
+		Policy: cmpPol, Table: table, Seed: seed, EngineShards: engineShards(shards),
+	})
 	if err != nil {
 		return err
 	}

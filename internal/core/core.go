@@ -82,6 +82,12 @@ type RunConfig struct {
 	CSaba float64
 	// Shards is the distributed-controller shard count; 0 → 4.
 	Shards int
+	// EngineShards selects the simulation engine's event-loop sharding
+	// (netsim.Engine.SetShards): 0 keeps the serial legacy path, -1
+	// derives one shard per fabric partition (pod), and n >= 2 uses n
+	// shards. Distinct from Shards, which shards the distributed
+	// controller mesh, not the simulator.
+	EngineShards int
 	// FECNEfficiency tunes the baseline's congested-link utilization;
 	// 0 → netsim.DefaultFECNEfficiency.
 	FECNEfficiency float64
@@ -218,6 +224,7 @@ func RunJobs(top *topology.Topology, jobs []JobSpec, cfg RunConfig) (Result, err
 
 	e := netsim.NewEngine(net, alloc)
 	e.SetFullRecompute(cfg.FullRecompute)
+	e.SetShards(cfg.EngineShards)
 	res := Result{Policy: cfg.Policy, Completions: make([]float64, len(jobs))}
 
 	type jobCtl struct {

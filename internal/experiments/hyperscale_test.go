@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"saba/internal/topology"
+)
+
+// Smoke-size FigHyperscale: a small fabric, the full wave machinery,
+// and the serial-vs-sharded digest comparison turned on. CI runs this
+// shape; the 10k-host default is exercised by the sabaexp study and
+// the bench suite.
+func TestFigHyperscaleSmoke(t *testing.T) {
+	res, err := FigHyperscale(HyperscaleConfig{
+		Topology: topology.SpineLeafConfig{
+			Pods: 3, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2,
+			HostsPerToR: 4, Queues: 8,
+		},
+		Waves:         4,
+		FlowsPerWave:  48,
+		CrossPod:      0.1,
+		Seed:          7,
+		CompareSerial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 24 || res.Pods != 3 || res.Shards != 3 {
+		t.Errorf("shape = %d hosts / %d pods / %d shards, want 24/3/3",
+			res.Hosts, res.Pods, res.Shards)
+	}
+	if res.Flows != 4*48 || res.Completed != res.Flows {
+		t.Errorf("flows=%d completed=%d, want 192 admitted and all complete",
+			res.Flows, res.Completed)
+	}
+	if !res.DigestMatch {
+		t.Error("sharded completion digest diverged from serial")
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %g, want > 0", res.Makespan)
+	}
+	if !strings.Contains(res.String(), "digest-match=true") {
+		t.Errorf("String() missing serial comparison:\n%s", res.String())
+	}
+}
+
+// The serial path (Shards: 1) must run the workload too — FigHyperscale
+// is usable as a serial-engine scale probe.
+func TestFigHyperscaleSerialPath(t *testing.T) {
+	res, err := FigHyperscale(HyperscaleConfig{
+		Topology: topology.SpineLeafConfig{
+			Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2, Spines: 2,
+			HostsPerToR: 3, Queues: 8,
+		},
+		Waves:        3,
+		FlowsPerWave: 16,
+		Seed:         11,
+		Shards:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Errorf("Shards = %d, want 1 (serial)", res.Shards)
+	}
+	if res.Completed != res.Flows {
+		t.Errorf("completed %d of %d flows", res.Completed, res.Flows)
+	}
+}

@@ -21,6 +21,10 @@ type ScaleConfig struct {
 	Workloads int                      // synthetic workload count; 0 → 20
 	Seed      int64
 	Full      bool // paper-scale 54/102/108 fabric
+	// EngineShards selects the simulation engine's event-loop sharding
+	// for every run of the study: 0 = serial legacy path, -1 = one shard
+	// per pod, n >= 2 = n shards (core.RunConfig.EngineShards).
+	EngineShards int
 }
 
 func (c *ScaleConfig) fill() {
@@ -64,10 +68,11 @@ type profileEntry struct {
 // synthetic workloads with their profiles, and job placements (one
 // instance per server, randomly spread).
 type scaleEnv struct {
-	top   *topology.Topology
-	table *profiler.Table
-	jobs  []core.JobSpec
-	seed  int64
+	top          *topology.Topology
+	table        *profiler.Table
+	jobs         []core.JobSpec
+	seed         int64
+	engineShards int
 }
 
 func newScaleEnv(cfg ScaleConfig) (*scaleEnv, error) {
@@ -128,7 +133,7 @@ func newScaleEnv(cfg ScaleConfig) (*scaleEnv, error) {
 		}
 		jobs[i] = core.JobSpec{Spec: spec, Nodes: nodes}
 	}
-	return &scaleEnv{top: top, table: table, jobs: jobs, seed: cfg.Seed}, nil
+	return &scaleEnv{top: top, table: table, jobs: jobs, seed: cfg.Seed, engineShards: cfg.EngineShards}, nil
 }
 
 // run executes the placement under a policy.
@@ -140,11 +145,12 @@ func (env *scaleEnv) run(policy core.Policy, queues int, shards int) (core.Resul
 // starts — the churn study uses it to install fault schedules.
 func (env *scaleEnv) runWith(policy core.Policy, shards int, before func(*netsim.Engine) error) (core.Result, error) {
 	return core.RunJobs(env.top, env.jobs, core.RunConfig{
-		Policy: policy,
-		Table:  env.table,
-		Seed:   env.seed,
-		PLs:    16,
-		Shards: shards,
+		Policy:       policy,
+		Table:        env.table,
+		Seed:         env.seed,
+		PLs:          16,
+		Shards:       shards,
+		EngineShards: env.engineShards,
 		// The large-scale studies compare against the packet-simulator
 		// baseline (paper §8.4), not the hardware-testbed one. Queue
 		// counts come from the topology; Fig. 11b rebuilds the env.

@@ -27,6 +27,21 @@ type Allocator interface {
 	AllocateScoped(net *Network, ids []FlowID) bool
 }
 
+// ShardableAllocator marks disciplines whose AllocateScoped may run
+// concurrently on disjoint link-connected components — the property the
+// sharded engine exploits to allocate per-pod dirty sets in parallel.
+// ShardClone returns an allocator that shares this one's configuration
+// (weights, objectives, port tables — state mutated only from serial
+// engine phases) but owns all scratch and caches, or nil when the
+// current configuration cannot be sharded (e.g. Decentral with a
+// telemetry channel attached, whose publish sequence must match the
+// serial run exactly). Globally-coupled disciplines (Homa, Sincronia)
+// simply do not implement the interface.
+type ShardableAllocator interface {
+	Allocator
+	ShardClone() Allocator
+}
+
 // IdealMaxMin is per-flow max-min fairness computed by progressive
 // filling — the idealized upper bound of any congestion-control protocol
 // targeting max-min fairness (paper §8.1, §8.4 study 4: per-queue
@@ -54,6 +69,12 @@ func (a *IdealMaxMin) AllocateScoped(net *Network, ids []FlowID) bool {
 	a.filler.ResetFor(net, ids)
 	a.filler.Run(net, ids, FlatClassifier{})
 	return true
+}
+
+// ShardClone implements ShardableAllocator: the discipline carries no
+// state beyond Filler scratch, so a clone is just a fresh Filler.
+func (a *IdealMaxMin) ShardClone() Allocator {
+	return &IdealMaxMin{filler: a.filler.cloneEmpty()}
 }
 
 // DefaultFECNEfficiency is the fraction of a congested link's capacity
@@ -92,6 +113,12 @@ type FECN struct {
 	Crowd  float64
 	MinEff float64
 	filler *Filler
+
+	// src, on a shard clone, points at the allocator the clone was
+	// derived from; the clone re-reads the shared profile from it on
+	// every allocation so SimProfile (and future drift adjustments),
+	// which mutate the parent from serial engine phases, reach clones.
+	src *FECN
 
 	// Scratch: the congested links found by pass 1 with their derated
 	// capacities, plus epoch marks so each link is inspected once per
@@ -140,6 +167,9 @@ func (a *FECN) Allocate(net *Network) {
 // that link, and a dirty component owns its links outright, so scoping
 // the two filling passes to the component reproduces the global result.
 func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
+	if a.src != nil {
+		a.Efficiency, a.Crowd, a.MinEff = a.src.Efficiency, a.src.Crowd, a.src.MinEff
+	}
 	// Pass 1: ideal rates to discover saturated links.
 	a.filler.ResetFor(net, ids)
 	a.filler.Run(net, ids, FlatClassifier{})
@@ -200,4 +230,19 @@ func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
 	}
 	a.filler.Run(net, ids, FlatClassifier{})
 	return true
+}
+
+// ShardClone implements ShardableAllocator: per-link derating is a pure
+// function of the flows crossing a link, so clones only need their own
+// filler and scratch. The profile parameters are re-read from src on
+// every allocation (see AllocateScoped).
+func (a *FECN) ShardClone() Allocator {
+	return &FECN{
+		Efficiency: a.Efficiency,
+		Crowd:      a.Crowd,
+		MinEff:     a.MinEff,
+		filler:     a.filler.cloneEmpty(),
+		linkMark:   make([]int64, len(a.linkMark)),
+		src:        a,
+	}
 }

@@ -51,6 +51,15 @@ type Decentral struct {
 
 	channel *decentral.Channel
 
+	// cfgGen counts objective-model generations: SetObjective bumps it,
+	// and shard clones compare their snapshot (srcGen) against the
+	// parent's (src) on every allocation to invalidate their private
+	// solution caches. objs itself is shared with clones — it is only
+	// written from serial engine phases.
+	cfgGen uint64
+	src    *Decentral
+	srcGen uint64
+
 	// Scratch, reused across allocations.
 	appsBuf []AppID
 	appMark []int64
@@ -111,7 +120,8 @@ func (*Decentral) Name() string { return "saba-decentral" }
 func (d *Decentral) SetObjective(app AppID, o solver.Objective) {
 	d.objs[app] = o
 	clear(d.sols)
-	d.epoch++ // stale per-link solutions must not be reused
+	d.epoch++  // stale per-link solutions must not be reused
+	d.cfgGen++ // shard clones invalidate their caches on next allocation
 }
 
 // SetChannel attaches the simulated in-band telemetry channel; after
@@ -144,6 +154,10 @@ func (d *Decentral) Allocate(net *Network) {
 // both over only the dirty component reproduces the global result
 // bit-for-bit.
 func (d *Decentral) AllocateScoped(net *Network, ids []FlowID) bool {
+	if d.src != nil && d.srcGen != d.src.cfgGen {
+		clear(d.sols)
+		d.srcGen = d.src.cfgGen
+	}
 	// Phase 1: per contended link, the fixed point of the decentralized
 	// price iteration over the distinct applications sharing it.
 	d.epoch++
@@ -322,6 +336,34 @@ func (d *Decentral) Heartbeat(net *Network, now float64) {
 		})
 	}
 	d.channel.Publish(now, d.sigBuf)
+}
+
+// ShardClone implements ShardableAllocator. Per-port solutions are a
+// pure function of the sorted application set and the shared objective
+// models, so per-clone solution caches stay bit-exact with the parent's
+// — a cache hit and a fresh solve yield the same weights. Clones share
+// objs (written only from serial phases) and the atomic telemetry
+// counters; solution caches, per-link state and scratch are owned, and
+// the plain Stats() counters stay clone-local (only the parent's are
+// reported). With a telemetry channel attached the allocator is not
+// shardable — the per-recompute publish sequence must match the serial
+// run — so ShardClone returns nil and the engine keeps the union path.
+func (d *Decentral) ShardClone() Allocator {
+	if d.channel != nil {
+		return nil
+	}
+	c := &Decentral{
+		par:       d.par,
+		filler:    d.filler.cloneEmpty(),
+		objs:      d.objs,
+		sols:      make(map[string]*portSol),
+		linkSol:   make([]*portSol, len(d.linkSol)),
+		linkEpoch: make([]int64, len(d.linkEpoch)),
+		src:       d,
+		srcGen:    d.cfgGen,
+	}
+	c.rounds, c.solves, c.cacheHits, c.unconverged = d.rounds, d.solves, d.cacheHits, d.unconverged
+	return c
 }
 
 // decentralClassifier adapts the per-link port solutions to the Filler:

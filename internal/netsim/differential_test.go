@@ -81,12 +81,13 @@ func configureWFQPorts(w *WFQ, net *Network, round int) {
 // runDifferential drives one seeded scenario and returns the completion
 // time of every admission (-1 when cancelled), in admission order.
 func runDifferential(t *testing.T, name string, seed int64, full bool, reg *telemetry.Registry) []float64 {
-	return runDifferentialScenario(t, name, seed, full, reg, false)
+	return runDifferentialScenario(t, name, seed, full, reg, false, 0)
 }
 
 // runDifferentialScenario is runDifferential with an optional seeded
-// link-flap schedule layered on top (see faults_test.go).
-func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, reg *telemetry.Registry, withFlaps bool) []float64 {
+// link-flap schedule layered on top (see faults_test.go) and an engine
+// shard count (0 = serial path, -1 = one shard per pod; see shard.go).
+func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, reg *telemetry.Registry, withFlaps bool, shards int) []float64 {
 	t.Helper()
 	top := diffFabric(t)
 	net := NewNetwork(top)
@@ -94,6 +95,7 @@ func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, r
 	e := NewEngine(net, alloc)
 	e.SetTelemetry(reg)
 	e.SetFullRecompute(full)
+	e.SetShards(shards)
 
 	rng := rand.New(rand.NewSource(seed))
 	hosts := top.Hosts()

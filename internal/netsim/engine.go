@@ -36,8 +36,8 @@ type engineMetrics struct {
 	flowReroutes     *telemetry.Counter // netsim.flow_reroutes
 	flowStalls       *telemetry.Counter // netsim.flow_stalls
 	flowResumes      *telemetry.Counter // netsim.flow_resumes
-	flowsActive      *telemetry.Gauge   // netsim.flows_active
-	heapSize         *telemetry.Gauge   // netsim.completion_heap_size
+	flowsActive      *telemetry.Gauge   // netsim.flows_active{engine=...}
+	heapSize         *telemetry.Gauge   // netsim.completion_heap_size{engine=...}
 	flowSeconds      *telemetry.Histogram
 
 	// Per-allocator port-utilization gauges, cached by (allocator name)
@@ -64,8 +64,8 @@ func newEngineMetrics(reg *telemetry.Registry, engineID string) *engineMetrics {
 		flowReroutes:     reg.Counter("netsim.flow_reroutes"),
 		flowStalls:       reg.Counter("netsim.flow_stalls"),
 		flowResumes:      reg.Counter("netsim.flow_resumes"),
-		flowsActive:      reg.Gauge("netsim.flows_active"),
-		heapSize:         reg.Gauge("netsim.completion_heap_size"),
+		flowsActive:      reg.Gauge(telemetry.Label("netsim.flows_active", "engine", engineID)),
+		heapSize:         reg.Gauge(telemetry.Label("netsim.completion_heap_size", "engine", engineID)),
 		flowSeconds:      reg.Histogram("netsim.flow_seconds"),
 		utilMax:          map[string]*telemetry.Gauge{},
 		utilMean:         map[string]*telemetry.Gauge{},
@@ -124,8 +124,17 @@ type Engine struct {
 	seedLinks []topology.LinkID
 
 	// completions maps every active flow with a positive rate to its
-	// projected completion time.
+	// projected completion time. In sharded mode (sh != nil) this heap is
+	// empty: projections live in the per-shard heaps instead, and all heap
+	// traffic goes through heapFix/heapRemove so both modes share the
+	// recompute, cancel and failure machinery.
 	completions sim.IndexedHeap
+
+	// sh, when non-nil, holds the sharded-engine state: per-partition
+	// completion heaps and allocator clones coordinated by a conservative
+	// virtual-time barrier. nil selects the serial legacy path, which is
+	// the zero value and stays bit-for-bit reproducible. See shard.go.
+	sh *shardedState
 
 	// Recompute scratch, reused across steps.
 	ids      []FlowID  // flows handed to the allocator last recompute
@@ -259,7 +268,7 @@ func (e *Engine) CancelFlow(id FlowID) error {
 	if err := e.net.RemoveFlow(id); err != nil {
 		return err
 	}
-	e.completions.Remove(int(id))
+	e.heapRemove(id)
 	e.takeDone(id)
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
@@ -292,7 +301,7 @@ func (e *Engine) Idle() bool {
 // horizon (seconds; use math.Inf(1) for no limit).
 func (e *Engine) Run(horizon float64) error {
 	for !e.Idle() {
-		if err := e.step(horizon); err != nil {
+		if err := e.stepAny(horizon); err != nil {
 			return err
 		}
 	}
@@ -303,11 +312,19 @@ func (e *Engine) Run(horizon float64) error {
 // the horizon passes.
 func (e *Engine) RunUntil(horizon float64, pred func() bool) error {
 	for !e.Idle() && !pred() {
-		if err := e.step(horizon); err != nil {
+		if err := e.stepAny(horizon); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// stepAny dispatches one event iteration to the serial or sharded loop.
+func (e *Engine) stepAny(horizon float64) error {
+	if e.sh != nil {
+		return e.stepSharded(horizon)
+	}
+	return e.step(horizon)
 }
 
 // step performs one event iteration: reallocate if needed, advance to the
@@ -540,12 +557,12 @@ func (e *Engine) reproject(now float64) {
 		}
 		f.lastSet = now
 		if f.Rate > 0 {
-			e.completions.Fix(int(id), now+f.Remaining/f.Rate)
+			e.heapFix(id, now+f.Remaining/f.Rate)
 		} else {
-			e.completions.Remove(int(id))
+			e.heapRemove(id)
 		}
 	}
-	e.tel.heapSize.Set(float64(e.completions.Len()))
+	e.tel.heapSize.Set(float64(e.heapLen()))
 }
 
 func (e *Engine) clearSeeds() {

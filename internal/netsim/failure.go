@@ -147,7 +147,7 @@ func (e *Engine) disrupt(id FlowID) {
 	}
 	f.lastSet = now
 	f.Rate = 0
-	e.completions.Remove(int(id))
+	e.heapRemove(id)
 	e.seedLinks = append(e.seedLinks, f.Path...)
 	e.net.detach(f, id)
 	e.seedFlows = append(e.seedFlows, id)

@@ -48,9 +48,9 @@ func TestDifferentialWithFlaps(t *testing.T) {
 				fullReg := telemetry.NewRegistry()
 				scopedReg := telemetry.NewRegistry()
 				replayReg := telemetry.NewRegistry()
-				want := runDifferentialScenario(t, name, seed, true, fullReg, true)
-				got := runDifferentialScenario(t, name, seed, false, scopedReg, true)
-				again := runDifferentialScenario(t, name, seed, false, replayReg, true)
+				want := runDifferentialScenario(t, name, seed, true, fullReg, true, 0)
+				got := runDifferentialScenario(t, name, seed, false, scopedReg, true, 0)
+				again := runDifferentialScenario(t, name, seed, false, replayReg, true, 0)
 				if len(want) != len(got) || len(want) != len(again) {
 					t.Fatalf("seed %d: admission counts differ: full %d, scoped %d, replay %d",
 						seed, len(want), len(got), len(again))

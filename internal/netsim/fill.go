@@ -93,6 +93,23 @@ func NewFiller(net *Network) *Filler {
 	}
 }
 
+// cloneEmpty returns a fresh Filler with the same link-count sizing and
+// no shared state — the per-shard scratch the sharded engine hands each
+// allocator clone (shard.go). Capacities start zero; every use begins
+// with Reset/ResetFor, which initializes exactly the links a run reads.
+func (fl *Filler) cloneEmpty() *Filler {
+	nl := len(fl.capRem)
+	return &Filler{
+		capRem:  make([]float64, nl),
+		sumW:    make([]float64, nl),
+		cnt:     make([][]int32, nl),
+		cntFlat: make([]int32, nl),
+		inRun:   make([]bool, nl),
+		tidx:    make([]int32, nl),
+		mark:    make([]int64, nl),
+	}
+}
+
 // Reset initializes remaining capacities from the network (honoring
 // overrides). Call once per allocation epoch, before the first Run.
 func (fl *Filler) Reset(net *Network) {

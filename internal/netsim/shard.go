@@ -1,0 +1,555 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"saba/internal/sim"
+	"saba/internal/topology"
+)
+
+// This file implements the sharded event loop: the engine split by
+// fabric partition into per-pod shards, each owning a completion heap
+// and (when the discipline supports it) an allocator clone, coordinated
+// by a conservative virtual-time barrier. Every round, shards propose
+// their earliest projected completion, the coordinator advances the
+// clock to the minimum across shards and timers, and the shards'
+// intra-pod work — component allocation, due-completion collection —
+// runs concurrently. The loop is bit-for-bit identical to the serial
+// engine; DESIGN.md §13 carries the determinism argument, and the
+// differential gate asserts it for all six allocators including under
+// link-flap schedules.
+
+// dueCand is one completion candidate popped during due collection: the
+// flow and the heap key it carried when popped.
+type dueCand struct {
+	at float64
+	id int
+}
+
+// engineShard is one per-partition event shard.
+type engineShard struct {
+	completions sim.IndexedHeap
+	alloc       Allocator // per-shard clone; nil while the union path is in force
+	comps       []int     // component indices assigned this recompute
+	cands       []dueCand // due-collection candidates this round
+	stopAt      float64   // first (key, id) that failed the due predicate;
+	stopID      int       // +Inf when the shard's heap was exhausted
+	declined    bool      // a clone declined AllocateScoped this recompute
+}
+
+// shardedState is the coordinator side of the sharded engine.
+type shardedState struct {
+	part    *topology.Partition
+	barrier *sim.Barrier
+	shards  []*engineShard
+
+	clonedFrom Allocator // allocator the clones were derived from
+	clones     bool      // clones usable: component-parallel allocation on
+
+	compOff []int     // e.ids[compOff[c]:compOff[c+1]] = component c (ascending)
+	merged  []dueCand // cross-shard due merge scratch
+	busy    []int     // shard indices with work in the current phase
+}
+
+// SetShards splits the engine into n per-partition event shards
+// coordinated by a conservative virtual-time barrier. n <= 1 restores
+// the serial legacy path (the zero value); n < 0 derives one shard per
+// fabric partition of the topology. Safe to call between steps, even
+// mid-run: projected completions migrate to their owning heaps. Flow
+// ownership is the fabric partition of the flow's source host folded
+// onto the shard count, so any n >= 2 is valid on any topology.
+func (e *Engine) SetShards(n int) {
+	part := e.net.Topology().Partition()
+	if n < 0 {
+		n = part.NumParts()
+	}
+	if n <= 1 {
+		if e.sh == nil {
+			return
+		}
+		old := e.sh
+		e.sh = nil
+		for _, s := range old.shards {
+			drainHeap(&s.completions, &e.completions)
+		}
+		return
+	}
+	old := e.sh
+	sh := &shardedState{
+		part:    part,
+		barrier: sim.NewBarrier(n),
+		shards:  make([]*engineShard, n),
+	}
+	for i := range sh.shards {
+		sh.shards[i] = &engineShard{}
+	}
+	e.sh = sh // homeOf consults e.sh
+	if old != nil {
+		for _, s := range old.shards {
+			e.redistribute(&s.completions)
+		}
+	} else {
+		e.redistribute(&e.completions)
+	}
+}
+
+// Shards returns the number of event shards (1 = serial path).
+func (e *Engine) Shards() int {
+	if e.sh == nil {
+		return 1
+	}
+	return len(e.sh.shards)
+}
+
+// drainHeap pops every entry of src into dst, preserving keys.
+func drainHeap(src, dst *sim.IndexedHeap) {
+	for {
+		at, id, ok := src.Min()
+		if !ok {
+			return
+		}
+		src.Pop()
+		dst.Fix(id, at)
+	}
+}
+
+// redistribute moves every entry of src onto its owner's shard heap.
+func (e *Engine) redistribute(src *sim.IndexedHeap) {
+	for {
+		at, id, ok := src.Min()
+		if !ok {
+			return
+		}
+		src.Pop()
+		e.sh.shards[e.homeOf(FlowID(id))].completions.Fix(id, at)
+	}
+}
+
+// homeOf maps a flow to its owning shard: the fabric partition of its
+// source host, folded onto the shard count. Src is immutable for the
+// life of a FlowID slot, so ownership never moves while a flow is
+// active — reroutes and stalls keep a flow on its home heap, and the
+// FlowID-recycling free list never changes a slot's owner mid-flight.
+func (e *Engine) homeOf(id FlowID) int {
+	p := int(e.sh.part.OfNode(e.net.flows[id].Src))
+	if p < 0 {
+		p = 0 // defensive: sources are hosts, never spine-layer nodes
+	}
+	return p % len(e.sh.shards)
+}
+
+// heapFix (re)keys a flow's projected completion on the owning heap —
+// the serial heap, or the flow's home shard heap in sharded mode. All
+// heap traffic outside the two step loops (reproject, cancel, link
+// failures) goes through these two helpers so both modes share the
+// recompute and fault machinery.
+func (e *Engine) heapFix(id FlowID, key float64) {
+	if e.sh != nil {
+		e.sh.shards[e.homeOf(id)].completions.Fix(int(id), key)
+		return
+	}
+	e.completions.Fix(int(id), key)
+}
+
+// heapRemove drops a flow's projection from the owning heap.
+func (e *Engine) heapRemove(id FlowID) {
+	if e.sh != nil {
+		e.sh.shards[e.homeOf(id)].completions.Remove(int(id))
+		return
+	}
+	e.completions.Remove(int(id))
+}
+
+// heapLen is the total number of projected completions across heaps.
+func (e *Engine) heapLen() int {
+	if e.sh == nil {
+		return e.completions.Len()
+	}
+	n := 0
+	for _, s := range e.sh.shards {
+		n += s.completions.Len()
+	}
+	return n
+}
+
+// runPhase invokes fn for every listed shard — concurrently when more
+// than one has work. Goroutines are spawned per phase rather than
+// parked per shard: the engine has no shutdown hook, and a goroutine
+// blocked on a channel per shard would outlive the run.
+func (sh *shardedState) runPhase(busy []int, fn func(i int)) {
+	if len(busy) == 0 {
+		return
+	}
+	if len(busy) == 1 {
+		fn(busy[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, i := range busy {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// stepSharded is the barrier-coordinated counterpart of step: shards
+// propose their earliest projected completion, the clock advances to
+// the conservative minimum across shards and timers, and due
+// completions are collected per shard and applied in the serial
+// engine's exact (time, id) order.
+//
+// Event accounting differs deliberately from the serial loop, which
+// counts one netsim.events per loop iteration no matter how many
+// completions the iteration retires in bulk. The sharded loop meters
+// the discrete events themselves — completions retired plus timers
+// fired, minimum one per barrier round — so events/s measures
+// simulation throughput rather than iteration count. The bench cells
+// note the same caveat where the two modes are compared.
+func (e *Engine) stepSharded(horizon float64) error {
+	sh := e.sh
+	if e.dirty {
+		e.recomputeSharded()
+		e.dirty = false
+		e.tel.rateRecomputes.Inc()
+		e.observeUtilization()
+	}
+
+	sh.barrier.Reset()
+	for i, s := range sh.shards {
+		if at, _, ok := s.completions.Min(); ok {
+			sh.barrier.Propose(i, at)
+		}
+	}
+	tNext := sh.barrier.Next()
+	if at, ok := e.events.PeekTime(); ok && at < tNext {
+		tNext = at
+	}
+	if math.IsInf(tNext, 1) {
+		e.tel.events.Inc()
+		if e.net.NumActive() > 0 {
+			return ErrDeadlock
+		}
+		return nil
+	}
+	if tNext > horizon {
+		e.tel.events.Inc()
+		return fmt.Errorf("%w: next event at %gs > horizon %gs", ErrHorizon, tNext, horizon)
+	}
+
+	t0 := e.Now()
+	if err := e.clock.AdvanceTo(tNext); err != nil {
+		e.tel.events.Inc()
+		return err
+	}
+	e.net.now = tNext
+	if e.OnAdvance != nil && tNext > t0 {
+		e.OnAdvance(e, t0, tNext)
+	}
+
+	e.collectDue(tNext)
+	for _, id := range e.done {
+		fn := e.takeDone(id)
+		f, err := e.net.Flow(id)
+		if err != nil {
+			return err
+		}
+		e.tel.flowSeconds.Observe(tNext - f.Start)
+		e.seedLinks = append(e.seedLinks, f.Path...)
+		if err := e.net.RemoveFlow(id); err != nil {
+			return err
+		}
+		e.tel.flowCompletions.Inc()
+		e.dirty = true
+		if fn != nil {
+			fn(e, id)
+		}
+	}
+	completions := len(e.done)
+	if completions > 0 {
+		e.tel.flowsActive.Set(float64(e.net.NumActive()))
+	}
+
+	timers := 0
+	for {
+		at, ok := e.events.PeekTime()
+		if !ok || at > e.Now()+timeSlack {
+			break
+		}
+		ev, _ := e.events.Pop()
+		ev.Fn()
+		timers++
+	}
+	n := completions + timers
+	if n == 0 {
+		n = 1
+	}
+	e.tel.events.Add(uint64(n))
+	return nil
+}
+
+// collectDue gathers every flow due by tNext into e.done in the exact
+// order the serial pop loop would produce. Each shard pops its heap
+// while the due predicate passes and records the first (key, id) that
+// fails; the globally first failure — the lexicographic minimum across
+// shards — is where the serial loop would have stopped, because every
+// element ordered before it passes the predicate (the predicate is
+// intrinsic to the flow, not to pop order). Candidates at or beyond the
+// stop are re-inserted with their original keys (the indexed heap's
+// order is a pure function of (key, id), so the re-insert is observably
+// identical), and the survivors — merged and sorted by (key, id) —
+// reproduce the serial completion sequence, and with it the callback
+// and FlowID-recycling order.
+func (e *Engine) collectDue(tNext float64) {
+	sh := e.sh
+	sh.busy = sh.busy[:0]
+	for i, s := range sh.shards {
+		if s.completions.Len() > 0 {
+			sh.busy = append(sh.busy, i)
+		}
+	}
+	sh.runPhase(sh.busy, func(i int) {
+		s := sh.shards[i]
+		s.cands = s.cands[:0]
+		s.stopAt = math.Inf(1)
+		s.stopID = 0
+		for {
+			at, idInt, ok := s.completions.Min()
+			if !ok {
+				break
+			}
+			f := &e.net.flows[idInt]
+			if at > tNext && f.RemainingAt(tNext) > completionSlack(f) {
+				s.stopAt, s.stopID = at, idInt
+				break
+			}
+			s.completions.Pop()
+			s.cands = append(s.cands, dueCand{at: at, id: idInt})
+		}
+	})
+
+	stopAt, stopID := math.Inf(1), 0
+	for _, i := range sh.busy {
+		s := sh.shards[i]
+		if s.stopAt < stopAt || (s.stopAt == stopAt && s.stopID < stopID) {
+			stopAt, stopID = s.stopAt, s.stopID
+		}
+	}
+	sh.merged = sh.merged[:0]
+	for _, i := range sh.busy {
+		s := sh.shards[i]
+		for _, c := range s.cands {
+			if c.at > stopAt || (c.at == stopAt && c.id >= stopID) {
+				s.completions.Fix(c.id, c.at) // past the serial stop: put back
+				continue
+			}
+			sh.merged = append(sh.merged, c)
+		}
+	}
+	sort.Slice(sh.merged, func(a, b int) bool {
+		x, y := sh.merged[a], sh.merged[b]
+		return x.at < y.at || (x.at == y.at && x.id < y.id)
+	})
+	e.done = e.done[:0]
+	for _, c := range sh.merged {
+		f := &e.net.flows[c.id]
+		f.Remaining = 0
+		f.lastSet = tNext
+		e.done = append(e.done, FlowID(c.id))
+	}
+}
+
+// recomputeSharded routes the dirty components to their owning shards'
+// allocator clones and runs the shards' allocations concurrently. It
+// falls back to the serial recompute — which already routes heap
+// updates through the shard heaps — whenever scoping is off for this
+// round, the allocator cannot be cloned, or a clone declines.
+func (e *Engine) recomputeSharded() {
+	sh := e.sh
+	sh.ensureClones(e.alloc)
+	scoped := !e.full && !e.dirtyAll
+	if !scoped || !sh.clones {
+		e.recompute()
+		return
+	}
+	now := e.clock.Now()
+	e.splitDirty()
+	e.saveOldRates()
+	if len(e.ids) == 0 {
+		// Mirror the serial no-op: shardable disciplines accept an empty
+		// scope without observable side effects, so nothing runs.
+		e.reproject(now)
+		e.clearSeeds()
+		return
+	}
+
+	// Assign each component to the home shard of its lowest flow. A
+	// component may span pods (cross-pod flows couple them through cut
+	// links); ownership by lowest member keeps the assignment
+	// deterministic and every component on exactly one shard.
+	nc := len(sh.compOff) - 1
+	for _, s := range sh.shards {
+		s.comps = s.comps[:0]
+		s.declined = false
+	}
+	sh.busy = sh.busy[:0]
+	for c := 0; c < nc; c++ {
+		home := e.homeOf(e.ids[sh.compOff[c]])
+		s := sh.shards[home]
+		if len(s.comps) == 0 {
+			sh.busy = append(sh.busy, home)
+		}
+		s.comps = append(s.comps, c)
+	}
+	sh.runPhase(sh.busy, func(i int) {
+		s := sh.shards[i]
+		for _, c := range s.comps {
+			comp := e.ids[sh.compOff[c]:sh.compOff[c+1]]
+			if !s.alloc.AllocateScoped(e.net, comp) {
+				s.declined = true
+				return
+			}
+		}
+	})
+	declined := false
+	for _, i := range sh.busy {
+		declined = declined || sh.shards[i].declined
+	}
+	if declined {
+		// A clone declined mid-way (no shardable discipline does today,
+		// but the contract allows it): undo any partial rate writes — the
+		// union's saved rates cover every flow a clone may have touched —
+		// then widen to the full active set exactly like the serial path.
+		for i, id := range e.ids {
+			e.net.flows[id].Rate = e.oldRates[i]
+		}
+		e.ids = e.net.ActiveInto(e.ids[:0])
+		e.saveOldRates()
+		e.alloc.Allocate(e.net)
+	} else {
+		e.tel.scopedRecomputes.Inc()
+		e.tel.dirtyFlows.Add(uint64(len(e.ids)))
+	}
+	e.reproject(now)
+	e.clearSeeds()
+}
+
+// ensureClones (re)derives per-shard allocator clones when the engine's
+// allocator changed since the last recompute. A nil clone marks the
+// allocator (or its current configuration) non-shardable; component
+// allocation then stays on the serial union path while the sharded
+// event loop keeps running.
+func (sh *shardedState) ensureClones(alloc Allocator) {
+	if sh.clonedFrom == alloc {
+		return
+	}
+	sh.clonedFrom = alloc
+	sh.clones = false
+	sa, ok := alloc.(ShardableAllocator)
+	if !ok {
+		for _, s := range sh.shards {
+			s.alloc = nil
+		}
+		return
+	}
+	for _, s := range sh.shards {
+		c := sa.ShardClone()
+		if c == nil {
+			for _, s2 := range sh.shards {
+				s2.alloc = nil
+			}
+			return
+		}
+		s.alloc = c
+	}
+	sh.clones = true
+}
+
+// splitDirty expands the recompute seeds (dirty links and flows)
+// directly into their link-connected components in one traversal: e.ids
+// holds every component's flows contiguously (each sorted ascending)
+// and compOff the boundaries. The expansion rules are dirtyComponent's
+// exactly — inactive seed flows are skipped, detached stalled flows
+// seed their last known path — so the concatenation of the parts is
+// always exactly the union the serial path would compute, without
+// paying a second traversal over it or a union-wide sort (the serial
+// recompute needs the union globally sorted because it hands the whole
+// thing to one AllocateScoped call; here every consumer of e.ids either
+// pairs it positionally with oldRates or slices it per component, and
+// the allocator contract only requires each component ascending).
+//
+// Seed order is deterministic, so discovery order — and with it the
+// component list — is too. Component order across shards is free:
+// components share no links by construction, so AllocateScoped on one
+// is independent of every other, which the concurrent per-shard
+// allocation phase already relies on.
+func (e *Engine) splitDirty() {
+	sh := e.sh
+	e.ids = e.ids[:0]
+	sh.compOff = sh.compOff[:0]
+	e.epoch++
+	ep := e.epoch
+	for len(e.linkSeen) < len(e.net.linkFlows) {
+		e.linkSeen = append(e.linkSeen, 0)
+	}
+	for len(e.flowSeen) < len(e.net.flows) {
+		e.flowSeen = append(e.flowSeen, 0)
+	}
+	// grow drains the link stack into e.ids and closes out the component
+	// that started at start (dropped when the seed reached no flows).
+	grow := func(start int) {
+		for len(e.stack) > 0 {
+			l := e.stack[len(e.stack)-1]
+			e.stack = e.stack[:len(e.stack)-1]
+			for _, fid := range e.net.linkFlows[l] {
+				if e.flowSeen[fid] == ep {
+					continue
+				}
+				e.flowSeen[fid] = ep
+				e.ids = append(e.ids, fid)
+				for _, fl := range e.net.flows[fid].Path {
+					if e.linkSeen[fl] != ep {
+						e.linkSeen[fl] = ep
+						e.stack = append(e.stack, fl)
+					}
+				}
+			}
+		}
+		if len(e.ids) > start {
+			slices.Sort(e.ids[start:])
+			sh.compOff = append(sh.compOff, start)
+		}
+	}
+	for _, l := range e.seedLinks {
+		if e.linkSeen[l] == ep {
+			continue
+		}
+		e.linkSeen[l] = ep
+		e.stack = append(e.stack[:0], l)
+		grow(len(e.ids))
+	}
+	for _, id := range e.seedFlows {
+		f := &e.net.flows[id]
+		if !f.active || e.flowSeen[id] == ep {
+			continue // e.g. admitted then cancelled before this recompute
+		}
+		start := len(e.ids)
+		e.flowSeen[id] = ep
+		e.ids = append(e.ids, id)
+		e.stack = e.stack[:0]
+		for _, l := range f.Path {
+			if e.linkSeen[l] != ep {
+				e.linkSeen[l] = ep
+				e.stack = append(e.stack, l)
+			}
+		}
+		grow(start)
+	}
+	sh.compOff = append(sh.compOff, len(e.ids))
+}

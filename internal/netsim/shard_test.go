@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+// The sharded differential gate: for every allocator, the sharded
+// engine (per-pod heaps, allocator clones, barrier-coordinated due
+// collection) must produce bit-for-bit the completion times of the
+// serial engine — with and without a link-flap schedule, and with a
+// shard count that both matches and exceeds the pod count.
+
+func assertSameVector(t *testing.T, ctx string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: admission counts differ: %d vs %d", ctx, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Errorf("%s admission %d: completion %v (serial) vs %v (sharded); diff %g",
+				ctx, i, want[i], got[i], got[i]-want[i])
+		}
+	}
+}
+
+func TestDifferentialShardedMatchesSerial(t *testing.T) {
+	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia", "decentral"}
+	shardable := map[string]bool{"ideal-maxmin": true, "fecn": true, "wfq": true, "decentral": true}
+	for _, name := range allocators {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			scopedEngaged := false
+			for seed := int64(1); seed <= 3; seed++ {
+				serialReg := telemetry.NewRegistry()
+				shardReg := telemetry.NewRegistry()
+				oddReg := telemetry.NewRegistry()
+				want := runDifferentialScenario(t, name, seed, false, serialReg, false, 0)
+				got := runDifferentialScenario(t, name, seed, false, shardReg, false, -1)
+				// A shard count exceeding the pod count folds ownership via
+				// modulo; the result must not change.
+				odd := runDifferentialScenario(t, name, seed, false, oddReg, false, 5)
+				assertSameVector(t, name, want, got)
+				assertSameVector(t, name+" shards=5", want, odd)
+				if shardReg.Counter("netsim.scoped_recomputes").Value() > 0 {
+					scopedEngaged = true
+				}
+			}
+			if shardable[name] && !scopedEngaged {
+				t.Errorf("%s: sharded mode never ran a scoped recompute", name)
+			}
+			if !shardable[name] && scopedEngaged {
+				t.Errorf("%s: non-shardable allocator reported scoped recomputes", name)
+			}
+		})
+	}
+}
+
+func TestDifferentialShardedWithFlaps(t *testing.T) {
+	allocators := []string{"ideal-maxmin", "fecn", "wfq", "homa", "sincronia", "decentral"}
+	for _, name := range allocators {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				serialReg := telemetry.NewRegistry()
+				shardReg := telemetry.NewRegistry()
+				want := runDifferentialScenario(t, name, seed, false, serialReg, true, 0)
+				got := runDifferentialScenario(t, name, seed, false, shardReg, true, -1)
+				assertSameVector(t, name, want, got)
+				if shardReg.Counter("netsim.link_failures").Value() == 0 {
+					t.Errorf("seed %d: flap schedule failed no links", seed)
+				}
+			}
+		})
+	}
+}
+
+// Sharded mode must also reproduce the FULL-recompute engine exactly:
+// the union fallback path (dirtyAll, non-shardable configurations)
+// shares its code, so one allocator with flaps suffices here.
+func TestDifferentialShardedFullRecompute(t *testing.T) {
+	serialReg := telemetry.NewRegistry()
+	shardReg := telemetry.NewRegistry()
+	want := runDifferentialScenario(t, "ideal-maxmin", 2, true, serialReg, true, 0)
+	got := runDifferentialScenario(t, "ideal-maxmin", 2, true, shardReg, true, -1)
+	assertSameVector(t, "full-recompute", want, got)
+}
+
+// SetShards mid-run migrates projected completions between the serial
+// and shard heaps without disturbing the outcome.
+func TestSetShardsMidRunMigration(t *testing.T) {
+	run := func(reshard bool) []float64 {
+		top := diffFabric(t)
+		net := NewNetwork(top)
+		e := NewEngine(net, NewIdealMaxMin(net))
+		e.SetTelemetry(telemetry.NewRegistry())
+		hosts := top.Hosts()
+		var done []float64
+		for i := 0; i < 24; i++ {
+			i := i
+			src, dst := hosts[i%len(hosts)], hosts[(i*7+3)%len(hosts)]
+			if src == dst {
+				dst = hosts[(i*7+4)%len(hosts)]
+			}
+			done = append(done, -1)
+			at := 0.01 * float64(i)
+			spec := FlowSpec{Src: src, Dst: dst, Bits: float64(6400 + 320*i)}
+			if err := e.At(at, func(e *Engine) {
+				if _, err := e.AddFlow(spec, func(e *Engine, _ FlowID) { done[i] = e.Now() }); err != nil {
+					t.Fatal(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if reshard {
+			// Flip serial → sharded → serial → sharded while flows are in
+			// flight; each flip migrates the projected completions.
+			for i, n := range []int{-1, 1, 3} {
+				n := n
+				if err := e.At(0.05+0.1*float64(i), func(e *Engine) { e.SetShards(n) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.Run(math.Inf(1)); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	want := run(false)
+	got := run(true)
+	assertSameVector(t, "mid-run reshard", want, got)
+}
+
+// Satellite regression: netsim.flows_active and
+// netsim.completion_heap_size carry the per-engine label the
+// utilization gauges got earlier, so two engines running concurrently
+// (sabaexp -parallel) no longer overwrite each other's readings.
+func TestEngineGaugesCarryEngineLabel(t *testing.T) {
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 4, LinkCapacity: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	mk := func(n int) *Engine {
+		net := NewNetwork(top)
+		e := NewEngine(net, NewIdealMaxMin(net))
+		e.SetTelemetry(reg)
+		hosts := top.Hosts()
+		for i := 0; i < n; i++ {
+			if _, err := e.AddFlow(FlowSpec{Src: hosts[i%3], Dst: hosts[3], Bits: 1e9}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	e1, e2 := mk(1), mk(3)
+	if e1.engineID == e2.engineID {
+		t.Fatalf("engines share id %q", e1.engineID)
+	}
+	g1 := reg.Gauge(telemetry.Label("netsim.flows_active", "engine", e1.engineID))
+	g2 := reg.Gauge(telemetry.Label("netsim.flows_active", "engine", e2.engineID))
+	if g1.Value() != 1 || g2.Value() != 3 {
+		t.Errorf("flows_active gauges = %v, %v; want 1, 3 (per-engine, not shared)", g1.Value(), g2.Value())
+	}
+	unlabeled := reg.Gauge("netsim.flows_active")
+	if unlabeled.Value() != 0 {
+		t.Errorf("unlabeled flows_active gauge written: %v", unlabeled.Value())
+	}
+	if err := e1.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	// e1's run projected its one flow: its labeled heap gauge was written
+	// while e2's (and the unlabeled name) never were.
+	h1 := reg.Gauge(telemetry.Label("netsim.completion_heap_size", "engine", e1.engineID))
+	h2 := reg.Gauge(telemetry.Label("netsim.completion_heap_size", "engine", e2.engineID))
+	if h1.Value() != 1 {
+		t.Errorf("e1 heap gauge = %v, want 1 (its single projected flow)", h1.Value())
+	}
+	if h2.Value() != 0 {
+		t.Errorf("e2 heap gauge = %v, want 0 (e2 never stepped)", h2.Value())
+	}
+	if reg.Gauge("netsim.completion_heap_size").Value() != 0 {
+		t.Errorf("unlabeled completion_heap_size gauge written")
+	}
+}
+
+// Partition-aware ownership: every flow lands on the heap of its source
+// pod's shard when the shard count matches the pod count.
+func TestShardOwnershipFollowsSourcePod(t *testing.T) {
+	top := diffFabric(t) // 2 pods
+	part := top.Partition()
+	net := NewNetwork(top)
+	e := NewEngine(net, NewIdealMaxMin(net))
+	e.SetTelemetry(telemetry.NewRegistry())
+	e.SetShards(-1)
+	if e.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2 (one per pod)", e.Shards())
+	}
+	hosts := top.Hosts()
+	var ids []FlowID
+	for i := 0; i < 8; i++ {
+		src, dst := hosts[i], hosts[(i+5)%len(hosts)]
+		id, err := e.AddFlow(FlowSpec{Src: src, Dst: dst, Bits: 1e6}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// One step (up to a timer well before any completion) rates the flows
+	// and projects completions onto the shard heaps.
+	stop := false
+	if err := e.At(1e-6, func(*Engine) { stop = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(math.Inf(1), func() bool { return stop }); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		f, err := e.net.Flow(id)
+		if err != nil {
+			continue // already completed
+		}
+		want := int(part.OfNode(f.Src))
+		if !e.sh.shards[want].completions.Contains(int(id)) {
+			t.Errorf("flow %d (src pod %d) not on its home shard heap", id, want)
+		}
+	}
+}

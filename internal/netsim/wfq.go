@@ -187,6 +187,22 @@ func (w *WFQ) AllocateScoped(net *Network, ids []FlowID) bool {
 	return true
 }
 
+// ShardClone implements ShardableAllocator. Clones share the parent's
+// port-configuration table: the slice is sized to the link count at
+// construction and never grows, and Configure/Deconfigure replace
+// elements in place from serial engine phases only, so clones observe
+// reconfigurations through the shared backing array. The filler and
+// top-up scratch are owned; the configuration counters are shared
+// (Configure only ever runs on the parent).
+func (w *WFQ) ShardClone() Allocator {
+	return &WFQ{
+		filler:            w.filler.cloneEmpty(),
+		ports:             w.ports,
+		portsConfigured:   w.portsConfigured,
+		portsDeconfigured: w.portsDeconfigured,
+	}
+}
+
 // wfqClassifier adapts the port configurations to the Filler. Configured
 // ports expose one fixed-weight class per queue; unconfigured ports
 // expose the flat per-flow class.

@@ -1,0 +1,56 @@
+package sim
+
+import "math"
+
+// Barrier is a conservative virtual-time barrier for a sharded event
+// loop. Each shard proposes the timestamp of its next local event; the
+// coordinator advances the global clock to the minimum proposal and
+// releases every shard whose work falls at (or within slack of) that
+// horizon. Shards with no pending work propose nothing, and a round
+// with no proposals yields +Inf — the caller's deadlock signal.
+//
+// The barrier itself is not concurrency-safe: the coordinator calls
+// Propose from shard collection code that it has already synchronized
+// (each shard owns a distinct slot), and Reset/Next only between
+// phases. This mirrors how sim.Clock leaves locking to the engine.
+type Barrier struct {
+	next []float64
+}
+
+// NewBarrier returns a barrier coordinating n shards.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{next: make([]float64, n)}
+	b.Reset()
+	return b
+}
+
+// Reset clears all proposals. Call once per barrier round.
+func (b *Barrier) Reset() {
+	for i := range b.next {
+		b.next[i] = math.Inf(1)
+	}
+}
+
+// Propose records shard i's next-event time for this round. Proposing
+// more than once keeps the earliest time, so a shard may report both a
+// completion and a timer without ordering concerns.
+func (b *Barrier) Propose(i int, t float64) {
+	if t < b.next[i] {
+		b.next[i] = t
+	}
+}
+
+// Next returns the conservative horizon: the minimum proposed time
+// across shards, or +Inf when no shard proposed (all idle).
+func (b *Barrier) Next() float64 {
+	min := math.Inf(1)
+	for _, t := range b.next {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Shards returns the number of shard slots.
+func (b *Barrier) Shards() int { return len(b.next) }

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBarrierMinAcrossShards(t *testing.T) {
+	b := NewBarrier(3)
+	if got := b.Next(); !math.IsInf(got, 1) {
+		t.Fatalf("empty barrier Next = %v, want +Inf", got)
+	}
+	b.Propose(0, 5.0)
+	b.Propose(2, 3.5)
+	if got := b.Next(); got != 3.5 {
+		t.Fatalf("Next = %v, want 3.5", got)
+	}
+	// A later, earlier proposal from the same shard wins...
+	b.Propose(0, 1.25)
+	if got := b.Next(); got != 1.25 {
+		t.Fatalf("Next = %v, want 1.25", got)
+	}
+	// ...but a later, later one does not displace the earliest.
+	b.Propose(0, 9.0)
+	if got := b.Next(); got != 1.25 {
+		t.Fatalf("Next after late proposal = %v, want 1.25", got)
+	}
+}
+
+func TestBarrierResetClearsRound(t *testing.T) {
+	b := NewBarrier(2)
+	b.Propose(0, 1.0)
+	b.Propose(1, 2.0)
+	b.Reset()
+	if got := b.Next(); !math.IsInf(got, 1) {
+		t.Fatalf("Next after Reset = %v, want +Inf", got)
+	}
+	b.Propose(1, 7.0)
+	if got := b.Next(); got != 7.0 {
+		t.Fatalf("Next = %v, want 7.0", got)
+	}
+	if b.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", b.Shards())
+	}
+}

@@ -38,26 +38,21 @@ func NewSingleSwitch(cfg SingleSwitchConfig) (*Topology, error) {
 
 	var b builder
 	sw := b.addNode(Switch, "sw0", cfg.Queues)
+	b.setPart(sw, 0) // one switch, one partition
 	hosts := make([]NodeID, cfg.Hosts)
 	for i := range hosts {
 		hosts[i] = b.addNode(Host, fmt.Sprintf("h%d", i), cfg.Queues)
+		b.setPart(hosts[i], 0)
 		b.addPair(hosts[i], sw, cfg.LinkCapacity)
 	}
 
-	// Forwarding: hosts send everything to the switch; the switch sends to
-	// the destination's access link.
+	// Forwarding: hosts send everything up their single uplink (a default
+	// route — no per-destination entries); the switch sends to the
+	// destination's access link.
 	t := &b.t
-	for _, h := range hosts {
-		t.lft[h] = make(map[NodeID]LinkID, cfg.Hosts-1)
-	}
 	t.lft[sw] = make(map[NodeID]LinkID, cfg.Hosts)
 	for _, h := range hosts {
-		up := t.out[h][0]
-		for _, dst := range hosts {
-			if dst != h {
-				t.lft[h][dst] = up
-			}
-		}
+		t.defRoute[h] = t.out[h][0]
 		// Switch's port toward h is the link whose To == h.
 		for _, l := range t.out[sw] {
 			if t.links[l].To == h {
@@ -141,6 +136,7 @@ func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
 		leaves[p] = make([]NodeID, cfg.LeavesPerPod)
 		for l := range leaves[p] {
 			leaves[p][l] = b.addNode(Switch, fmt.Sprintf("leaf%d-%d", p, l), cfg.Queues)
+			b.setPart(leaves[p][l], int32(p))
 			for _, sp := range planes[l] {
 				b.addPair(leaves[p][l], sp, cfg.LinkCapacity)
 			}
@@ -149,6 +145,7 @@ func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
 		hosts[p] = make([][]NodeID, cfg.ToRsPerPod)
 		for r := range tors[p] {
 			tors[p][r] = b.addNode(Switch, fmt.Sprintf("tor%d-%d", p, r), cfg.Queues)
+			b.setPart(tors[p][r], int32(p))
 			for l := range leaves[p] {
 				b.addPair(tors[p][r], leaves[p][l], cfg.LinkCapacity)
 			}
@@ -156,6 +153,7 @@ func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
 			for h := range hosts[p][r] {
 				id := b.addNode(Host, fmt.Sprintf("h%d-%d-%d", p, r, h), cfg.Queues)
 				hosts[p][r][h] = id
+				b.setPart(id, int32(p))
 				b.addPair(id, tors[p][r], cfg.LinkCapacity)
 			}
 		}
@@ -171,8 +169,16 @@ func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
 		}
 	}
 
-	// Populate LFTs for every destination host.
+	// Populate LFTs for every destination host. Hosts get a default route
+	// up their single access link instead of per-destination entries —
+	// without that compression table construction is O(hosts²), which is
+	// what previously capped the buildable fabric size well below the
+	// hyperscale (10k+ host) configurations.
 	for i := range t.lft {
+		if t.nodes[i].Kind == Host {
+			t.defRoute[i] = t.out[i][0]
+			continue
+		}
 		t.lft[NodeID(i)] = make(map[NodeID]LinkID)
 	}
 	for p := 0; p < cfg.Pods; p++ {
@@ -181,16 +187,6 @@ func NewSpineLeaf(cfg SpineLeafConfig) (*Topology, error) {
 				dstToR := tors[p][r]
 				plane := int(hashDst(dst, 0x5aba)) % cfg.LeavesPerPod
 
-				// Hosts: single uplink to their ToR.
-				for hp := 0; hp < cfg.Pods; hp++ {
-					for hr := 0; hr < cfg.ToRsPerPod; hr++ {
-						for _, src := range hosts[hp][hr] {
-							if src != dst {
-								t.lft[src][dst] = linkTo[src][tors[hp][hr]]
-							}
-						}
-					}
-				}
 				// Destination ToR: down to the host.
 				t.lft[dstToR][dst] = linkTo[dstToR][dst]
 

@@ -72,6 +72,20 @@ type Topology struct {
 	hosts []NodeID
 	sws   []NodeID
 
+	// defRoute[node] is the forwarding entry used for any destination the
+	// node's LFT has no explicit entry for, or -1. Hosts have exactly one
+	// uplink, so builders install it here instead of materializing one LFT
+	// entry per (host, destination) pair — that compression is what keeps
+	// table construction O(switches × hosts) rather than O(hosts²) and
+	// makes the 10k+ host hyperscale fabrics buildable.
+	defRoute []LinkID
+
+	// partOf[node] is the fabric partition (pod) a node belongs to, or
+	// GlobalPart for nodes shared by every pod (the spine layer). Builders
+	// that have a pod structure annotate it; an empty slice means the
+	// topology has no partitioning and Partition() collapses to one part.
+	partOf []int32
+
 	// Failure state. down is nil until the first failure, so a topology
 	// that never fails pays nothing. epoch increments on every liveness
 	// change; readers use it to invalidate derived state.
@@ -98,6 +112,8 @@ func (b *builder) addNode(kind NodeKind, name string, queues int) NodeID {
 	b.t.nodes = append(b.t.nodes, Node{ID: id, Kind: kind, Name: name, Queues: queues})
 	b.t.out = append(b.t.out, nil)
 	b.t.lft = append(b.t.lft, nil)
+	b.t.partOf = append(b.t.partOf, GlobalPart)
+	b.t.defRoute = append(b.t.defRoute, -1)
 	if kind == Host {
 		b.t.hosts = append(b.t.hosts, id)
 	} else {
@@ -105,6 +121,9 @@ func (b *builder) addNode(kind NodeKind, name string, queues int) NodeID {
 	}
 	return id
 }
+
+// setPart annotates a node's fabric partition (pod).
+func (b *builder) setPart(id NodeID, part int32) { b.t.partOf[id] = part }
 
 // addPair adds both directions of a physical cable.
 func (b *builder) addPair(a, c NodeID, capacity float64) (LinkID, LinkID) {
@@ -211,13 +230,19 @@ func (t *Topology) Route(src, dst NodeID) ([]LinkID, error) {
 }
 
 // routeLFT walks the forwarding tables hop by hop, ignoring liveness.
+// Nodes with no explicit entry for dst fall back to their default route
+// (hosts: the single uplink).
 func (t *Topology) routeLFT(src, dst NodeID) ([]LinkID, error) {
 	var path []LinkID
 	cur := src
 	for cur != dst {
 		next, ok := t.lft[cur][dst]
 		if !ok {
-			return nil, fmt.Errorf("%w: from %d to %d (stuck at %d)", ErrNoRoute, src, dst, cur)
+			if d := t.defRoute[cur]; d >= 0 {
+				next = d
+			} else {
+				return nil, fmt.Errorf("%w: from %d to %d (stuck at %d)", ErrNoRoute, src, dst, cur)
+			}
 		}
 		path = append(path, next)
 		cur = t.links[next].To
