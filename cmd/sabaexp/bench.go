@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"saba/internal/experiments"
@@ -11,11 +12,29 @@ import (
 	"saba/internal/topology"
 )
 
+// benchHyperscale is the body shared by the FigHyperscale/cpuN matrix
+// cells: the identical seeded workload, so any throughput difference
+// between cells is attributable to the core count alone.
+func benchHyperscale() error {
+	_, err := experiments.FigHyperscale(experiments.HyperscaleConfig{
+		Topology: topology.SpineLeafConfig{
+			Pods: 8, ToRsPerPod: 8, LeavesPerPod: 4, Spines: 4,
+			HostsPerToR: 20, Queues: 16,
+		},
+		Waves: 10, FlowsPerWave: 1024,
+	})
+	return err
+}
+
 // BenchResult is one benchmark's machine-readable outcome. EventsPerSec
 // is the simulator's end-to-end throughput — discrete events processed
-// per wall-clock second — the metric the CI regression gate tracks.
+// per wall-clock second — the metric the CI regression gate tracks. Cpus
+// records the GOMAXPROCS the cell ran under: the regression gate only
+// compares cells whose (name, cpus) both match, so a single-core runner
+// never judges a multi-core baseline row and vice versa.
 type BenchResult struct {
 	Name         string  `json:"name"`
+	Cpus         int     `json:"cpus"`
 	Iterations   int     `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
@@ -36,10 +55,14 @@ type BenchReport struct {
 const maxEventsPerSecDrop = 0.30
 
 // benchEntry is one benchmark: a body plus the telemetry counter whose
-// per-second delta is its throughput metric.
+// per-second delta is its throughput metric. cpus, when positive, pins
+// GOMAXPROCS for the cell's duration (restored afterwards) — the
+// multi-core bench matrix runs the same workload as /cpu1 and /cpu4
+// cells so parallel speedup is measured, not inferred.
 type benchEntry struct {
 	name    string
 	counter string // defaults to the simulator event counter
+	cpus    int    // 0 = run at the ambient GOMAXPROCS
 	fn      func() error
 }
 
@@ -74,17 +97,17 @@ func buildBenchSuite() ([]benchEntry, error) {
 		}},
 		// A reduced-shape FigHyperscale (the 10k-host default belongs to
 		// `-fig hyperscale`, not a bench loop): 1,280 hosts of pod-local
-		// waves through the per-pod sharded event loops.
-		{name: "FigHyperscale", fn: func() error {
-			_, err := experiments.FigHyperscale(experiments.HyperscaleConfig{
-				Topology: topology.SpineLeafConfig{
-					Pods: 8, ToRsPerPod: 8, LeavesPerPod: 4, Spines: 4,
-					HostsPerToR: 20, Queues: 16,
-				},
-				Waves: 10, FlowsPerWave: 1024,
-			})
-			return err
-		}},
+		// waves through the per-pod sharded event loops. Run as a
+		// multi-core matrix — the identical workload pinned to one and to
+		// four schedulable cores — so the persistent shard workers' wall-
+		// clock win (and the single-core overhead of the machinery) are
+		// both tracked. On runners with fewer hardware threads than the
+		// pin, the /cpu4 cell still runs but measures oversubscribed
+		// scheduling, not parallel speedup; the gate's like-for-like
+		// (name, cpus) keying keeps such rows comparable across runs of
+		// the same runner class.
+		{name: "FigHyperscale/cpu1", cpus: 1, fn: benchHyperscale},
+		{name: "FigHyperscale/cpu4", cpus: 4, fn: benchHyperscale},
 		// The churn study at the 5% failure rate exercises the full fault
 		// path (flap injection, disruption, rerouting, reconvergence) so a
 		// regression in any of those layers shows up as lost events/sec.
@@ -149,6 +172,13 @@ func runBenchJSON(outPath, baselinePath string) error {
 			counter = "netsim.events"
 		}
 		events := telemetry.Default.Counter(counter)
+		cpus := bm.cpus
+		prev := 0
+		if cpus > 0 {
+			prev = runtime.GOMAXPROCS(cpus)
+		} else {
+			cpus = runtime.GOMAXPROCS(0)
+		}
 		var benchErr error
 		var evDelta uint64
 		r := testing.Benchmark(func(b *testing.B) {
@@ -162,11 +192,15 @@ func runBenchJSON(outPath, baselinePath string) error {
 			}
 			evDelta = events.Value() - start
 		})
+		if prev > 0 {
+			runtime.GOMAXPROCS(prev) // unpin before the next cell
+		}
 		if benchErr != nil {
 			return fmt.Errorf("bench %s: %w", bm.name, benchErr)
 		}
 		res := BenchResult{
 			Name:        bm.name,
+			Cpus:        cpus,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -211,15 +245,19 @@ func compareBaseline(fresh BenchReport, path string) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("bench baseline %s: %w", path, err)
 	}
+	// Key on (name, cpus): a cell is only judged against a baseline row
+	// measured at the same core count. Rows from baselines predating the
+	// cpus field carry 0 and simply never match — reported, not fatal.
+	key := func(b BenchResult) string { return fmt.Sprintf("%s@cpu%d", b.Name, b.Cpus) }
 	baseBy := map[string]BenchResult{}
 	for _, b := range base.Benchmarks {
-		baseBy[b.Name] = b
+		baseBy[key(b)] = b
 	}
 	var failed bool
 	for _, f := range fresh.Benchmarks {
-		b, ok := baseBy[f.Name]
+		b, ok := baseBy[key(f)]
 		if !ok {
-			fmt.Printf("%s: no baseline entry, skipping comparison\n", f.Name)
+			fmt.Printf("%s (cpus=%d): no like-for-like baseline entry, skipping comparison\n", f.Name, f.Cpus)
 			continue
 		}
 		if b.EventsPerSec <= 0 {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
@@ -34,6 +35,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the final telemetry snapshot as JSON")
 	benchJSON := flag.String("bench-json", "", "run the simulator benchmark suite and write results as JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare fresh bench results against this baseline JSON; exit nonzero on regression")
+	profileDir := flag.String("profile", "", "enable mutex and block profiling and write mutex.pprof/block.pprof to this directory after the run (contention smoke for the sharded engine)")
 	flag.Parse()
 	shardsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -42,9 +44,22 @@ func main() {
 		}
 	})
 	experiments.SetParallelism(*parallel)
+	if *profileDir != "" {
+		// Sample mutex contention (1 in 5 events) and every blocking event
+		// ≥ 1µs: cheap enough to leave on for a whole study, detailed
+		// enough to show a worker-pool latch or barrier gone hot.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(1000)
+	}
 
 	if *benchJSON != "" || *benchBaseline != "" {
-		if err := runBenchJSON(*benchJSON, *benchBaseline); err != nil {
+		err := runBenchJSON(*benchJSON, *benchBaseline)
+		if *profileDir != "" {
+			if perr := writeProfiles(*profileDir); err == nil {
+				err = perr
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "sabaexp:", err)
 			os.Exit(1)
 		}
@@ -57,10 +72,44 @@ func main() {
 			err = merr
 		}
 	}
+	if *profileDir != "" {
+		if perr := writeProfiles(*profileDir); err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sabaexp:", err)
 		os.Exit(1)
 	}
+}
+
+// writeProfiles dumps the accumulated mutex and block profiles — the
+// contention picture of the sharded engine's worker pool and barrier —
+// to dir as pprof files.
+func writeProfiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{"mutex", "block"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(dir, name+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }
 
 // printMetrics dumps the process-wide telemetry snapshot so runs can be

@@ -169,6 +169,11 @@ func runHyperscale(top *topology.Topology, cfg HyperscaleConfig, shards int) (hy
 	if shards > 1 || shards < 0 {
 		e.SetShards(shards)
 	}
+	// The digest callback reads only e.Now() and folds into run-local
+	// state, so the sharded engine may retire pod-local completions in
+	// lookahead windows (the callbacks still fire in serial order at
+	// serial virtual times).
+	e.SetPureCallbacks(true)
 	part := top.Partition()
 	pods := part.NumParts()
 

@@ -72,9 +72,10 @@ func (a *IdealMaxMin) AllocateScoped(net *Network, ids []FlowID) bool {
 }
 
 // ShardClone implements ShardableAllocator: the discipline carries no
-// state beyond Filler scratch, so a clone is just a fresh Filler.
+// state beyond Filler scratch, so a clone is a scoped view of the
+// parent's Filler (shared per-link arrays, owned run scratch).
 func (a *IdealMaxMin) ShardClone() Allocator {
-	return &IdealMaxMin{filler: a.filler.cloneEmpty()}
+	return &IdealMaxMin{filler: a.filler.cloneScoped()}
 }
 
 // DefaultFECNEfficiency is the fraction of a congested link's capacity
@@ -127,7 +128,6 @@ type FECN struct {
 	derCap   []float64
 	linkMark []int64
 	appMark  []int64
-	epoch    int64
 }
 
 // NewFECN creates the baseline allocator with the given efficiency; 0
@@ -176,8 +176,7 @@ func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
 
 	a.derLinks = a.derLinks[:0]
 	a.derCap = a.derCap[:0]
-	a.epoch++
-	runEp := a.epoch
+	runEp := markEpoch.Add(1)
 	for _, id := range ids {
 		f := &net.flows[id]
 		if !f.active {
@@ -195,8 +194,7 @@ func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
 			// queue costs additional goodput (CC oscillation + HOL).
 			c := net.Capacity(l)
 			if c > 0 && len(net.FlowsOn(l)) >= 2 && net.LinkUtilization(l) >= 0.999 {
-				a.epoch++
-				appEp := a.epoch
+				appEp := markEpoch.Add(1)
 				apps := 0
 				for _, fid := range net.FlowsOn(l) {
 					slot := int(net.flows[fid].App) + 1 // NoApp occupies slot 0
@@ -233,16 +231,21 @@ func (a *FECN) AllocateScoped(net *Network, ids []FlowID) bool {
 }
 
 // ShardClone implements ShardableAllocator: per-link derating is a pure
-// function of the flows crossing a link, so clones only need their own
-// filler and scratch. The profile parameters are re-read from src on
-// every allocation (see AllocateScoped).
+// function of the flows crossing a link. The filler and linkMark are
+// shared with the parent (clones allocate on disjoint link-connected
+// components, so per-link element writes never collide, and linkMark
+// freshness is epoch-gated by globally unique markEpoch values);
+// appMark is app-indexed — two clones' components can contain the same
+// application — so it stays clone-owned, as do derLinks/derCap. The
+// profile parameters are re-read from src on every allocation (see
+// AllocateScoped).
 func (a *FECN) ShardClone() Allocator {
 	return &FECN{
 		Efficiency: a.Efficiency,
 		Crowd:      a.Crowd,
 		MinEff:     a.MinEff,
-		filler:     a.filler.cloneEmpty(),
-		linkMark:   make([]int64, len(a.linkMark)),
+		filler:     a.filler.cloneScoped(),
+		linkMark:   a.linkMark,
 		src:        a,
 	}
 }

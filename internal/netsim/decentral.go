@@ -342,8 +342,9 @@ func (d *Decentral) Heartbeat(net *Network, now float64) {
 // pure function of the sorted application set and the shared objective
 // models, so per-clone solution caches stay bit-exact with the parent's
 // — a cache hit and a fresh solve yield the same weights. Clones share
-// objs (written only from serial phases) and the atomic telemetry
-// counters; solution caches, per-link state and scratch are owned, and
+// objs (written only from serial phases), the atomic telemetry
+// counters, and the filler's per-link arrays (cloneScoped); solution
+// caches, per-link solution state and run scratch are owned, and
 // the plain Stats() counters stay clone-local (only the parent's are
 // reported). With a telemetry channel attached the allocator is not
 // shardable — the per-recompute publish sequence must match the serial
@@ -354,7 +355,7 @@ func (d *Decentral) ShardClone() Allocator {
 	}
 	c := &Decentral{
 		par:       d.par,
-		filler:    d.filler.cloneEmpty(),
+		filler:    d.filler.cloneScoped(),
 		objs:      d.objs,
 		sols:      make(map[string]*portSol),
 		linkSol:   make([]*portSol, len(d.linkSol)),

@@ -96,6 +96,9 @@ func runDifferentialScenario(t *testing.T, name string, seed int64, full bool, r
 	e.SetTelemetry(reg)
 	e.SetFullRecompute(full)
 	e.SetShards(shards)
+	// The record callback only reads e.Now() and writes scenario-local
+	// slices, so the sharded runs may use lookahead windows.
+	e.SetPureCallbacks(true)
 
 	rng := rand.New(rand.NewSource(seed))
 	hosts := top.Hosts()

@@ -36,6 +36,8 @@ type engineMetrics struct {
 	flowReroutes     *telemetry.Counter // netsim.flow_reroutes
 	flowStalls       *telemetry.Counter // netsim.flow_stalls
 	flowResumes      *telemetry.Counter // netsim.flow_resumes
+	lookaheadRounds  *telemetry.Counter // netsim.lookahead_rounds
+	lookaheadEvents  *telemetry.Counter // netsim.lookahead_completions
 	flowsActive      *telemetry.Gauge   // netsim.flows_active{engine=...}
 	heapSize         *telemetry.Gauge   // netsim.completion_heap_size{engine=...}
 	flowSeconds      *telemetry.Histogram
@@ -64,6 +66,8 @@ func newEngineMetrics(reg *telemetry.Registry, engineID string) *engineMetrics {
 		flowReroutes:     reg.Counter("netsim.flow_reroutes"),
 		flowStalls:       reg.Counter("netsim.flow_stalls"),
 		flowResumes:      reg.Counter("netsim.flow_resumes"),
+		lookaheadRounds:  reg.Counter("netsim.lookahead_rounds"),
+		lookaheadEvents:  reg.Counter("netsim.lookahead_completions"),
 		flowsActive:      reg.Gauge(telemetry.Label("netsim.flows_active", "engine", engineID)),
 		heapSize:         reg.Gauge(telemetry.Label("netsim.completion_heap_size", "engine", engineID)),
 		flowSeconds:      reg.Histogram("netsim.flow_seconds"),
@@ -136,14 +140,27 @@ type Engine struct {
 	// the zero value and stays bit-for-bit reproducible. See shard.go.
 	sh *shardedState
 
-	// Recompute scratch, reused across steps.
+	// Recompute scratch, reused across steps. epoch is atomic because
+	// the sharded engine's lookahead windows run component traversals
+	// concurrently (per-shard linkSeen arrays, shared flowSeen with
+	// owner-only writes) and draw their epochs from the same counter as
+	// the serial phases; the serial path pays one uncontended atomic add
+	// per recompute.
 	ids      []FlowID  // flows handed to the allocator last recompute
 	oldRates []float64 // parallel to ids: rates before the recompute
 	linkSeen []int64   // epoch marks for the component BFS
 	flowSeen []int64
-	epoch    int64
+	epoch    atomic.Int64
 	stack    []topology.LinkID // BFS worklist
 	done     []FlowID          // completions of the current step
+
+	// Completion-callback accounting for the lookahead gate: windows
+	// reorder when callbacks run relative to other shards' simulation
+	// work, which is only safe when every registered callback is pure
+	// (PureCallbacks) or none is registered at all (onDoneCount == 0).
+	onDoneCount   int
+	pureCallbacks bool
+	poolFinalizer bool // worker-pool cleanup finalizer registered
 
 	// Stalled-flow tracking: flows parked with no live path after a link
 	// failure. stalled may hold stale or duplicate entries (slots recycle);
@@ -185,6 +202,9 @@ func NewEngine(net *Network, alloc Allocator) *Engine {
 // isolate from the process-wide default registry).
 func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 	e.tel = newEngineMetrics(reg, e.engineID)
+	if e.sh != nil {
+		e.bindShardGauges()
+	}
 }
 
 // SetFullRecompute disables (true) or re-enables (false) scoped rate
@@ -229,6 +249,7 @@ func (e *Engine) AddFlow(spec FlowSpec, onDone func(*Engine, FlowID)) (FlowID, e
 	}
 	e.seedFlows = append(e.seedFlows, id)
 	e.registerIfStalled(id)
+	e.noteShardFlow(id, +1)
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
 	return id, nil
@@ -249,6 +270,7 @@ func (e *Engine) AddFlows(specs []FlowSpec, onDone func(*Engine, FlowID)) ([]Flo
 		}
 		e.seedFlows = append(e.seedFlows, id)
 		e.registerIfStalled(id)
+		e.noteShardFlow(id, +1)
 	}
 	e.dirty = true
 	e.tel.flowsActive.Set(float64(e.net.NumActive()))
@@ -265,6 +287,7 @@ func (e *Engine) CancelFlow(id FlowID) error {
 	if f.stalled {
 		e.stalledCount--
 	}
+	e.noteShardFlow(id, -1)
 	if err := e.net.RemoveFlow(id); err != nil {
 		return err
 	}
@@ -420,10 +443,26 @@ func (e *Engine) step(horizon float64) error {
 	return nil
 }
 
+// SetPureCallbacks declares that every completion callback registered
+// with this engine is pure with respect to the simulation: it may read
+// the engine (Now, telemetry) and record results externally, but never
+// adds, cancels, reconfigures, or otherwise mutates engine or network
+// state. The sharded engine uses the promise to run bounded virtual-time
+// lookahead windows: isolated shards retire several completions per
+// barrier round, and the callbacks — though fired in the exact serial
+// order and at the exact serial virtual times — fire after other shards
+// have already simulated past them, which only an effect-free callback
+// cannot observe. Without the promise, lookahead stays off whenever any
+// callback is registered.
+func (e *Engine) SetPureCallbacks(pure bool) { e.pureCallbacks = pure }
+
 // setDone records a completion callback for id.
 func (e *Engine) setDone(id FlowID, fn func(*Engine, FlowID)) {
 	for int(id) >= len(e.onDone) {
 		e.onDone = append(e.onDone, nil)
+	}
+	if e.onDone[id] == nil {
+		e.onDoneCount++
 	}
 	e.onDone[id] = fn
 }
@@ -434,6 +473,9 @@ func (e *Engine) takeDone(id FlowID) func(*Engine, FlowID) {
 		return nil
 	}
 	fn := e.onDone[id]
+	if fn != nil {
+		e.onDoneCount--
+	}
 	e.onDone[id] = nil
 	return fn
 }
@@ -477,8 +519,7 @@ func (e *Engine) recompute() {
 // link-connected components they touch, appended to buf in ascending
 // FlowID order (the order the allocator contract requires).
 func (e *Engine) dirtyComponent(buf []FlowID) []FlowID {
-	e.epoch++
-	ep := e.epoch
+	ep := e.epoch.Add(1)
 	for len(e.linkSeen) < len(e.net.linkFlows) {
 		e.linkSeen = append(e.linkSeen, 0)
 	}
@@ -577,8 +618,7 @@ func (e *Engine) clearSeeds() {
 // is every busy link; under a scoped one, the dirty component's links —
 // the only ones whose utilization can have changed).
 func (e *Engine) observeUtilization() {
-	e.epoch++
-	ep := e.epoch
+	ep := e.epoch.Add(1)
 	for len(e.linkSeen) < len(e.net.linkFlows) {
 		e.linkSeen = append(e.linkSeen, 0)
 	}

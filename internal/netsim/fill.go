@@ -2,9 +2,21 @@ package netsim
 
 import (
 	"math"
+	"sync/atomic"
 
 	"saba/internal/topology"
 )
+
+// markEpoch issues process-unique epochs for the mark-array pattern the
+// allocators use ("was this link/app seen during the current pass?"):
+// a mark array holds the epoch of its last visit and a slot is fresh
+// iff it equals the pass's epoch. Drawing epochs from one global atomic
+// counter makes every pass's epoch unique across all allocator
+// instances and goroutines, which is what lets shard clones share mark
+// arrays (cloneScoped): a stale value written by another clone can
+// never collide with a fresh epoch. Epoch values never influence
+// allocation arithmetic, so global sequencing cannot perturb results.
+var markEpoch atomic.Int64
 
 // LocalRate is the rate assigned to flows whose source and destination are
 // the same host (they never touch the network).
@@ -70,7 +82,6 @@ type Filler struct {
 	cntFlat  []int32   // per link: unfixed-flow count (flat fast path)
 	tidx     []int32   // per link: index into touched (valid while inRun)
 	mark     []int64   // per link: last freeze round that refreshed its key
-	epoch    int64
 	affected []topology.LinkID
 
 	// additive makes fix() add to existing rates instead of overwriting —
@@ -93,20 +104,27 @@ func NewFiller(net *Network) *Filler {
 	}
 }
 
-// cloneEmpty returns a fresh Filler with the same link-count sizing and
-// no shared state — the per-shard scratch the sharded engine hands each
-// allocator clone (shard.go). Capacities start zero; every use begins
-// with Reset/ResetFor, which initializes exactly the links a run reads.
-func (fl *Filler) cloneEmpty() *Filler {
-	nl := len(fl.capRem)
+// cloneScoped returns a Filler for concurrent scoped runs that SHARES
+// the parent's per-link arrays (capRem, sumW, cnt, cntFlat, inRun,
+// tidx, mark) and owns only the per-run compact scratch. Sharing is
+// safe because every concurrent caller operates on a distinct
+// link-connected component — two components share no link by
+// construction, so element writes to the per-link arrays never
+// collide — and pass freshness is tracked through globally unique
+// markEpoch values, so stale marks left by another clone can never
+// alias a live pass. This is what the sharded engine hands each
+// allocator clone (shard.go): clones cost O(1) memory instead of
+// re-allocating (and re-growing) seven link-sized arrays each.
+func (fl *Filler) cloneScoped() *Filler {
 	return &Filler{
-		capRem:  make([]float64, nl),
-		sumW:    make([]float64, nl),
-		cnt:     make([][]int32, nl),
-		cntFlat: make([]int32, nl),
-		inRun:   make([]bool, nl),
-		tidx:    make([]int32, nl),
-		mark:    make([]int64, nl),
+		capRem:   fl.capRem,
+		sumW:     fl.sumW,
+		cnt:      fl.cnt,
+		cntFlat:  fl.cntFlat,
+		inRun:    fl.inRun,
+		tidx:     fl.tidx,
+		mark:     fl.mark,
+		additive: fl.additive,
 	}
 }
 
@@ -238,15 +256,15 @@ func (fl *Filler) Run(net *Network, ids []FlowID, cls Classifier) {
 				fl.freeze = append(fl.freeze, fid)
 			}
 		}
-		fl.epoch++
+		ep := markEpoch.Add(1)
 		fl.affected = fl.affected[:0]
 		for _, fid := range fl.freeze {
 			f := &net.flows[fid]
 			fl.fix(f, best*float64(f.Mult), cls)
 			remaining--
 			for _, l := range f.Path {
-				if fl.mark[l] != fl.epoch {
-					fl.mark[l] = fl.epoch
+				if fl.mark[l] != ep {
+					fl.mark[l] = ep
 					fl.affected = append(fl.affected, l)
 				}
 			}
@@ -342,7 +360,7 @@ func (fl *Filler) runFlat(net *Network, ids []FlowID) {
 				fl.freeze = append(fl.freeze, fid)
 			}
 		}
-		fl.epoch++
+		ep := markEpoch.Add(1)
 		fl.affected = fl.affected[:0]
 		for _, fid := range fl.freeze {
 			f := &net.flows[fid]
@@ -362,8 +380,8 @@ func (fl *Filler) runFlat(net *Network, ids []FlowID) {
 				fl.capRem[l] = r
 				fl.cntFlat[l] -= int32(f.Mult)
 				fl.sumW[l] -= 1 * float64(f.Mult)
-				if fl.mark[l] != fl.epoch {
-					fl.mark[l] = fl.epoch
+				if fl.mark[l] != ep {
+					fl.mark[l] = ep
 					fl.affected = append(fl.affected, l)
 				}
 			}

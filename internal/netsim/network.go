@@ -105,6 +105,19 @@ type Network struct {
 	routeEpoch uint64
 	active     int
 	now        float64 // virtual time, advanced by the Engine
+
+	// Pod-coupling bookkeeping for the sharded engine's lookahead
+	// windows. part caches the topology's static partition view (it is
+	// failure-epoch-invariant but rebuilt on every Topology().Partition()
+	// call); coupled[p] counts the attached flows whose path both crosses
+	// a partition cut and touches partition p. A partition with zero
+	// coupled flows shares no link with any flow of another partition,
+	// which is exactly the isolation the lookahead horizon needs.
+	// partition() seeds the counters from the flows already attached at
+	// first use (SetShards can arrive mid-run); attach/detach maintain
+	// them incrementally from then on.
+	part    *topology.Partition
+	coupled []int32
 }
 
 // NewNetwork creates an empty network over the topology.
@@ -124,6 +137,80 @@ func NewNetwork(top *topology.Topology) *Network {
 
 // Topology returns the underlying static topology.
 func (n *Network) Topology() *topology.Topology { return n.top }
+
+// partition returns the cached partition view, building it — and
+// seeding the pod-coupling counters from every currently attached flow —
+// on first use.
+func (n *Network) partition() *topology.Partition {
+	if n.part == nil {
+		n.part = n.top.Partition()
+		n.coupled = make([]int32, n.part.NumParts())
+		for i := range n.flows {
+			f := &n.flows[i]
+			if f.active {
+				n.noteCoupling(f, +1)
+			}
+		}
+	}
+	return n.part
+}
+
+// noteCoupling adjusts the pod-coupling counters for one attached flow.
+// A flow couples pods only when its path crosses a partition cut; then
+// every partition it touches — via its endpoints or any on-path link —
+// is coupled to flows outside that partition and counts the flow. The
+// counters are a no-op until partition() has run (coupled == nil), so
+// engines that never shard pay nothing but the nil check.
+func (n *Network) noteCoupling(f *Flow, delta int32) {
+	if n.coupled == nil {
+		return
+	}
+	cut := false
+	for _, l := range f.Path {
+		if n.part.IsCut(l) {
+			cut = true
+			break
+		}
+	}
+	if !cut {
+		return
+	}
+	// Paths are a handful of links; dedup the touched partitions with a
+	// tiny fixed-size scan instead of a map.
+	var touched [10]int32
+	nt := 0
+	add := func(p int32) {
+		if p < 0 {
+			return // spine layer owns no shard
+		}
+		for i := 0; i < nt; i++ {
+			if touched[i] == p {
+				return
+			}
+		}
+		if nt < len(touched) {
+			touched[nt] = p
+			nt++
+		}
+	}
+	add(n.part.OfNode(f.Src))
+	add(n.part.OfNode(f.Dst))
+	for _, l := range f.Path {
+		add(n.part.OfLink(l))
+	}
+	for i := 0; i < nt; i++ {
+		n.coupled[touched[i]] += delta
+	}
+}
+
+// podCoupled reports whether partition p currently has any attached flow
+// coupling it to another partition. Valid only after partition().
+func (n *Network) podCoupled(p int32) bool {
+	if p < 0 || int(p) >= len(n.coupled) {
+		return false
+	}
+	return n.coupled[p] != 0
+}
 
 // Now returns the current virtual time as last advanced by the Engine
 // (zero for networks driven directly in tests). Allocators combine it
@@ -192,6 +279,7 @@ func (n *Network) AddFlow(now float64, spec FlowSpec) (FlowID, error) {
 		n.linkFlows[l] = append(n.linkFlows[l], id)
 	}
 	f.pathPos = pathPos
+	n.noteCoupling(f, +1)
 	n.active++
 	return id, nil
 }
@@ -232,6 +320,21 @@ func (n *Network) RemoveFlow(id FlowID) error {
 	return nil
 }
 
+// finishRemoved completes the removal of a flow that was already
+// detached: deactivation, FlowID recycling, the active count. The
+// sharded engine's lookahead windows detach completed flows inside
+// concurrent per-shard phases (each shard owns its pod's links) but
+// must recycle FlowIDs in the globally merged completion order to match
+// the serial engine bit-for-bit, so the free-list push is deferred to
+// the coordinator's apply phase.
+func (n *Network) finishRemoved(id FlowID) {
+	f := &n.flows[id]
+	f.active = false
+	f.stalled = false
+	n.free = append(n.free, id)
+	n.active--
+}
+
 // routeLive returns a path over live links only, memoizing successes. The
 // memo is valid for a single topology liveness epoch: any FailLink/Restore
 // bumps the epoch and the next lookup drops every cached path wholesale.
@@ -256,6 +359,7 @@ func (n *Network) routeLive(src, dst topology.NodeID) ([]topology.LinkID, error)
 // O(path length)) and clears its path. The flow stays active; the caller
 // either deactivates it (RemoveFlow) or re-attaches it on a new path.
 func (n *Network) detach(f *Flow, id FlowID) {
+	n.noteCoupling(f, -1)
 	for k, l := range f.Path {
 		fs := n.linkFlows[l]
 		i := int(f.pathPos[k])
@@ -289,6 +393,7 @@ func (n *Network) attach(f *Flow, id FlowID, path []topology.LinkID) {
 	}
 	f.Path = path
 	f.pathPos = pathPos
+	n.noteCoupling(f, +1)
 }
 
 func (n *Network) flow(id FlowID) (*Flow, error) {

@@ -3,11 +3,12 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
-	"sort"
-	"sync"
+	"strconv"
 
 	"saba/internal/sim"
+	"saba/internal/telemetry"
 	"saba/internal/topology"
 )
 
@@ -17,17 +18,29 @@ import (
 // by a conservative virtual-time barrier. Every round, shards propose
 // their earliest projected completion, the coordinator advances the
 // clock to the minimum across shards and timers, and the shards'
-// intra-pod work — component allocation, due-completion collection —
-// runs concurrently. The loop is bit-for-bit identical to the serial
-// engine; DESIGN.md §13 carries the determinism argument, and the
-// differential gate asserts it for all six allocators including under
-// link-flap schedules.
+// intra-pod work — component allocation, due-completion collection,
+// and bounded lookahead windows (lookahead.go) — runs concurrently on a
+// persistent worker pool (workers.go). The loop is bit-for-bit
+// identical to the serial engine; DESIGN.md §13 carries the determinism
+// argument, and the differential gate asserts it for all six allocators
+// including under link-flap schedules.
 
 // dueCand is one completion candidate popped during due collection: the
 // flow and the heap key it carried when popped.
 type dueCand struct {
 	at float64
 	id int
+}
+
+// retirement is one completion committed inside a lookahead window:
+// the virtual time of the step that retired it (the serial step time),
+// the heap key the flow carried when popped (the serial pop order
+// within a step), and the flow. Sorting merged retirements by
+// (at, key, id) reproduces the serial engine's completion sequence.
+type retirement struct {
+	at  float64
+	key float64
+	id  int
 }
 
 // engineShard is one per-partition event shard.
@@ -39,6 +52,31 @@ type engineShard struct {
 	stopAt      float64   // first (key, id) that failed the due predicate;
 	stopID      int       // +Inf when the shard's heap was exhausted
 	declined    bool      // a clone declined AllocateScoped this recompute
+
+	pods   []int32 // fabric partitions folded onto this shard
+	active int     // active flows homed here (per-shard gauge source)
+
+	// Per-shard labeled gauges, resolved at SetShards/SetTelemetry so
+	// the event loop never does registry lookups (telemetry.Label
+	// allocates). Zeroed when the shard retires (SetShards shrink).
+	gActive *telemetry.Gauge // netsim.flows_active{engine,shard}
+	gHeap   *telemetry.Gauge // netsim.completion_heap_size{engine,shard}
+
+	// Lookahead-window scratch, owned by the shard's worker during a
+	// window phase (lookahead.go). linkSeen is per-shard because window
+	// traversals run concurrently; flow marks live in the engine-shared
+	// flowSeen array, which is safe because an isolated shard's
+	// components reach only its own flows.
+	wIDs      []FlowID
+	wOld      []float64
+	wCompOff  []int
+	wStack    []topology.LinkID
+	linkSeen  []int64
+	seeds     []topology.LinkID
+	retired   []retirement
+	wDeclined bool
+	wRecs     int // window recomputes this round (telemetry, applied merged)
+	wDirty    int // flows re-rated by window recomputes this round
 }
 
 // shardedState is the coordinator side of the sharded engine.
@@ -46,13 +84,40 @@ type shardedState struct {
 	part    *topology.Partition
 	barrier *sim.Barrier
 	shards  []*engineShard
+	workers *shardWorkers // nil when one schedulable slot: phases run inline
 
 	clonedFrom Allocator // allocator the clones were derived from
 	clones     bool      // clones usable: component-parallel allocation on
+	// cloneCache pools derived clone sets per source allocator, so
+	// swapping allocators back and forth (SetAllocator A→B→A) reuses
+	// A's clones — and their internal scratch — instead of rederiving.
+	cloneCache map[Allocator][]Allocator
 
-	compOff []int     // e.ids[compOff[c]:compOff[c+1]] = component c (ascending)
-	merged  []dueCand // cross-shard due merge scratch
-	busy    []int     // shard indices with work in the current phase
+	compOff  []int     // e.ids[compOff[c]:compOff[c+1]] = component c (ascending)
+	merged   []dueCand // cross-shard due merge scratch
+	busy     []int     // shard indices with work in the current phase
+	isolated []bool    // per-shard: no flow couples its pods this round
+	mergedR  []retirement
+
+	// Persistent phase bodies, bound once in SetShards. The hot loop
+	// hands runPhase these instead of fresh closures — a func literal
+	// with captures allocates at every evaluation, and the per-step
+	// due-collection and allocation closures were the last ~11k
+	// allocs/op separating the sharded Fig10 bench from serial. The
+	// per-round parameters travel through dueT / windowH instead of
+	// captures.
+	dueFn    func(int)
+	allocFn  func(int)
+	windowFn func(int)
+	dueT     float64 // collectDue's tNext for the round in flight
+	windowH  float64 // runLookahead's safe horizon for the round in flight
+
+	// lookahead gates the window optimization for this run. It starts
+	// true and latches false if a clone ever declines inside a window
+	// (defensively: no shardable discipline declines today) — the
+	// recovery recompute is rate-correct but not provably bit-exact, so
+	// windows stop rather than compound.
+	lookahead bool
 }
 
 // SetShards splits the engine into n per-partition event shards
@@ -63,7 +128,7 @@ type shardedState struct {
 // ownership is the fabric partition of the flow's source host folded
 // onto the shard count, so any n >= 2 is valid on any topology.
 func (e *Engine) SetShards(n int) {
-	part := e.net.Topology().Partition()
+	part := e.net.partition()
 	if n < 0 {
 		n = part.NumParts()
 	}
@@ -73,27 +138,121 @@ func (e *Engine) SetShards(n int) {
 		}
 		old := e.sh
 		e.sh = nil
+		e.stopShards(old)
 		for _, s := range old.shards {
 			drainHeap(&s.completions, &e.completions)
 		}
+		retireShardGauges(old, 0)
 		return
 	}
 	old := e.sh
 	sh := &shardedState{
-		part:    part,
-		barrier: sim.NewBarrier(n),
-		shards:  make([]*engineShard, n),
+		part:      part,
+		barrier:   sim.NewBarrier(n),
+		shards:    make([]*engineShard, n),
+		isolated:  make([]bool, n),
+		lookahead: true,
 	}
+	shardBuf := make([]engineShard, n) // one block, not n tiny allocations
 	for i := range sh.shards {
-		sh.shards[i] = &engineShard{}
+		shardBuf[i].cands = make([]dueCand, 0, 32)
+		sh.shards[i] = &shardBuf[i]
 	}
+	sh.busy = make([]int, 0, n)
+	sh.merged = make([]dueCand, 0, 64)
+	for p := 0; p < part.NumParts(); p++ {
+		s := sh.shards[p%n]
+		s.pods = append(s.pods, int32(p))
+	}
+	sh.dueFn = e.collectShardDue
+	sh.allocFn = e.allocShardComps
+	sh.windowFn = e.runShardWindow
 	e.sh = sh // homeOf consults e.sh
 	if old != nil {
+		e.stopShards(old)
 		for _, s := range old.shards {
 			e.redistribute(&s.completions)
 		}
+		retireShardGauges(old, 0)
 	} else {
 		e.redistribute(&e.completions)
+	}
+	// Per-shard active counts include stalled and zero-rate flows, which
+	// live on no heap; recount from the network.
+	for i := range e.net.flows {
+		if e.net.flows[i].active {
+			sh.shards[e.homeOf(FlowID(i))].active++
+		}
+	}
+	e.bindShardGauges()
+	if ps := poolSize(n); ps >= 2 {
+		sh.workers = newShardWorkers(ps)
+		// Backstop for engines dropped mid-run without SetShards(1): the
+		// workers reference only the pool (never the engine between
+		// phases), so an abandoned engine becomes unreachable and the
+		// finalizer releases them. Registered once per engine — the
+		// closure reads e.sh at finalization time, so it covers every
+		// later pool too.
+		if !e.poolFinalizer {
+			e.poolFinalizer = true
+			runtime.SetFinalizer(e, func(e *Engine) {
+				if e.sh != nil && e.sh.workers != nil {
+					e.sh.workers.close()
+				}
+			})
+		}
+	}
+}
+
+// stopShards releases a previous sharded state's worker pool.
+func (e *Engine) stopShards(old *shardedState) {
+	if old.workers != nil {
+		old.workers.close()
+		old.workers = nil
+	}
+}
+
+// retireShardGauges drains the per-shard gauges of every shard with
+// index >= keep to zero, so a shard retired by a shrinking SetShards (or
+// a switch to the serial path) does not leak its last reading into the
+// telemetry snapshot forever.
+func retireShardGauges(old *shardedState, keep int) {
+	for i := keep; i < len(old.shards); i++ {
+		s := old.shards[i]
+		if s.gActive != nil {
+			s.gActive.Set(0)
+		}
+		if s.gHeap != nil {
+			s.gHeap.Set(0)
+		}
+	}
+}
+
+// bindShardGauges resolves the per-shard labeled gauges against the
+// engine's current registry and publishes the current readings. Called
+// from SetShards and SetTelemetry.
+func (e *Engine) bindShardGauges() {
+	for i, s := range e.sh.shards {
+		shard := strconv.Itoa(i)
+		s.gActive = e.tel.reg.Gauge(telemetry.Label("netsim.flows_active",
+			"engine", e.tel.engineID, "shard", shard))
+		s.gHeap = e.tel.reg.Gauge(telemetry.Label("netsim.completion_heap_size",
+			"engine", e.tel.engineID, "shard", shard))
+		s.gActive.Set(float64(s.active))
+		s.gHeap.Set(float64(s.completions.Len()))
+	}
+}
+
+// noteShardFlow tracks the per-shard active-flow count as flows are
+// admitted and cancelled outside the step loops.
+func (e *Engine) noteShardFlow(id FlowID, d int) {
+	if e.sh == nil {
+		return
+	}
+	s := e.sh.shards[e.homeOf(id)]
+	s.active += d
+	if s.gActive != nil {
+		s.gActive.Set(float64(s.active))
 	}
 }
 
@@ -149,7 +308,11 @@ func (e *Engine) homeOf(id FlowID) int {
 // recompute and fault machinery.
 func (e *Engine) heapFix(id FlowID, key float64) {
 	if e.sh != nil {
-		e.sh.shards[e.homeOf(id)].completions.Fix(int(id), key)
+		s := e.sh.shards[e.homeOf(id)]
+		s.completions.Fix(int(id), key)
+		if s.gHeap != nil {
+			s.gHeap.Set(float64(s.completions.Len())) // one atomic store
+		}
 		return
 	}
 	e.completions.Fix(int(id), key)
@@ -158,7 +321,11 @@ func (e *Engine) heapFix(id FlowID, key float64) {
 // heapRemove drops a flow's projection from the owning heap.
 func (e *Engine) heapRemove(id FlowID) {
 	if e.sh != nil {
-		e.sh.shards[e.homeOf(id)].completions.Remove(int(id))
+		s := e.sh.shards[e.homeOf(id)]
+		s.completions.Remove(int(id))
+		if s.gHeap != nil {
+			s.gHeap.Set(float64(s.completions.Len()))
+		}
 		return
 	}
 	e.completions.Remove(int(id))
@@ -177,33 +344,22 @@ func (e *Engine) heapLen() int {
 }
 
 // runPhase invokes fn for every listed shard — concurrently when more
-// than one has work. Goroutines are spawned per phase rather than
-// parked per shard: the engine has no shutdown hook, and a goroutine
-// blocked on a channel per shard would outlive the run.
+// than one has work, fanned across the persistent worker pool (inline
+// when the pool is absent: one schedulable core, or a single busy
+// shard).
 func (sh *shardedState) runPhase(busy []int, fn func(i int)) {
-	if len(busy) == 0 {
-		return
-	}
-	if len(busy) == 1 {
-		fn(busy[0])
-		return
-	}
-	var wg sync.WaitGroup
-	for _, i := range busy {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
+	sh.workers.run(busy, fn)
 }
 
 // stepSharded is the barrier-coordinated counterpart of step: shards
 // propose their earliest projected completion, the clock advances to
 // the conservative minimum across shards and timers, and due
 // completions are collected per shard and applied in the serial
-// engine's exact (time, id) order.
+// engine's exact (time, id) order. When the earliest event belongs to a
+// shard whose pods no cross-pod flow touches, the round instead runs
+// bounded lookahead windows (lookahead.go): every such isolated shard
+// advances all its completions below the cross-shard horizon in one
+// barrier round-trip.
 //
 // Event accounting differs deliberately from the serial loop, which
 // counts one netsim.events per loop iteration no matter how many
@@ -222,15 +378,21 @@ func (e *Engine) stepSharded(horizon float64) error {
 	}
 
 	sh.barrier.Reset()
+	tFlow := math.Inf(1)
+	minShard := -1
 	for i, s := range sh.shards {
 		if at, _, ok := s.completions.Min(); ok {
 			sh.barrier.Propose(i, at)
+			if at < tFlow {
+				tFlow, minShard = at, i
+			}
 		}
 	}
-	tNext := sh.barrier.Next()
-	if at, ok := e.events.PeekTime(); ok && at < tNext {
-		tNext = at
+	tEvent := math.Inf(1)
+	if at, ok := e.events.PeekTime(); ok {
+		tEvent = at
 	}
+	tNext := math.Min(tFlow, tEvent)
 	if math.IsInf(tNext, 1) {
 		e.tel.events.Inc()
 		if e.net.NumActive() > 0 {
@@ -241,6 +403,18 @@ func (e *Engine) stepSharded(horizon float64) error {
 	if tNext > horizon {
 		e.tel.events.Inc()
 		return fmt.Errorf("%w: next event at %gs > horizon %gs", ErrHorizon, tNext, horizon)
+	}
+
+	if tFlow < tEvent && minShard >= 0 && e.lookaheadReady() {
+		e.computeIsolation()
+		if sh.isolated[minShard] {
+			h := sh.barrier.HorizonExcept(sh.isolated)
+			h = math.Min(h, tEvent)
+			h = math.Min(h, horizon)
+			if tFlow < h-timeSlack {
+				return e.runLookahead(h)
+			}
+		}
 	}
 
 	t0 := e.Now()
@@ -262,6 +436,7 @@ func (e *Engine) stepSharded(horizon float64) error {
 		}
 		e.tel.flowSeconds.Observe(tNext - f.Start)
 		e.seedLinks = append(e.seedLinks, f.Path...)
+		e.noteShardFlow(id, -1)
 		if err := e.net.RemoveFlow(id); err != nil {
 			return err
 		}
@@ -274,6 +449,12 @@ func (e *Engine) stepSharded(horizon float64) error {
 	completions := len(e.done)
 	if completions > 0 {
 		e.tel.flowsActive.Set(float64(e.net.NumActive()))
+		for _, i := range sh.busy {
+			s := sh.shards[i]
+			if s.gHeap != nil {
+				s.gHeap.Set(float64(s.completions.Len()))
+			}
+		}
 	}
 
 	timers := 0
@@ -306,6 +487,32 @@ func (e *Engine) stepSharded(horizon float64) error {
 // identical), and the survivors — merged and sorted by (key, id) —
 // reproduce the serial completion sequence, and with it the callback
 // and FlowID-recycling order.
+// collectShardDue is the per-shard due-collection phase body (bound to
+// sh.dueFn): pop every projected completion at or before sh.dueT — by
+// the serial engine's slack predicate — into the shard's candidate
+// list, recording the first survivor as the shard's stop marker.
+func (e *Engine) collectShardDue(i int) {
+	sh := e.sh
+	tNext := sh.dueT
+	s := sh.shards[i]
+	s.cands = s.cands[:0]
+	s.stopAt = math.Inf(1)
+	s.stopID = 0
+	for {
+		at, idInt, ok := s.completions.Min()
+		if !ok {
+			break
+		}
+		f := &e.net.flows[idInt]
+		if at > tNext && f.RemainingAt(tNext) > completionSlack(f) {
+			s.stopAt, s.stopID = at, idInt
+			break
+		}
+		s.completions.Pop()
+		s.cands = append(s.cands, dueCand{at: at, id: idInt})
+	}
+}
+
 func (e *Engine) collectDue(tNext float64) {
 	sh := e.sh
 	sh.busy = sh.busy[:0]
@@ -314,25 +521,8 @@ func (e *Engine) collectDue(tNext float64) {
 			sh.busy = append(sh.busy, i)
 		}
 	}
-	sh.runPhase(sh.busy, func(i int) {
-		s := sh.shards[i]
-		s.cands = s.cands[:0]
-		s.stopAt = math.Inf(1)
-		s.stopID = 0
-		for {
-			at, idInt, ok := s.completions.Min()
-			if !ok {
-				break
-			}
-			f := &e.net.flows[idInt]
-			if at > tNext && f.RemainingAt(tNext) > completionSlack(f) {
-				s.stopAt, s.stopID = at, idInt
-				break
-			}
-			s.completions.Pop()
-			s.cands = append(s.cands, dueCand{at: at, id: idInt})
-		}
-	})
+	sh.dueT = tNext
+	sh.runPhase(sh.busy, sh.dueFn)
 
 	stopAt, stopID := math.Inf(1), 0
 	for _, i := range sh.busy {
@@ -352,9 +542,15 @@ func (e *Engine) collectDue(tNext float64) {
 			sh.merged = append(sh.merged, c)
 		}
 	}
-	sort.Slice(sh.merged, func(a, b int) bool {
-		x, y := sh.merged[a], sh.merged[b]
-		return x.at < y.at || (x.at == y.at && x.id < y.id)
+	slices.SortFunc(sh.merged, func(a, b dueCand) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		default:
+			return a.id - b.id
+		}
 	})
 	e.done = e.done[:0]
 	for _, c := range sh.merged {
@@ -370,15 +566,47 @@ func (e *Engine) collectDue(tNext float64) {
 // falls back to the serial recompute — which already routes heap
 // updates through the shard heaps — whenever scoping is off for this
 // round, the allocator cannot be cloned, or a clone declines.
+// allocShardComps is the per-shard allocation phase body (bound to
+// sh.allocFn): run the shard's clone over each component assigned to
+// it this recompute, flagging a decline for the coordinator.
+func (e *Engine) allocShardComps(i int) {
+	sh := e.sh
+	s := sh.shards[i]
+	for _, c := range s.comps {
+		comp := e.ids[sh.compOff[c]:sh.compOff[c+1]]
+		if !s.alloc.AllocateScoped(e.net, comp) {
+			s.declined = true
+			return
+		}
+	}
+}
+
 func (e *Engine) recomputeSharded() {
 	sh := e.sh
-	sh.ensureClones(e.alloc)
 	scoped := !e.full && !e.dirtyAll
+	if scoped {
+		// Clones derive lazily, at the first recompute that can actually
+		// use them: runs that only ever take the union path (full
+		// recomputes, non-shardable disciplines) never pay for them.
+		sh.ensureClones(e.alloc)
+	}
 	if !scoped || !sh.clones {
 		e.recompute()
 		return
 	}
 	now := e.clock.Now()
+	// Pre-size each shard's heap for its active population before the
+	// re-projections below re-key them one Fix at a time. The floor
+	// skips the first few doubling steps of a population growing from
+	// near zero — a handful of kilobytes per shard buys allocation-free
+	// ramp-up in workloads that add flows in waves.
+	for _, s := range sh.shards {
+		n := s.active
+		if n < 256 {
+			n = 256
+		}
+		s.completions.Grow(len(e.net.flows)-1, n)
+	}
 	e.splitDirty()
 	e.saveOldRates()
 	if len(e.ids) == 0 {
@@ -407,16 +635,7 @@ func (e *Engine) recomputeSharded() {
 		}
 		s.comps = append(s.comps, c)
 	}
-	sh.runPhase(sh.busy, func(i int) {
-		s := sh.shards[i]
-		for _, c := range s.comps {
-			comp := e.ids[sh.compOff[c]:sh.compOff[c+1]]
-			if !s.alloc.AllocateScoped(e.net, comp) {
-				s.declined = true
-				return
-			}
-		}
-	})
+	sh.runPhase(sh.busy, sh.allocFn)
 	declined := false
 	for _, i := range sh.busy {
 		declined = declined || sh.shards[i].declined
@@ -441,16 +660,29 @@ func (e *Engine) recomputeSharded() {
 }
 
 // ensureClones (re)derives per-shard allocator clones when the engine's
-// allocator changed since the last recompute. A nil clone marks the
-// allocator (or its current configuration) non-shardable; component
-// allocation then stays on the serial union path while the sharded
-// event loop keeps running.
+// allocator changed since the last recompute, pooling previously
+// derived clone sets so an allocator swapped back in reuses its clones
+// (and their internal caches and scratch) instead of rebuilding them.
+// Without a worker pool the shards simply share the parent allocator. A
+// nil clone marks the allocator (or its current configuration)
+// non-shardable; component allocation then stays on the serial union
+// path while the sharded event loop keeps running. Non-shardable
+// outcomes are deliberately not cached: a configuration change (e.g. a
+// Decentral channel detach) can make the same allocator shardable
+// later.
 func (sh *shardedState) ensureClones(alloc Allocator) {
 	if sh.clonedFrom == alloc {
 		return
 	}
 	sh.clonedFrom = alloc
 	sh.clones = false
+	if cached, ok := sh.cloneCache[alloc]; ok {
+		for i, s := range sh.shards {
+			s.alloc = cached[i]
+		}
+		sh.clones = true
+		return
+	}
 	sa, ok := alloc.(ShardableAllocator)
 	if !ok {
 		for _, s := range sh.shards {
@@ -458,16 +690,43 @@ func (sh *shardedState) ensureClones(alloc Allocator) {
 		}
 		return
 	}
-	for _, s := range sh.shards {
-		c := sa.ShardClone()
-		if c == nil {
-			for _, s2 := range sh.shards {
-				s2.alloc = nil
+	clones := make([]Allocator, len(sh.shards))
+	if sh.workers == nil {
+		// One schedulable slot: phases run inline, one shard after
+		// another on the coordinator goroutine, so every shard can
+		// allocate with the parent itself. A scoped clone shares all
+		// per-link state with the parent anyway — sequentially they are
+		// the same computation — and skipping derivation skips the
+		// per-clone run scratch entirely. Probe shardability once so a
+		// non-shardable configuration still declines to the union path.
+		if sa.ShardClone() == nil {
+			for _, s := range sh.shards {
+				s.alloc = nil
 			}
 			return
 		}
-		s.alloc = c
+		for i := range clones {
+			clones[i] = alloc
+		}
+	} else {
+		for i := range sh.shards {
+			c := sa.ShardClone()
+			if c == nil {
+				for _, s2 := range sh.shards {
+					s2.alloc = nil
+				}
+				return
+			}
+			clones[i] = c
+		}
 	}
+	for i, s := range sh.shards {
+		s.alloc = clones[i]
+	}
+	if sh.cloneCache == nil {
+		sh.cloneCache = map[Allocator][]Allocator{}
+	}
+	sh.cloneCache[alloc] = clones
 	sh.clones = true
 }
 
@@ -493,38 +752,12 @@ func (e *Engine) splitDirty() {
 	sh := e.sh
 	e.ids = e.ids[:0]
 	sh.compOff = sh.compOff[:0]
-	e.epoch++
-	ep := e.epoch
+	ep := e.epoch.Add(1)
 	for len(e.linkSeen) < len(e.net.linkFlows) {
 		e.linkSeen = append(e.linkSeen, 0)
 	}
 	for len(e.flowSeen) < len(e.net.flows) {
 		e.flowSeen = append(e.flowSeen, 0)
-	}
-	// grow drains the link stack into e.ids and closes out the component
-	// that started at start (dropped when the seed reached no flows).
-	grow := func(start int) {
-		for len(e.stack) > 0 {
-			l := e.stack[len(e.stack)-1]
-			e.stack = e.stack[:len(e.stack)-1]
-			for _, fid := range e.net.linkFlows[l] {
-				if e.flowSeen[fid] == ep {
-					continue
-				}
-				e.flowSeen[fid] = ep
-				e.ids = append(e.ids, fid)
-				for _, fl := range e.net.flows[fid].Path {
-					if e.linkSeen[fl] != ep {
-						e.linkSeen[fl] = ep
-						e.stack = append(e.stack, fl)
-					}
-				}
-			}
-		}
-		if len(e.ids) > start {
-			slices.Sort(e.ids[start:])
-			sh.compOff = append(sh.compOff, start)
-		}
 	}
 	for _, l := range e.seedLinks {
 		if e.linkSeen[l] == ep {
@@ -532,7 +765,7 @@ func (e *Engine) splitDirty() {
 		}
 		e.linkSeen[l] = ep
 		e.stack = append(e.stack[:0], l)
-		grow(len(e.ids))
+		e.growComponent(ep, len(e.ids))
 	}
 	for _, id := range e.seedFlows {
 		f := &e.net.flows[id]
@@ -549,7 +782,37 @@ func (e *Engine) splitDirty() {
 				e.stack = append(e.stack, l)
 			}
 		}
-		grow(start)
+		e.growComponent(ep, start)
 	}
 	sh.compOff = append(sh.compOff, len(e.ids))
+}
+
+// growComponent drains the link stack into e.ids and closes out the
+// component that started at start (dropped when the seed reached no
+// flows). A method rather than a closure inside splitDirty: the closure
+// captured locals and escaped, costing one heap allocation per scoped
+// recompute on the hot path.
+func (e *Engine) growComponent(ep int64, start int) {
+	sh := e.sh
+	for len(e.stack) > 0 {
+		l := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		for _, fid := range e.net.linkFlows[l] {
+			if e.flowSeen[fid] == ep {
+				continue
+			}
+			e.flowSeen[fid] = ep
+			e.ids = append(e.ids, fid)
+			for _, fl := range e.net.flows[fid].Path {
+				if e.linkSeen[fl] != ep {
+					e.linkSeen[fl] = ep
+					e.stack = append(e.stack, fl)
+				}
+			}
+		}
+	}
+	if len(e.ids) > start {
+		slices.Sort(e.ids[start:])
+		sh.compOff = append(sh.compOff, start)
+	}
 }

@@ -191,12 +191,13 @@ func (w *WFQ) AllocateScoped(net *Network, ids []FlowID) bool {
 // port-configuration table: the slice is sized to the link count at
 // construction and never grows, and Configure/Deconfigure replace
 // elements in place from serial engine phases only, so clones observe
-// reconfigurations through the shared backing array. The filler and
-// top-up scratch are owned; the configuration counters are shared
+// reconfigurations through the shared backing array. The filler is a
+// scoped view of the parent's (shared per-link arrays, owned run
+// scratch; see cloneScoped); the configuration counters are shared
 // (Configure only ever runs on the parent).
 func (w *WFQ) ShardClone() Allocator {
 	return &WFQ{
-		filler:            w.filler.cloneEmpty(),
+		filler:            w.filler.cloneScoped(),
 		ports:             w.ports,
 		portsConfigured:   w.portsConfigured,
 		portsDeconfigured: w.portsDeconfigured,

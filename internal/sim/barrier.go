@@ -52,5 +52,25 @@ func (b *Barrier) Next() float64 {
 	return min
 }
 
+// HorizonExcept returns the bounded-lookahead horizon for the round:
+// the minimum proposal among shards NOT marked local, or +Inf when every
+// shard with work is local. A shard marked local this round has no
+// cross-shard interaction before its next proposal, so the others may
+// safely advance any event strictly below this horizon without a
+// barrier round-trip — the conservative-lookahead window. local may be
+// shorter than the shard count; missing entries count as not local.
+func (b *Barrier) HorizonExcept(local []bool) float64 {
+	min := math.Inf(1)
+	for i, t := range b.next {
+		if i < len(local) && local[i] {
+			continue
+		}
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
 // Shards returns the number of shard slots.
 func (b *Barrier) Shards() int { return len(b.next) }

@@ -43,3 +43,26 @@ func TestBarrierResetClearsRound(t *testing.T) {
 		t.Fatalf("Shards = %d, want 2", b.Shards())
 	}
 }
+
+func TestBarrierHorizonExcept(t *testing.T) {
+	b := NewBarrier(4)
+	b.Propose(0, 1.0)
+	b.Propose(1, 2.0)
+	b.Propose(2, 3.0)
+	// Shard 3 idle (no proposal).
+	if got := b.HorizonExcept([]bool{true, false, false, false}); got != 2.0 {
+		t.Fatalf("HorizonExcept(skip 0) = %v, want 2.0", got)
+	}
+	if got := b.HorizonExcept([]bool{false, false, false, false}); got != 1.0 {
+		t.Fatalf("HorizonExcept(skip none) = %v, want 1.0", got)
+	}
+	// Every proposing shard local: the horizon is unbounded.
+	if got := b.HorizonExcept([]bool{true, true, true, false}); !math.IsInf(got, 1) {
+		t.Fatalf("HorizonExcept(skip all proposers) = %v, want +Inf", got)
+	}
+	// A local slice shorter than the shard count treats the tail as
+	// non-local.
+	if got := b.HorizonExcept([]bool{true}); got != 2.0 {
+		t.Fatalf("HorizonExcept(short slice) = %v, want 2.0", got)
+	}
+}

@@ -41,6 +41,36 @@ func (h *IndexedHeap) Key(id int) (float64, bool) {
 	return h.key[h.pos[id]-1], true
 }
 
+// Grow pre-sizes the heap for ids up to maxID and n simultaneous
+// entries. A caller that knows its population — the sharded engine
+// re-projecting a shard's active flows — pays one allocation per
+// backing array instead of the append-growth sequence. Lengths are
+// untouched; undersized arguments are a no-op.
+func (h *IndexedHeap) Grow(maxID, n int) {
+	// At-least-doubling keeps a Grow-per-round caller amortized: exact
+	// sizing would reallocate on every round of a steadily growing
+	// population, defeating the point.
+	if need := maxID + 1; need > cap(h.pos) {
+		if c := 2 * cap(h.pos); need < c {
+			need = c
+		}
+		np := make([]int32, len(h.pos), need)
+		copy(np, h.pos)
+		h.pos = np
+	}
+	if n > cap(h.ids) {
+		if c := 2 * cap(h.ids); n < c {
+			n = c
+		}
+		ni := make([]int, len(h.ids), n)
+		copy(ni, h.ids)
+		h.ids = ni
+		nk := make([]float64, len(h.key), n)
+		copy(nk, h.key)
+		h.key = nk
+	}
+}
+
 // Fix inserts id with the given key, or re-keys it if already present,
 // restoring heap order in O(log n).
 func (h *IndexedHeap) Fix(id int, key float64) {

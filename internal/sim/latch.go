@@ -1,0 +1,56 @@
+package sim
+
+import "sync/atomic"
+
+// Latch is a reusable completion latch for phase-structured concurrency:
+// a coordinator arms it for n arrivals, hands work to n workers, and
+// blocks in Wait until the last worker Arrives. Unlike sync.WaitGroup it
+// is allocation-free across reuse and its entire lifecycle is two atomic
+// operations per phase on the worker side plus one channel receive on
+// the coordinator side — the synchronization budget of a persistent
+// shard-worker runtime, where a virtual-time step must cost two sync
+// points (fan-out, fan-in) rather than O(workers) goroutine spawns.
+//
+// The memory-model contract matches WaitGroup's: everything a worker
+// wrote before Arrive happens-before the coordinator's return from
+// Wait. Start must not be called again until Wait has returned, and
+// Start(n) with n <= 0 makes the subsequent Wait a panic — a phase with
+// no remote workers should simply not arm the latch.
+type Latch struct {
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// NewLatch returns an unarmed latch.
+func NewLatch() *Latch {
+	return &Latch{done: make(chan struct{}, 1)}
+}
+
+// Start arms the latch for n arrivals. Panics if n <= 0 or if a prior
+// phase is still in flight (armed but not yet waited out).
+func (l *Latch) Start(n int) {
+	if n <= 0 {
+		panic("sim: Latch.Start with n <= 0")
+	}
+	if !l.pending.CompareAndSwap(0, int32(n)) {
+		panic("sim: Latch.Start while a phase is in flight")
+	}
+}
+
+// Arrive records one worker's completion; the last arrival releases the
+// coordinator. Panics on arrivals beyond the armed count.
+func (l *Latch) Arrive() {
+	n := l.pending.Add(-1)
+	if n < 0 {
+		panic("sim: Latch.Arrive without a matching Start")
+	}
+	if n == 0 {
+		l.done <- struct{}{}
+	}
+}
+
+// Wait blocks until every armed arrival has happened, then disarms the
+// latch for reuse.
+func (l *Latch) Wait() {
+	<-l.done
+}

@@ -25,9 +25,8 @@
 package telemetry
 
 import (
-	"fmt"
 	"math"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -210,23 +209,41 @@ func Label(name string, kv ...string) string {
 	if len(kv)%2 != 0 {
 		kv = append(kv, "")
 	}
-	type pair struct{ k, v string }
-	pairs := make([]pair, 0, len(kv)/2)
-	for i := 0; i+1 < len(kv); i += 2 {
-		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	// Insertion-sort pair offsets on a stack array and append-build the
+	// result: registration-heavy callers (the sharded engine binds two
+	// labeled gauges per shard per engine) would otherwise pay a
+	// sort.Slice closure, a pair slice, and per-pair Fprintf boxing.
+	n := len(kv) / 2
+	var offBuf [8]int
+	off := offBuf[:0]
+	if n > len(offBuf) {
+		off = make([]int, 0, n)
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	var b strings.Builder
-	b.WriteString(name)
-	b.WriteByte('{')
-	for i, p := range pairs {
-		if i > 0 {
-			b.WriteByte(',')
+	for i := 0; i < n; i++ {
+		off = append(off, 2*i)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && kv[off[j]] < kv[off[j-1]]; j-- {
+			off[j], off[j-1] = off[j-1], off[j]
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
 	}
-	b.WriteByte('}')
-	return b.String()
+	size := len(name) + 2
+	for _, s := range kv {
+		size += len(s) + 3
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, name...)
+	buf = append(buf, '{')
+	for i, p := range off {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, kv[p]...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, kv[p+1])
+	}
+	buf = append(buf, '}')
+	return string(buf)
 }
 
 // splitLabels separates a canonical labeled name back into its base name
