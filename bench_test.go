@@ -7,6 +7,7 @@ package saba_test
 
 import (
 	"testing"
+	"time"
 
 	"saba/internal/experiments"
 )
@@ -260,6 +261,23 @@ func BenchmarkAblationComputeStretch(b *testing.B) {
 func BenchmarkAblationBaselineSeverity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationBaselineSeverity(2, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, r)
+	}
+}
+
+// BenchmarkFigOverload runs the arrival-storm admission study at a
+// reduced scale: an open-loop 2x-capacity Poisson storm against the
+// admission-controlled centralized controller on a virtual clock.
+func BenchmarkFigOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FigOverload(experiments.OverloadConfig{
+			Loads:    []float64{2},
+			Duration: 2 * time.Second,
+			Seed:     experiments.DefaultSeed,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

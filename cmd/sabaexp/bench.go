@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
@@ -41,6 +42,10 @@ type BenchResult struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  float64 `json:"events_per_op"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// P99Seconds is an optional latency-tail metric a cell can report
+	// alongside its throughput (the overload cell's enforcement-latency
+	// p99, in virtual seconds). Absent (0) for throughput-only cells.
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_netsim.json.
@@ -64,6 +69,9 @@ type benchEntry struct {
 	counter string // defaults to the simulator event counter
 	cpus    int    // 0 = run at the ambient GOMAXPROCS
 	fn      func() error
+	// p99, when set, is sampled after the cell's final iteration and
+	// recorded as the result's P99Seconds.
+	p99 func() float64
 }
 
 // buildBenchSuite assembles the benchmarks the JSON report covers.
@@ -80,6 +88,7 @@ type benchEntry struct {
 // multi-core runners); parallel vs. parallel+cache isolates the
 // cross-port memoization win.
 func buildBenchSuite() ([]benchEntry, error) {
+	var overloadP99 float64 // captured by the FigOverload cell's last run
 	suite := []benchEntry{
 		{name: "Fig10AtScale", fn: func() error {
 			_, err := experiments.Fig10(experiments.ScaleConfig{})
@@ -123,6 +132,26 @@ func buildBenchSuite() ([]benchEntry, error) {
 			_, err := experiments.FigDrift(experiments.DriftStudyConfig{})
 			return err
 		}},
+		// The overload storm at 2x capacity: open-loop admission, the
+		// degradation ladder and the flush/shed path, metered in arrivals
+		// processed/sec. The cell additionally reports the controller's
+		// enforcement-latency p99 (virtual seconds) so the latency tail is
+		// tracked next to the throughput, not just asserted in tests.
+		{name: "FigOverload", counter: "experiments.overload_ops",
+			fn: func() error {
+				r, err := experiments.FigOverload(experiments.OverloadConfig{
+					Loads:    []float64{2},
+					Duration: 2 * time.Second,
+					Seed:     1,
+				})
+				if err != nil {
+					return err
+				}
+				overloadP99 = r.Cells[0].P99Latency
+				return nil
+			},
+			p99: func() float64 { return overloadP99 },
+		},
 		// One at-scale run under the telemetry-only allocator, measured in
 		// decentralized price-iteration rounds/sec — the controller-free
 		// hot path's cost (per-port AIMD iterations plus signal broadcast),
@@ -209,6 +238,9 @@ func runBenchJSON(outPath, baselinePath string) error {
 		}
 		if s := r.T.Seconds(); s > 0 {
 			res.EventsPerSec = float64(evDelta) / s
+		}
+		if bm.p99 != nil {
+			res.P99Seconds = bm.p99()
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 		fmt.Printf("%s\t%d iters\t%.0f ns/op\t%d allocs/op\t%.0f events/op\t%.0f events/sec\n",

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"saba/internal/experiments"
 	"saba/internal/telemetry"
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,decentral,hyperscale,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a,1b,2,5,6a,6b,6c,8,9a,9b,9c,10,11a,11b,12,churn,drift,decentral,hyperscale,overload,all")
 	setups := flag.Int("setups", 25, "cluster setups for fig 8 (paper: 500)")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "paper-scale parameters for the simulation studies")
@@ -175,6 +176,16 @@ func run(fig string, setups int, seed int64, full bool, out string, shards int, 
 		}},
 		{"decentral", func() error {
 			r, err := experiments.FigDecentral(experiments.DecentralStudyConfig{Scale: scale})
+			return show(r, err)
+		}},
+		{"overload", func() error {
+			cfg := experiments.OverloadConfig{Seed: seed}
+			if full {
+				// Paper-scale storm: a longer horizon and a denser sweep.
+				cfg.Duration = 60 * time.Second
+				cfg.Loads = []float64{0.5, 1, 1.5, 2, 3, 4}
+			}
+			r, err := experiments.FigOverload(cfg)
 			return show(r, err)
 		}},
 		{"hyperscale", func() error {

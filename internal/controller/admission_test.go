@@ -1,0 +1,299 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"saba/internal/netsim"
+	"saba/internal/topology"
+)
+
+// simClock is a virtual clock for admission tests: deadlines and bucket
+// refills advance only when the test says so.
+type simClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newSimClock() *simClock { return &simClock{now: time.Unix(0, 0)} }
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *simClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *simClock) advance(d time.Duration) { c.Sleep(d) }
+
+// rigAdmission builds a controller with admission control on a virtual
+// clock.
+func rigAdmission(t *testing.T, adm AdmissionConfig) (*Centralized, *netsim.WFQ, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 6, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	c, err := NewCentralized(Config{
+		Topology:  top,
+		Table:     testTable(t),
+		Enforcer:  wfq,
+		PLs:       16,
+		Seed:      1,
+		Admission: adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, wfq, top
+}
+
+func TestAdmissionZeroValueDisabled(t *testing.T) {
+	c, _, top := rigController(t, 4, 16)
+	if c.admission != nil {
+		t.Fatal("zero AdmissionConfig must leave admission off")
+	}
+	hosts := top.Hosts()
+	id, _, _ := c.Register("steep")
+	for i := 0; i < 50; i++ {
+		cid, err := c.ConnCreate(id, hosts[0], hosts[1])
+		if err != nil {
+			t.Fatalf("create %d rejected with admission off: %v", i, err)
+		}
+		if err := c.ConnDestroy(cid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.PendingEnforcements() != 0 || c.LadderLevel() != LadderFull {
+		t.Error("disabled admission must report an empty queue at rung 0")
+	}
+}
+
+func TestTenantRateRejectsTyped(t *testing.T) {
+	clk := newSimClock()
+	c, _, top := rigAdmission(t, AdmissionConfig{
+		Enabled:     true,
+		TenantRate:  0.001, // effectively no refill during the test
+		TenantBurst: 2,
+		RetryAfter:  80 * time.Millisecond,
+		Clock:       clk,
+	})
+	hosts := top.Hosts()
+	tid, err := c.RegisterTenant("busy", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.RegisterIn(tid, "steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.ConnCreate(id, hosts[0], hosts[1]); err != nil {
+			t.Fatalf("create %d within burst rejected: %v", i, err)
+		}
+	}
+	_, err = c.ConnCreate(id, hosts[0], hosts[1])
+	re, ok := AsRejected(err)
+	if !ok {
+		t.Fatalf("over-budget create = %v, want RejectedError", err)
+	}
+	if re.Reason != "tenant_rate" {
+		t.Errorf("reason = %q, want tenant_rate", re.Reason)
+	}
+	if re.RetryAfter != 80*time.Millisecond {
+		t.Errorf("retry-after = %v, want 80ms", re.RetryAfter)
+	}
+	if got := c.Conns(); got != 2 {
+		t.Errorf("Conns = %d after rejection, want 2 (rejected create not committed)", got)
+	}
+	// An untenanted app is not subject to the tenant bucket.
+	free, _, _ := c.Register("flat")
+	if _, err := c.ConnCreate(free, hosts[2], hosts[3]); err != nil {
+		t.Errorf("untenanted create hit the tenant bucket: %v", err)
+	}
+}
+
+func TestAsRejectedParsesFlattenedError(t *testing.T) {
+	orig := &RejectedError{Reason: "tenant_rate", RetryAfter: 120 * time.Millisecond}
+	// Simulate the RPC boundary: only the string survives.
+	flat := errors.New("rpc: remote saba.conn_create: " + orig.Error())
+	re, ok := AsRejected(flat)
+	if !ok {
+		t.Fatalf("AsRejected failed on %q", flat)
+	}
+	if re.Reason != orig.Reason || re.RetryAfter != orig.RetryAfter {
+		t.Errorf("parsed %+v, want %+v", re, orig)
+	}
+	if _, ok := AsRejected(errors.New("some other error")); ok {
+		t.Error("AsRejected matched an unrelated error")
+	}
+}
+
+func TestLadderDefersWhenIngressExhausted(t *testing.T) {
+	clk := newSimClock()
+	c, wfq, top := rigAdmission(t, AdmissionConfig{
+		Enabled:      true,
+		IngressRate:  0.001, // no refill during the test
+		IngressBurst: 2,
+		QueueLimit:   8,
+		Clock:        clk,
+	})
+	hosts := top.Hosts()
+	tid, _ := c.RegisterTenant("acme", 0.2)
+	a, _, err := c.RegisterIn(tid, "steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := c.Register("flat")
+	// RegisterTenant consumed one ingress token; one remains: the first
+	// create enforces synchronously, the second defers onto cached plans.
+	if _, err := c.ConnCreate(a, hosts[0], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingEnforcements() != 0 {
+		t.Fatalf("first create deferred, want synchronous (pending=%d)", c.PendingEnforcements())
+	}
+	if _, err := c.ConnCreate(b, hosts[1], hosts[5]); err != nil {
+		t.Fatalf("deferred create errored: %v", err)
+	}
+	if got := c.PendingEnforcements(); got != 1 {
+		t.Fatalf("pending = %d after budget exhausted, want 1", got)
+	}
+	// The shared downlink still runs the first create's plan: one queue
+	// weight set (only app a), not two.
+	path, _ := top.Route(hosts[1], hosts[5])
+	down := path[len(path)-1]
+	before := wfq.Config(down)
+	if before == nil {
+		t.Fatal("shared port lost its pre-storm config")
+	}
+	// Flush within the deadline batches the real solve.
+	clk.advance(10 * time.Millisecond)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingEnforcements(); got != 0 {
+		t.Errorf("pending = %d after Flush, want 0", got)
+	}
+	after := wfq.Config(down)
+	if after == nil {
+		t.Fatal("shared port deconfigured by a within-deadline Flush")
+	}
+	if len(after.Weights) == len(before.Weights) && c.Conns() == 2 && len(after.Weights) < 2 {
+		t.Errorf("Flush did not re-enforce the deferred port: weights %v", after.Weights)
+	}
+}
+
+func TestFlushShedsPastDeadline(t *testing.T) {
+	clk := newSimClock()
+	c, wfq, top := rigAdmission(t, AdmissionConfig{
+		Enabled:       true,
+		IngressRate:   0.001,
+		IngressBurst:  1, // consumed by RegisterTenant below
+		QueueLimit:    8,
+		QueueDeadline: 100 * time.Millisecond,
+		Clock:         clk,
+	})
+	hosts := top.Hosts()
+	tid, _ := c.RegisterTenant("acme", 0.2)
+	a, _, err := c.RegisterIn(tid, "steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnCreate(a, hosts[0], hosts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingEnforcements(); got != 1 {
+		t.Fatalf("pending = %d, want 1 (ingress bucket empty)", got)
+	}
+	clk.advance(time.Second) // blow the deadline
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingEnforcements(); got != 0 {
+		t.Errorf("pending = %d after shed, want 0", got)
+	}
+	// Shed to baseline fair share = the port is deconfigured.
+	path, _ := top.Route(hosts[0], hosts[5])
+	down := path[len(path)-1]
+	if cfg := wfq.Config(down); cfg != nil {
+		t.Errorf("shed port still configured: %+v", cfg)
+	}
+	// A later real enforcement must not be memo-skipped against the shed
+	// state.
+	if _, err := c.RecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := wfq.Config(down); cfg == nil {
+		t.Error("post-shed RecomputeAll left the port unconfigured")
+	}
+}
+
+func TestFairRungShedsImmediately(t *testing.T) {
+	clk := newSimClock()
+	c, _, top := rigAdmission(t, AdmissionConfig{
+		Enabled:      true,
+		IngressRate:  0.001,
+		IngressBurst: 1,
+		QueueLimit:   4,
+		CachedFrac:   0.25,
+		FairFrac:     0.5,
+		Clock:        clk,
+	})
+	hosts := top.Hosts()
+	tid, _ := c.RegisterTenant("acme", 0.2)
+	a, _, err := c.RegisterIn(tid, "steep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue two deferred creates (occupancy 2/4 = FairFrac).
+	for i := 0; i < 2; i++ {
+		if _, err := c.ConnCreate(a, hosts[i], hosts[5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.PendingEnforcements(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	if got := c.LadderLevel(); got != LadderFair {
+		t.Fatalf("ladder level = %d at FairFrac occupancy, want %d", got, LadderFair)
+	}
+	// The next create is admitted but shed straight to fair share: the
+	// queue must not grow.
+	if _, err := c.ConnCreate(a, hosts[2], hosts[5]); err != nil {
+		t.Fatalf("fair-rung create errored: %v", err)
+	}
+	if got := c.PendingEnforcements(); got != 2 {
+		t.Errorf("pending = %d after fair-rung create, want 2 (no growth)", got)
+	}
+	if got := c.Conns(); got != 3 {
+		t.Errorf("Conns = %d, want 3 (fair-rung conn still admitted)", got)
+	}
+}
+
+func TestAdmissionConfigValidation(t *testing.T) {
+	bad := []AdmissionConfig{
+		{Enabled: true, IngressRate: -1},
+		{Enabled: true, QueueLimit: -2},
+		{Enabled: true, CachedFrac: 0.9, FairFrac: 0.5},
+		{Enabled: true, FairFrac: 1.5},
+	}
+	for i, adm := range bad {
+		if err := adm.fill(); err == nil {
+			t.Errorf("bad admission config %d accepted", i)
+		}
+	}
+	var off AdmissionConfig
+	if err := off.fill(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}

@@ -49,9 +49,17 @@ type ctrlMetrics struct {
 	profileRefits    *telemetry.Counter // learned models promoted (learner.go)
 	refitRejected    *telemetry.Counter // refits failing validation or the R² bar
 	profileRollbacks *telemetry.Counter // promoted models rolled back in probation
+	floorLifts       *telemetry.Counter // tenant guarantee water-fill interventions
+	admitRejects     *telemetry.Counter // admission-control rejections (admission.go)
+	admitQueued      *telemetry.Counter // enforcements deferred to the pending queue
+	admitSheds       *telemetry.Counter // pending enforcements shed past deadline
 	apps             *telemetry.Gauge
 	conns            *telemetry.Gauge
 	quarApps         *telemetry.Gauge // apps currently quarantined
+	tenants          *telemetry.Gauge
+	pendingDepth     *telemetry.Gauge     // admission pending-queue occupancy
+	ladderLevel      *telemetry.Gauge     // current degradation-ladder rung (0/1/2)
+	enforceLatency   *telemetry.Histogram // request→enforced latency (admission clock)
 }
 
 func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
@@ -75,9 +83,17 @@ func newCtrlMetrics(reg *telemetry.Registry, deploy string) ctrlMetrics {
 		profileRefits:    reg.Counter(l("controller.profile_refits")),
 		refitRejected:    reg.Counter(l("controller.refit_rejected")),
 		profileRollbacks: reg.Counter(l("controller.profile_rollbacks")),
+		floorLifts:       reg.Counter(l("controller.tenant_floor_lifts")),
+		admitRejects:     reg.Counter(l("controller.admission_rejects")),
+		admitQueued:      reg.Counter(l("controller.admission_queued")),
+		admitSheds:       reg.Counter(l("controller.admission_sheds")),
 		apps:             reg.Gauge(l("controller.apps")),
 		conns:            reg.Gauge(l("controller.conns")),
 		quarApps:         reg.Gauge(l("controller.quarantined_apps")),
+		tenants:          reg.Gauge(l("controller.tenants")),
+		pendingDepth:     reg.Gauge(l("controller.admission_pending")),
+		ladderLevel:      reg.Gauge(l("controller.ladder_level")),
+		enforceLatency:   reg.Histogram(l("controller.enforce_latency_seconds")),
 	}
 }
 
@@ -155,6 +171,16 @@ type Config struct {
 	// watchdog, which also keeps the simulation paths free of wall-clock
 	// reads.
 	ReconvergeDeadline time.Duration
+	// GuaranteeCap bounds the sum of tenant guaranteed minimums the
+	// controller will admit, as a fraction of the Saba budget. 0 selects 1
+	// (the full budget); values in (0,1) hold back headroom so the Eq. 2
+	// solve keeps slack to optimize inside even when every guarantee is
+	// claimed. RegisterTenant returns ErrInfeasible past the cap.
+	GuaranteeCap float64
+	// Admission parameterizes overload protection (see admission.go). The
+	// zero value disables it: no rate limiting, no pending queue, every
+	// enforcement synchronous — the pre-admission behavior.
+	Admission AdmissionConfig
 	// Drift parameterizes the profile-drift quarantine (see quarantine.go).
 	Drift DriftConfig
 	// Telemetry is the registry the controller reports into. nil selects
@@ -188,6 +214,15 @@ func (c *Config) fill() error {
 		// A moderate sensitivity: slowdown 2x at 25% bandwidth.
 		c.DefaultCoeffs = []float64{2.4, -1.87, 0.47}
 	}
+	if c.GuaranteeCap == 0 {
+		c.GuaranteeCap = 1
+	}
+	if c.GuaranteeCap < 0 || c.GuaranteeCap > 1 {
+		return fmt.Errorf("controller: GuaranteeCap %g out of (0,1]", c.GuaranteeCap)
+	}
+	if err := c.Admission.fill(); err != nil {
+		return err
+	}
 	c.Drift.fill()
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default
@@ -202,6 +237,7 @@ type appState struct {
 	coeffs []float64
 	pl     int
 	conns  int
+	tenant TenantID // 0 = untenanted (no guarantee floor)
 }
 
 // connState tracks one connection.
@@ -241,6 +277,19 @@ type Centralized struct {
 	nextApp  AppID
 	nextConn ConnID
 	rng      *rand.Rand
+
+	// tenants is the guarantee layer above apps (tenant.go): each tenant
+	// carries a guaranteed minimum share that solveWeights water-fills
+	// into the Eq. 2 output. tenantByName makes registration idempotent —
+	// the mechanism that keeps a crash-replayed registration storm from
+	// double-counting guarantees.
+	tenants      map[TenantID]*tenantState
+	tenantByName map[string]TenantID
+	nextTenant   TenantID
+
+	// admission is the overload-protection state (admission.go); nil when
+	// disabled.
+	admission *admissionState
 
 	// sols memoizes complete port configurations (Eq. 2 weights plus
 	// PL→queue mapping) per (application set, queue count): many ports
@@ -291,18 +340,23 @@ func NewCentralized(cfg Config) (*Centralized, error) {
 		minQ = 1
 	}
 	tel := newCtrlMetrics(cfg.Telemetry, "centralized")
-	return &Centralized{
-		cfg:       cfg,
-		apps:      map[AppID]*appState{},
-		conns:     map[ConnID]connState{},
-		ports:     map[topology.LinkID]*portState{},
-		minQueues: minQ,
-		nextApp:   1,
-		nextConn:  1,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		sols:      newSolutionCache(tel.solHits, tel.solMisses),
-		tel:       tel,
-	}, nil
+	c := &Centralized{
+		cfg:          cfg,
+		apps:         map[AppID]*appState{},
+		conns:        map[ConnID]connState{},
+		ports:        map[topology.LinkID]*portState{},
+		tenants:      map[TenantID]*tenantState{},
+		tenantByName: map[string]TenantID{},
+		minQueues:    minQ,
+		nextApp:      1,
+		nextConn:     1,
+		nextTenant:   1,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		sols:         newSolutionCache(tel.solHits, tel.solMisses),
+		tel:          tel,
+	}
+	c.admission = newAdmissionState(&c.cfg.Admission, tel)
+	return c, nil
 }
 
 // Errors returned by controller operations.
@@ -318,15 +372,27 @@ var (
 func (c *Centralized) Register(name string) (AppID, int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.registerLocked(name, 0)
+}
+
+// registerLocked admits one application, optionally under a tenant (0 =
+// untenanted), re-clusters, and re-enforces. Caller holds mu.
+func (c *Centralized) registerLocked(name string, tenant TenantID) (AppID, int, error) {
 	coeffs := c.cfg.DefaultCoeffs
 	if e, ok := c.cfg.Table.Get(name); ok {
 		coeffs = e.Coeffs
 	}
 	id := c.nextApp
 	c.nextApp++
-	c.apps[id] = &appState{id: id, name: name, coeffs: coeffs}
+	c.apps[id] = &appState{id: id, name: name, coeffs: coeffs, tenant: tenant}
+	if tenant != 0 {
+		c.tenants[tenant].apps++
+	}
 	if err := c.reclusterLocked(); err != nil {
 		delete(c.apps, id)
+		if tenant != 0 {
+			c.tenants[tenant].apps--
+		}
 		return 0, 0, err
 	}
 	if err := c.enforceAllLocked(); err != nil {
@@ -407,6 +473,11 @@ func (c *Centralized) Deregister(id AppID) error {
 		return fmt.Errorf("%w: %d has %d", ErrHasConns, id, app.conns)
 	}
 	delete(c.apps, id)
+	if app.tenant != 0 {
+		if t := c.tenants[app.tenant]; t != nil {
+			t.apps--
+		}
+	}
 	if c.drift[id] != nil {
 		delete(c.drift, id)
 		c.updateQuarGaugeLocked()
@@ -446,6 +517,9 @@ func (c *Centralized) PL(id AppID) (int, error) {
 // The operation is transactional: if any port's enforcement fails, the
 // port counters are rolled back, the touched ports are re-enforced with
 // their pre-call membership, and no connection state is committed.
+// With admission control enabled the create is first gated through the
+// tenant's rate budget (typed RejectedError on exhaustion) and the
+// enforcement follows the degradation ladder (admission.go).
 func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -453,12 +527,15 @@ func (c *Centralized) ConnCreate(id AppID, src, dst topology.NodeID) (ConnID, er
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
 	}
+	if err := c.admitConnLocked(app.tenant); err != nil {
+		return 0, err
+	}
 	path, err := c.cfg.Topology.Route(src, dst)
 	if err != nil {
 		return 0, fmt.Errorf("controller: path detection: %w", err)
 	}
 	c.addPathLocked(id, path)
-	if err := c.enforcePortsLocked(path); err != nil {
+	if err := c.enforcePathAdmittedLocked(path); err != nil {
 		c.removePathLocked(id, path)
 		c.reenforceBestEffortLocked(path)
 		c.tel.rollbacks.Inc()
@@ -484,7 +561,7 @@ func (c *Centralized) ConnDestroy(cid ConnID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownConn, cid)
 	}
 	c.removePathLocked(conn.app, conn.path)
-	if err := c.enforcePortsLocked(conn.path); err != nil {
+	if err := c.enforcePathAdmittedLocked(conn.path); err != nil {
 		c.addPathLocked(conn.app, conn.path)
 		c.reenforceBestEffortLocked(conn.path)
 		c.tel.rollbacks.Inc()
@@ -860,9 +937,21 @@ func (c *Centralized) weightsFor(ids []AppID, port topology.LinkID) ([]float64, 
 // solveWeights runs Eq. 2 over the (sorted) apps, pinning quarantined
 // applications at the plain fair share CSaba/len(ids) and solving the
 // model-driven optimization over the remainder with the leftover budget.
-// With nothing quarantined (the steady state) this is exactly the
-// original solve. Read-only; safe from plan workers.
+// Tenant guarantee floors are then water-filled into the result
+// (tenant.go); with nothing quarantined and no tenants (the steady
+// state) this is exactly the original solve. Read-only with respect to
+// controller state; safe from plan workers.
 func (c *Centralized) solveWeights(ids []AppID) ([]float64, error) {
+	weights, err := c.solveModelWeights(ids)
+	if err != nil {
+		return nil, err
+	}
+	return c.applyTenantFloors(ids, weights), nil
+}
+
+// solveModelWeights is the pre-tenant Eq. 2 solve with quarantine
+// pinning.
+func (c *Centralized) solveModelWeights(ids []AppID) ([]float64, error) {
 	fair := c.cfg.CSaba / float64(len(ids))
 	nq := 0
 	for _, id := range ids {

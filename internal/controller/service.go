@@ -31,12 +31,24 @@ type SlowdownObserver interface {
 	ObserveSlowdown(id AppID, bwFraction, observed float64) (bool, error)
 }
 
+// TenantRegistrar is the optional API extension for the tenant
+// guarantee layer (tenant.go) and admission control. Centralized
+// implements it; Mesh does not — sharded guarantee accounting needs a
+// consensus the offline-mapping design deliberately avoids.
+type TenantRegistrar interface {
+	// RegisterTenant is idempotent by name (see Centralized.RegisterTenant):
+	// retrying a registration whose reply was lost is always safe.
+	RegisterTenant(name string, min float64) (TenantID, error)
+	RegisterIn(tenant TenantID, name string) (AppID, int, error)
+}
+
 // Statically assert both deployments implement the API, and that the
-// centralized one observes slowdowns.
+// centralized one observes slowdowns and registers tenants.
 var (
 	_ API              = (*Centralized)(nil)
 	_ API              = (*Mesh)(nil)
 	_ SlowdownObserver = (*Centralized)(nil)
+	_ TenantRegistrar  = (*Centralized)(nil)
 )
 
 // RPC method names (the software interface of §6).
@@ -47,11 +59,17 @@ const (
 	MethodConnCreate      = "saba.conn_create"
 	MethodConnDestroy     = "saba.conn_destroy"
 	MethodObserveSlowdown = "saba.observe_slowdown"
+	MethodTenantRegister  = "saba.tenant_register"
+	MethodAppRegisterIn   = "saba.app_register_in"
 )
 
 // ErrNoObserver is returned for observe_slowdown calls against a
 // controller deployment without runtime feedback (Mesh).
 var ErrNoObserver = errors.New("controller: deployment does not support slowdown observation")
+
+// ErrNoTenants is returned for tenant calls against a deployment
+// without the guarantee layer (Mesh).
+var ErrNoTenants = errors.New("controller: deployment does not support tenants")
 
 // Wire formats shared by the service and the Saba library client.
 type (
@@ -106,6 +124,21 @@ type (
 	// allocation (quarantine entry/exit, model promotion or rollback).
 	ObserveReply struct {
 		Changed bool `json:"changed"`
+	}
+	// TenantRegisterArgs requests (idempotent) tenant admission with a
+	// guaranteed minimum share.
+	TenantRegisterArgs struct {
+		Name string  `json:"name"`
+		Min  float64 `json:"min"`
+	}
+	// TenantRegisterReply returns the tenant ID.
+	TenantRegisterReply struct {
+		Tenant TenantID `json:"tenant"`
+	}
+	// RegisterInArgs requests application registration under a tenant.
+	RegisterInArgs struct {
+		Tenant TenantID `json:"tenant"`
+		Name   string   `json:"name"`
 	}
 )
 
@@ -165,6 +198,40 @@ func Serve(srv *rpc.Server, api API) error {
 			return nil, err
 		}
 		return PLReply{App: args.App, PL: pl}, nil
+	}); err != nil {
+		return err
+	}
+	if err := srv.Handle(MethodTenantRegister, func(raw json.RawMessage) (any, error) {
+		var args TenantRegisterArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad tenant_register args: %w", err)
+		}
+		tr, ok := api.(TenantRegistrar)
+		if !ok {
+			return nil, ErrNoTenants
+		}
+		tid, err := tr.RegisterTenant(args.Name, args.Min)
+		if err != nil {
+			return nil, err
+		}
+		return TenantRegisterReply{Tenant: tid}, nil
+	}); err != nil {
+		return err
+	}
+	if err := srv.Handle(MethodAppRegisterIn, func(raw json.RawMessage) (any, error) {
+		var args RegisterInArgs
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return nil, fmt.Errorf("controller: bad app_register_in args: %w", err)
+		}
+		tr, ok := api.(TenantRegistrar)
+		if !ok {
+			return nil, ErrNoTenants
+		}
+		id, pl, err := tr.RegisterIn(args.Tenant, args.Name)
+		if err != nil {
+			return nil, err
+		}
+		return RegisterReply{App: id, PL: pl}, nil
 	}); err != nil {
 		return err
 	}

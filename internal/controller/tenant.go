@@ -1,0 +1,328 @@
+// Tenant layer: the guarantee abstraction above applications (ProNet
+// arXiv 2305.02560, EyeQ arXiv 1405.0631 — predictable tenant-level
+// sharing needs bandwidth minimums plus admission control). A tenant
+// groups applications and carries a guaranteed minimum share of the
+// Saba budget. Guarantees are folded into Eq. 2 work-conservingly: the
+// floor of a tenant with no registered applications in the solved set
+// is not reserved — its budget redistributes to whoever is present —
+// and a present tenant whose Eq. 2 outcome falls below its floor is
+// lifted to exactly the floor by a deterministic water-fill that
+// preserves the intra-tenant ratios the solver chose.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TenantID identifies a registered tenant. 0 is reserved for
+// "untenanted" applications, which receive no floor.
+type TenantID int64
+
+// tenantState tracks one tenant.
+type tenantState struct {
+	id   TenantID
+	name string
+	min  float64 // guaranteed minimum, fraction of the Saba budget
+	apps int     // registered applications under this tenant
+}
+
+// Errors returned by the tenant layer.
+var (
+	ErrUnknownTenant = errors.New("controller: unknown tenant")
+	// ErrTenantMismatch marks a re-registration of an existing tenant name
+	// with a different guarantee: the caller's view of the tenant disagrees
+	// with the controller's, which is never resolved silently.
+	ErrTenantMismatch = errors.New("controller: tenant exists with different guarantee")
+	// ErrInfeasible marks a guarantee the controller cannot admit: the sum
+	// of guaranteed minimums would exceed the feasible capacity cap. The
+	// request is rejected outright — queueing an infeasible guarantee
+	// would only convert an honest "no" into a deferred lie.
+	ErrInfeasible = errors.New("controller: guarantees infeasible")
+)
+
+// guaranteeEps absorbs float accumulation when comparing guarantee sums
+// against the cap.
+const guaranteeEps = 1e-9
+
+// RegisterTenant admits a tenant with a guaranteed minimum share
+// (fraction of the Saba budget, in [0,1)). Registration is idempotent
+// by name: re-registering an existing tenant with the same guarantee
+// returns the original TenantID without re-counting the guarantee —
+// this is what makes a crash-replayed registration storm safe, since a
+// client that never saw its first reply can simply send again. A
+// re-registration with a *different* guarantee fails with
+// ErrTenantMismatch, and a new guarantee that would push the admitted
+// sum past Config.GuaranteeCap fails with ErrInfeasible.
+func (c *Centralized) RegisterTenant(name string, min float64) (TenantID, error) {
+	if name == "" {
+		return 0, errors.New("controller: empty tenant name")
+	}
+	if math.IsNaN(min) || min < 0 || min >= 1 {
+		return 0, fmt.Errorf("controller: tenant %q guarantee %g out of [0,1)", name, min)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tid, ok := c.tenantByName[name]; ok {
+		t := c.tenants[tid]
+		if math.Abs(t.min-min) > 1e-12 {
+			return 0, fmt.Errorf("%w: %q holds %g, requested %g", ErrTenantMismatch, name, t.min, min)
+		}
+		return tid, nil
+	}
+	if err := c.admitTenantLocked(min); err != nil {
+		return 0, err
+	}
+	sum := c.guaranteedSumLocked()
+	if sum+min > c.cfg.GuaranteeCap+guaranteeEps {
+		c.tel.admitRejects.Inc()
+		return 0, fmt.Errorf("%w: Σ minimums %.4g + %.4g exceeds cap %.4g",
+			ErrInfeasible, sum, min, c.cfg.GuaranteeCap)
+	}
+	id := c.nextTenant
+	c.nextTenant++
+	c.tenants[id] = &tenantState{id: id, name: name, min: min}
+	c.tenantByName[name] = id
+	c.tel.tenants.Set(float64(len(c.tenants)))
+	return id, nil
+}
+
+// RegisterIn admits an application under a tenant, so its Eq. 2 weight
+// counts toward the tenant's guaranteed minimum.
+func (c *Centralized) RegisterIn(tenant TenantID, name string) (AppID, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tenants[tenant] == nil {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownTenant, tenant)
+	}
+	return c.registerLocked(name, tenant)
+}
+
+// DeregisterTenant removes a tenant with no remaining applications,
+// releasing its guarantee back to the admissible budget.
+func (c *Centralized) DeregisterTenant(id TenantID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tenants[id]
+	if t == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownTenant, id)
+	}
+	if t.apps > 0 {
+		return fmt.Errorf("controller: tenant %d still has %d applications", id, t.apps)
+	}
+	delete(c.tenants, id)
+	delete(c.tenantByName, t.name)
+	c.tel.tenants.Set(float64(len(c.tenants)))
+	return nil
+}
+
+// TenantOf reports which tenant an application was registered under
+// (0 for untenanted applications).
+func (c *Centralized) TenantOf(id AppID) (TenantID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownApp, id)
+	}
+	return app.tenant, nil
+}
+
+// Tenants returns the registered tenant count.
+func (c *Centralized) Tenants() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tenants)
+}
+
+// GuaranteedSum returns the sum of admitted tenant minimums — the
+// quantity the feasibility check bounds by Config.GuaranteeCap.
+func (c *Centralized) GuaranteedSum() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.guaranteedSumLocked()
+}
+
+func (c *Centralized) guaranteedSumLocked() float64 {
+	var sum float64
+	for _, t := range c.tenants {
+		sum += t.min
+	}
+	return sum
+}
+
+// TenantShares returns each tenant's share of the global Eq. 2 solve
+// (floors applied) — the quantity FigOverload checks against the
+// guarantees. Tenants with no registered applications are absent: their
+// minimums are redistributed, not reserved.
+func (c *Centralized) TenantShares() (map[TenantID]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.apps) == 0 {
+		return map[TenantID]float64{}, nil
+	}
+	global, err := c.globalWeightsLocked()
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, w := range global {
+		total += w
+	}
+	shares := map[TenantID]float64{}
+	if total <= 0 {
+		return shares, nil
+	}
+	for id, w := range global {
+		if t := c.apps[id].tenant; t != 0 {
+			shares[t] += w / total
+		}
+	}
+	return shares, nil
+}
+
+// applyTenantFloors water-fills tenant guaranteed minimums into an
+// Eq. 2 weight vector. Work-conserving by construction: floors are
+// computed only for tenants present in ids, over the weight mass the
+// solver actually produced, so absent tenants' guarantees implicitly
+// redistribute. Deficit tenants are frozen at exactly their floor and
+// everyone else is rescaled into the remaining budget; freezing is
+// monotone (the rescale factor only shrinks), so the loop terminates in
+// at most one round per present tenant. Intra-tenant ratios from the
+// solve are preserved. Mutates and returns weights. Read-only with
+// respect to controller state; safe from plan workers.
+func (c *Centralized) applyTenantFloors(ids []AppID, weights []float64) []float64 {
+	if len(c.tenants) == 0 {
+		return weights
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return weights
+	}
+	type group struct {
+		idx    []int
+		cur    float64
+		floor  float64
+		frozen bool
+	}
+	var order []TenantID
+	byTenant := map[TenantID]*group{}
+	var freeSum float64 // untenanted weight mass (rescalable, no floor)
+	for i, id := range ids {
+		tid := c.apps[id].tenant
+		t := c.tenants[tid]
+		if tid == 0 || t == nil {
+			freeSum += weights[i]
+			continue
+		}
+		g := byTenant[tid]
+		if g == nil {
+			g = &group{floor: t.min * total}
+			byTenant[tid] = g
+			order = append(order, tid)
+		}
+		g.idx = append(g.idx, i)
+		g.cur += weights[i]
+	}
+	if len(order) == 0 {
+		return weights
+	}
+	sortTenantIDs(order)
+	// The admission cap keeps Σ minimums ≤ 1, but guard anyway (a test
+	// can force-load state): floors beyond the budget scale down
+	// proportionally rather than driving the flexible mass negative.
+	var sumFloor float64
+	for _, tid := range order {
+		sumFloor += byTenant[tid].floor
+	}
+	if sumFloor > total {
+		for _, tid := range order {
+			byTenant[tid].floor *= total / sumFloor
+		}
+	}
+	// Find the fixed point of (frozen set, rescale factor). Each round
+	// can only freeze more tenants, so len(order) rounds suffice — plus
+	// one final pass to recompute the scale after the last freeze.
+	scale := 1.0
+	for round := 0; round <= len(order); round++ {
+		var frozenFloor, flexSum float64
+		for _, tid := range order {
+			g := byTenant[tid]
+			if g.frozen {
+				frozenFloor += g.floor
+			} else {
+				flexSum += g.cur
+			}
+		}
+		flexSum += freeSum
+		remain := total - frozenFloor
+		if remain < 0 {
+			remain = 0
+		}
+		if flexSum > 0 {
+			scale = remain / flexSum
+		} else {
+			scale = 0
+		}
+		grew := false
+		for _, tid := range order {
+			g := byTenant[tid]
+			if !g.frozen && g.cur*scale < g.floor*(1-1e-12) {
+				g.frozen = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	anyFrozen := false
+	for _, tid := range order {
+		if byTenant[tid].frozen {
+			anyFrozen = true
+			break
+		}
+	}
+	if !anyFrozen {
+		return weights // every guarantee already met by the plain solve
+	}
+	c.tel.floorLifts.Inc()
+	applied := map[int]bool{}
+	for _, tid := range order {
+		g := byTenant[tid]
+		if !g.frozen {
+			continue
+		}
+		if g.cur > 0 {
+			f := g.floor / g.cur
+			for _, i := range g.idx {
+				weights[i] *= f
+				applied[i] = true
+			}
+		} else {
+			even := g.floor / float64(len(g.idx))
+			for _, i := range g.idx {
+				weights[i] = even
+				applied[i] = true
+			}
+		}
+	}
+	for i := range weights {
+		if !applied[i] {
+			weights[i] *= scale
+		}
+	}
+	return weights
+}
+
+func sortTenantIDs(ids []TenantID) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/faults"
+	"saba/internal/netsim"
+	"saba/internal/sabalib"
+	"saba/internal/topology"
+	"saba/internal/workload"
+)
+
+func TestFigOverloadGuaranteesUnderStorm(t *testing.T) {
+	// The headline acceptance check: at 2x offered load, every admitted
+	// tenant keeps >=95% of its guaranteed minimum, over-budget requests
+	// fail fast and typed, and the enforcement-latency tail stays
+	// bounded by the queue deadline rather than growing with the storm.
+	res, err := FigOverload(OverloadConfig{
+		Hosts:    8,
+		Tenants:  4,
+		Capacity: 200,
+		Loads:    []float64{0.5, 2},
+		Duration: 2 * time.Second,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Offered == 0 {
+			t.Fatalf("load %gx generated no arrivals", c.Load)
+		}
+		if c.Admitted+c.Rejected != c.Offered {
+			t.Errorf("load %gx: admitted %d + rejected %d != offered %d (request lost)",
+				c.Load, c.Admitted, c.Rejected, c.Offered)
+		}
+		if c.MinRetention < 0.95 {
+			t.Errorf("load %gx: worst tenant kept %.1f%% of its guarantee, want >=95%%",
+				c.Load, 100*c.MinRetention)
+		}
+		// Bounded tail: the ladder sheds rather than queueing without
+		// limit, so p99 must stay within the (default 250ms) queue
+		// deadline plus one flush period.
+		if c.P99Latency > 0.3 {
+			t.Errorf("load %gx: p99 enforcement latency %.3fs, want bounded by deadline", c.Load, c.P99Latency)
+		}
+	}
+	over := res.Cells[1]
+	if over.Rejected == 0 {
+		t.Error("2x load produced no fast-fail rejections")
+	}
+	if over.Admitted == 0 {
+		t.Error("2x load admitted nothing — shedding everything is not overload protection")
+	}
+	under := res.Cells[0]
+	if frac := float64(under.Rejected) / float64(under.Offered); frac > 0.2 {
+		t.Errorf("0.5x load rejected %.0f%% of requests — admission is biting below capacity", 100*frac)
+	}
+}
+
+func TestFigOverloadDeterministic(t *testing.T) {
+	cfg := OverloadConfig{
+		Hosts: 8, Tenants: 3, Capacity: 150,
+		Loads: []float64{2}, Duration: time.Second, Seed: 5,
+	}
+	a, err := FigOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells[0] != b.Cells[0] {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a.Cells[0], b.Cells[0])
+	}
+}
+
+// crashRig is the tenant-registration half of the overload harness,
+// shared by the crash-recovery test: a fresh admission-controlled
+// controller on a virtual clock.
+func crashRig(t *testing.T, clk *vclock) (*controller.Centralized, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq := netsim.NewWFQ(netsim.NewNetwork(top))
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top,
+		Table:    overloadTable(4),
+		Enforcer: wfq,
+		PLs:      16,
+		Seed:     1,
+		Admission: controller.AdmissionConfig{
+			Enabled:      true,
+			IngressRate:  1000,
+			IngressBurst: 1000,
+			Clock:        clk,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, top
+}
+
+func TestOverloadCrashMidStormNoDoubleAdmission(t *testing.T) {
+	// A controller crash mid-storm composes with fault injection: the
+	// client replays every tenant registration it is unsure about — the
+	// ones whose replies were blackholed AND, after failover, the whole
+	// set against the recovered controller. Idempotent-by-name admission
+	// must count each guarantee exactly once both times.
+	const (
+		tenants   = 4
+		guarantee = 0.1
+	)
+	clk := &vclock{now: time.Unix(0, 0)}
+	ctrl, top := crashRig(t, clk)
+	inj := faults.NewInjector(faults.Config{Seed: 42})
+	ft := faults.NewFaultyTransport(&sabalib.DirectTransport{API: ctrl}, inj)
+
+	// Phase 1: admit the population with every reply blackholed once —
+	// the registration executes controller-side but the caller never
+	// learns the ID, exactly the ambiguity a crash leaves behind.
+	register := func(ft *faults.FaultyTransport) []controller.TenantID {
+		tids := make([]controller.TenantID, tenants)
+		for i := range tids {
+			name := fmt.Sprintf("tenant-%d", i)
+			inj.SetConfig(faults.Config{Seed: 42, CallBlackholeRate: 1})
+			if _, err := ft.RegisterTenant(name, guarantee); err == nil {
+				t.Fatal("blackholed registration returned a reply")
+			}
+			inj.SetConfig(faults.Config{Seed: 42})
+			tid, err := ft.RegisterTenant(name, guarantee) // the retry
+			if err != nil {
+				t.Fatalf("retry after blackhole: %v", err)
+			}
+			tids[i] = tid
+		}
+		return tids
+	}
+	tids := register(ft)
+	if got := ctrl.GuaranteedSum(); got != tenants*guarantee {
+		t.Fatalf("GuaranteedSum = %g after blackhole+retry, want %g (each counted once)",
+			got, tenants*guarantee)
+	}
+	// Mid-storm load against the pre-crash controller.
+	storm, err := workload.NewStorm(workload.ArrivalConfig{
+		Rate: 500, Duration: time.Second, Tenants: tenants, Hosts: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := make([]controller.AppID, tenants)
+	for i, tid := range tids {
+		if apps[i], _, err = ft.RegisterIn(tid, fmt.Sprintf("app-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	half := 0
+	for {
+		a, ok := storm.Next()
+		if !ok || a.At > 500*time.Millisecond {
+			break
+		}
+		clk.advanceTo(time.Unix(0, 0).Add(a.At))
+		if _, err := ft.ConnCreate(apps[a.Tenant], top.Hosts()[a.Src], top.Hosts()[a.Dst]); err != nil {
+			if _, rejected := controller.AsRejected(err); !rejected {
+				t.Fatalf("pre-crash create: %v", err)
+			}
+		}
+		half++
+	}
+	if half == 0 {
+		t.Fatal("storm produced no pre-crash arrivals")
+	}
+
+	// Crash: the controller process dies; a replacement starts empty.
+	// The client replays every tenant registration (it cannot know which
+	// ones the dead controller had durably admitted) and the rest of the
+	// storm.
+	ctrl2, top2 := crashRig(t, clk)
+	ft2 := faults.NewFaultyTransport(&sabalib.DirectTransport{API: ctrl2}, inj)
+	replayed := register(ft2) // same names, same guarantees, blackhole+retry again
+	for i, tid := range replayed {
+		if apps[i], _, err = ft2.RegisterIn(tid, fmt.Sprintf("app-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And once more verbatim — a second replay wave (e.g. two clients
+	// racing recovery) must also be absorbed.
+	for i := range replayed {
+		tid, err := ft2.RegisterTenant(fmt.Sprintf("tenant-%d", i), guarantee)
+		if err != nil {
+			t.Fatalf("second replay wave: %v", err)
+		}
+		if tid != replayed[i] {
+			t.Errorf("replay returned tenant %d, want %d", tid, replayed[i])
+		}
+	}
+	if got := ctrl2.GuaranteedSum(); got != tenants*guarantee {
+		t.Errorf("GuaranteedSum = %g after crash replay, want %g (no double admission)",
+			got, tenants*guarantee)
+	}
+	if got := ctrl2.Tenants(); got != tenants {
+		t.Errorf("Tenants = %d after crash replay, want %d", got, tenants)
+	}
+	for {
+		a, ok := storm.Next()
+		if !ok {
+			break
+		}
+		clk.advanceTo(time.Unix(0, 0).Add(a.At))
+		if _, err := ft2.ConnCreate(apps[a.Tenant], top2.Hosts()[a.Src], top2.Hosts()[a.Dst]); err != nil {
+			if _, rejected := controller.AsRejected(err); !rejected {
+				t.Fatalf("post-crash create: %v", err)
+			}
+		}
+	}
+	// The replayed guarantees still bind after the storm resumes.
+	shares, err := ctrl2.TenantShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range replayed {
+		if shares[tid] < guarantee-1e-9 {
+			t.Errorf("tenant %d share %.3f below guarantee %.3f after recovery", tid, shares[tid], guarantee)
+		}
+	}
+}

@@ -325,6 +325,53 @@ func (ft *FaultyTransport) PL(id controller.AppID) (int, error) {
 	return pl, err
 }
 
+// TenantTransport mirrors sabalib.TenantTransport structurally (same
+// import-cycle reasoning as Transport above): the tenant guarantee
+// calls a transport may optionally carry.
+type TenantTransport interface {
+	RegisterTenant(name string, min float64) (controller.TenantID, error)
+	RegisterIn(tenant controller.TenantID, name string) (controller.AppID, int, error)
+}
+
+// RegisterTenant implements TenantTransport, faulting the call like any
+// other control-plane RPC. A blackholed registration is the interesting
+// case for admission: the controller admitted the tenant but the caller
+// never learned the ID, so the retry must not double-count the
+// guarantee (the controller's idempotent-by-name registration absorbs
+// it).
+func (ft *FaultyTransport) RegisterTenant(name string, min float64) (controller.TenantID, error) {
+	tt, ok := ft.T.(TenantTransport)
+	if !ok {
+		return 0, controller.ErrNoTenants
+	}
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return 0, resetErr("call")
+	}
+	tid, err := tt.RegisterTenant(name, min)
+	if blackhole {
+		return 0, resetErr("call")
+	}
+	return tid, err
+}
+
+// RegisterIn implements TenantTransport.
+func (ft *FaultyTransport) RegisterIn(tenant controller.TenantID, name string) (controller.AppID, int, error) {
+	tt, ok := ft.T.(TenantTransport)
+	if !ok {
+		return 0, 0, controller.ErrNoTenants
+	}
+	failBefore, blackhole := ft.fault()
+	if failBefore {
+		return 0, 0, resetErr("call")
+	}
+	id, pl, err := tt.RegisterIn(tenant, name)
+	if blackhole {
+		return 0, 0, resetErr("call")
+	}
+	return id, pl, err
+}
+
 // ObserveSlowdown implements Transport.
 func (ft *FaultyTransport) ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error) {
 	failBefore, blackhole := ft.fault()

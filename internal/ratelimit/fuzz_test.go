@@ -1,0 +1,68 @@
+package ratelimit
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzTokenBucket interprets the fuzz input as a program of bucket
+// operations — takes, rate/burst changes, and clock moves in both
+// directions — and holds the core safety invariant after every step:
+// the token count never goes negative and never exceeds the configured
+// burst. This is the property the admission controller leans on; a
+// violation would either starve admitted tenants (negative debt) or
+// over-admit past the guarantee budget (phantom tokens).
+func FuzzTokenBucket(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x02, 0xFF, 0x03, 0x00, 0x04, 0x7F})
+	f.Add([]byte{0x00, 0x05, 0x05, 0x05, 0x01, 0x01, 0x02, 0x02})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clk := newFakeClock()
+		b, err := New(100, 50, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(op string) {
+			got := b.Available()
+			if math.IsNaN(got) || got < 0 {
+				t.Fatalf("after %s: tokens = %g, went negative/NaN", op, got)
+			}
+			if got > b.Burst() {
+				t.Fatalf("after %s: tokens = %g exceed burst %g", op, got, b.Burst())
+			}
+		}
+		for len(data) >= 2 {
+			op, arg := data[0], data[1]
+			data = data[2:]
+			switch op % 6 {
+			case 0: // TryTake a small amount
+				b.TryTake(float64(arg) / 8)
+				check("TryTake")
+			case 1: // TryTake possibly above burst
+				b.TryTake(float64(arg) * 2)
+				check("TryTake(big)")
+			case 2: // advance the virtual clock
+				clk.advance(time.Duration(arg) * time.Millisecond)
+				check("advance")
+			case 3: // rewind the virtual clock — must be a refill no-op
+				clk.advance(-time.Duration(arg) * time.Millisecond)
+				check("rewind")
+			case 4: // change the rate; arg==0 maps to a rejected value
+				_ = b.SetRate(float64(arg) * 4)
+				check("SetRate")
+			case 5: // change the burst, including shrinks that must clamp
+				_ = b.SetBurst(float64(arg))
+				check("SetBurst")
+			}
+		}
+		// One long-horizon refill at the end: the cap must still hold.
+		if len(data) == 1 {
+			clk.advance(time.Duration(binary.LittleEndian.Uint16([]byte{data[0], 0xFF})) * time.Second)
+		} else {
+			clk.advance(time.Hour)
+		}
+		check("final refill")
+	})
+}

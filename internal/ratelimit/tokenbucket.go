@@ -9,6 +9,7 @@ package ratelimit
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -46,12 +47,14 @@ var (
 )
 
 // New creates a token bucket with the given rate (tokens/second) and burst
-// capacity. The bucket starts full. A nil clock selects the wall clock.
+// capacity. Both must be positive and finite — NaN and ±Inf are rejected,
+// not silently absorbed, because a NaN rate would poison every later
+// refill. The bucket starts full. A nil clock selects the wall clock.
 func New(rate, burst float64, clock Clock) (*TokenBucket, error) {
-	if rate <= 0 {
+	if !validPositive(rate) {
 		return nil, fmt.Errorf("%w: %g", ErrBadRate, rate)
 	}
-	if burst <= 0 {
+	if !validPositive(burst) {
 		return nil, fmt.Errorf("%w: %g", ErrBadBurst, burst)
 	}
 	if clock == nil {
@@ -66,7 +69,17 @@ func New(rate, burst float64, clock Clock) (*TokenBucket, error) {
 	}, nil
 }
 
+// validPositive reports whether v is a usable rate or burst: positive and
+// finite. The negated comparison also rejects NaN.
+func validPositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
 // refillLocked accrues tokens for the elapsed time. Caller holds mu.
+// Virtual-clock monotonicity: a clock that jumps backwards (a reseeded
+// simulation, a stepped wall clock) yields dt <= 0, which neither drains
+// tokens nor moves `last` backwards — the bucket simply waits for time to
+// catch up, so replaying a schedule can never mint or destroy tokens.
 func (b *TokenBucket) refillLocked(now time.Time) {
 	dt := now.Sub(b.last).Seconds()
 	if dt <= 0 {
@@ -80,9 +93,11 @@ func (b *TokenBucket) refillLocked(now time.Time) {
 }
 
 // TryTake consumes n tokens if available and reports whether it succeeded.
-// n larger than the burst can never succeed.
+// n larger than the burst can never succeed (it fails fast instead of
+// draining a partial amount); non-positive and NaN requests are no-ops
+// that succeed without touching the bucket.
 func (b *TokenBucket) TryTake(n float64) bool {
-	if n <= 0 {
+	if !(n > 0) { // also catches NaN
 		return true
 	}
 	b.mu.Lock()
@@ -98,8 +113,9 @@ func (b *TokenBucket) TryTake(n float64) bool {
 // Take blocks (by sleeping on the clock) until n tokens are available and
 // consumes them. Requests above the burst size are served in burst-sized
 // slices, matching how a driver-level shaper paces a large transfer.
+// Non-positive and NaN requests return immediately.
 func (b *TokenBucket) Take(n float64) {
-	for n > 0 {
+	for n > 0 { // NaN compares false: no-op
 		slice := n
 		if slice > b.burst {
 			slice = b.burst
@@ -115,6 +131,11 @@ func (b *TokenBucket) Take(n float64) {
 	}
 }
 
+// maxWait caps a computed backoff so the float→Duration conversion can
+// never overflow into an implementation-defined value (a freshly shrunk
+// rate against a large deficit can otherwise produce centuries).
+const maxWait = 24 * time.Hour
+
 // reserve consumes slice tokens if available, otherwise returns how long
 // to wait before retrying.
 func (b *TokenBucket) reserve(slice float64) time.Duration {
@@ -126,7 +147,16 @@ func (b *TokenBucket) reserve(slice float64) time.Duration {
 		return 0
 	}
 	need := slice - b.tokens
-	return time.Duration(need / b.rate * float64(time.Second))
+	sec := need / b.rate
+	if !(sec > 0) {
+		// need <= 0 is unreachable here, but a NaN quotient must surface
+		// as "retry immediately", not as a bogus sleep.
+		return time.Nanosecond
+	}
+	if sec >= maxWait.Seconds() {
+		return maxWait
+	}
+	return time.Duration(sec * float64(time.Second))
 }
 
 // Available returns the current token count (after refill).
@@ -145,14 +175,33 @@ func (b *TokenBucket) Burst() float64 { return b.burst }
 
 // SetRate atomically changes the fill rate, accruing tokens at the old
 // rate up to now first. Used when the profiler moves between bandwidth
-// percentages without recreating limiters.
+// percentages without recreating limiters. NaN and ±Inf are rejected.
 func (b *TokenBucket) SetRate(rate float64) error {
-	if rate <= 0 {
+	if !validPositive(rate) {
 		return fmt.Errorf("%w: %g", ErrBadRate, rate)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.refillLocked(b.clock.Now())
 	b.rate = rate
+	return nil
+}
+
+// SetBurst atomically changes the bucket capacity, accruing tokens up to
+// now first. Shrinking the capacity clamps the current token count down
+// to the new burst, so a resized bucket can never hold more than it
+// advertises; growing it leaves the count unchanged (the extra headroom
+// fills at the configured rate, it is not granted retroactively).
+func (b *TokenBucket) SetBurst(burst float64) error {
+	if !validPositive(burst) {
+		return fmt.Errorf("%w: %g", ErrBadBurst, burst)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	b.burst = burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
 	return nil
 }

@@ -1,0 +1,190 @@
+// Deadline propagation tests live in an external test package so they
+// can drive the client through the faults latency injector (faults
+// imports the controller, which imports rpc).
+package rpc_test
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"saba/internal/faults"
+	"saba/internal/rpc"
+	"saba/internal/telemetry"
+)
+
+// newTestServer starts a server with a "slow" method that blocks until
+// release is closed and a "fast" method that returns immediately.
+func newTestServer(t *testing.T) (addr string, release chan struct{}) {
+	t.Helper()
+	release = make(chan struct{})
+	srv := rpc.NewServer()
+	srv.SetTelemetry(telemetry.NewRegistry())
+	if err := srv.Handle("slow", func(args json.RawMessage) (any, error) {
+		<-release
+		return "late", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Handle("fast", func(args json.RawMessage) (any, error) {
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		close(release)
+		srv.Close()
+	})
+	return addr, release
+}
+
+// TestDeadlineUnderLatencyInjection is the satellite contract: a call
+// whose round trip is stalled past the client deadline by the faults
+// latency injector must come back as a typed ErrDeadline promptly — it
+// must not hang, and it must stay retryable so the session-dedup retry
+// path keeps working.
+func TestDeadlineUnderLatencyInjection(t *testing.T) {
+	addr, _ := newTestServer(t)
+	inj := faults.NewInjector(faults.Config{
+		Seed:      42,
+		DelayRate: 1, // every conn op stalls...
+		Delay:     500 * time.Millisecond,
+	})
+	c := rpc.NewClient(addr, rpc.Options{
+		Timeout:    100 * time.Millisecond, // ...past the call budget
+		MaxRetries: 0,
+		Dialer:     inj.Dialer(),
+		Telemetry:  telemetry.NewRegistry(),
+	})
+	defer c.Close()
+	start := time.Now()
+	err := c.Call("fast", nil, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, rpc.ErrDeadline) {
+		t.Fatalf("Call under latency = %v, want ErrDeadline", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Call took %v, deadline did not cut it short", elapsed)
+	}
+	if !rpc.Retryable(err) {
+		t.Error("deadline errors must stay retryable")
+	}
+}
+
+// rawCall hand-frames a request so the test controls the wire deadline
+// field independently of the client's connection deadline — that is the
+// only way to observe the server-side watchdog deterministically.
+func rawCall(t *testing.T, conn net.Conn, body string) (errMsg string, elapsed time.Duration) {
+	t.Helper()
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	start := time.Now()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed = time.Since(start)
+	var resp struct {
+		ID    uint64 `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatalf("decode response %q: %v", buf, err)
+	}
+	return resp.Error, elapsed
+}
+
+// TestServerWatchdogShedsOverrunningHandler drives the server with a
+// hand-framed request carrying a 50ms budget against a handler that
+// never returns on its own: the watchdog must answer with the deadline
+// marker instead of stalling the connection.
+func TestServerWatchdogShedsOverrunningHandler(t *testing.T) {
+	addr, _ := newTestServer(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	errMsg, elapsed := rawCall(t, conn, `{"id":1,"method":"slow","dl":50}`)
+	if errMsg != rpc.ErrDeadline.Error() {
+		t.Fatalf("shed response error = %q, want %q", errMsg, rpc.ErrDeadline.Error())
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("shed took %v, want ~50ms", elapsed)
+	}
+	// The connection must remain usable: the orphaned handler may not
+	// hold the framing hostage.
+	if errMsg, _ := rawCall(t, conn, `{"id":2,"method":"fast"}`); errMsg != "" {
+		t.Fatalf("follow-up call after shed failed: %q", errMsg)
+	}
+}
+
+// TestShedResponseIsCachedBySession asserts at-most-once semantics for
+// shed calls: a retry of the same (session, id) replays the cached
+// deadline response instead of re-executing the handler.
+func TestShedResponseIsCachedBySession(t *testing.T) {
+	addr, _ := newTestServer(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req := `{"sess":7,"id":1,"method":"slow","dl":50}`
+	first, _ := rawCall(t, conn, req)
+	if first != rpc.ErrDeadline.Error() {
+		t.Fatalf("first response = %q, want deadline marker", first)
+	}
+	second, elapsed := rawCall(t, conn, req)
+	if second != first {
+		t.Fatalf("retried response = %q, want cached %q", second, first)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cached replay took %v, want immediate", elapsed)
+	}
+}
+
+// TestClientTypesServerShed checks the full client path: when the
+// server sheds, the client surfaces errors.Is(err, ErrDeadline), not an
+// opaque *RemoteError. The latency injector keeps the link healthy here
+// (zero rates) so the shed must come from the server watchdog; the
+// client's conn deadline gets extra headroom via a generous dial-side
+// budget race being acceptable — both paths type as ErrDeadline.
+func TestClientTypesServerShed(t *testing.T) {
+	addr, _ := newTestServer(t)
+	c := rpc.NewClient(addr, rpc.Options{
+		Timeout:    150 * time.Millisecond,
+		MaxRetries: 1, // the retry replays the cached shed: still ErrDeadline
+		Telemetry:  telemetry.NewRegistry(),
+	})
+	defer c.Close()
+	start := time.Now()
+	err := c.Call("slow", nil, nil)
+	if !errors.Is(err, rpc.ErrDeadline) {
+		t.Fatalf("Call(slow) = %v, want ErrDeadline", err)
+	}
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		t.Fatalf("shed surfaced as RemoteError %v, want typed ErrDeadline", re)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Call(slow) took %v, want bounded by deadline+retry", elapsed)
+	}
+}

@@ -43,6 +43,12 @@ type request struct {
 	ID      uint64          `json:"id"`
 	Method  string          `json:"method"`
 	Args    json.RawMessage `json:"args,omitempty"`
+	// DeadlineMS is the caller's remaining time budget for this attempt in
+	// milliseconds (relative, so client and server clocks need not agree).
+	// A server that cannot finish inside the budget sheds the call with
+	// ErrDeadline instead of letting the connection stall behind it.
+	// 0 means no deadline (pre-deadline peers simply omit the field).
+	DeadlineMS uint64 `json:"dl,omitempty"`
 }
 
 // response is the wire format of a reply.
@@ -63,6 +69,14 @@ var (
 	// to the wrong request ID — symptoms of a torn write or a stale
 	// connection. The connection is discarded and the call is retryable.
 	ErrCorruptResponse = errors.New("rpc: corrupt response")
+	// ErrDeadline marks a call that exceeded its time budget: either the
+	// client's connection deadline fired mid round-trip, or the server's
+	// watchdog shed an overrunning handler and answered with this error
+	// instead of stalling the connection behind it. Deadline errors are
+	// retryable — the retried request carries the same ID, so a call the
+	// server already shed replays the cached deadline response instead of
+	// executing twice, and the retry fails fast.
+	ErrDeadline = errors.New("rpc: deadline exceeded")
 )
 
 // Retryable classifies an error from Call: true means the failure is a
@@ -83,7 +97,7 @@ func Retryable(err error) bool {
 	if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrFrameTooLarge) {
 		return false
 	}
-	if errors.Is(err, ErrCorruptResponse) {
+	if errors.Is(err, ErrCorruptResponse) || errors.Is(err, ErrDeadline) {
 		return true
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
@@ -156,6 +170,7 @@ type serverMetrics struct {
 	calls     *telemetry.Counter
 	dedupHits *telemetry.Counter
 	errors    *telemetry.Counter
+	sheds     *telemetry.Counter
 	rxBytes   *telemetry.Counter
 	txBytes   *telemetry.Counter
 	conns     *telemetry.Gauge
@@ -167,6 +182,7 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		calls:     reg.Counter("rpc.server.calls"),
 		dedupHits: reg.Counter("rpc.server.dedup_hits"),
 		errors:    reg.Counter("rpc.server.errors"),
+		sheds:     reg.Counter("rpc.server.deadline_sheds"),
 		rxBytes:   reg.Counter("rpc.server.rx_bytes"),
 		txBytes:   reg.Counter("rpc.server.tx_bytes"),
 		conns:     reg.Gauge("rpc.server.conns"),
@@ -378,7 +394,7 @@ func (s *Server) dispatch(req *request) response {
 		return response{ID: req.ID, Error: fmt.Sprintf("%v: %s", ErrUnknownMethod, req.Method)}
 	}
 	start := time.Now()
-	result, err := h(req.Args)
+	result, err := s.invoke(h, req)
 	s.tel.handle.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.tel.errors.Inc()
@@ -392,6 +408,37 @@ func (s *Server) dispatch(req *request) response {
 		return response{ID: req.ID, Error: fmt.Sprintf("rpc: encode result: %v", err)}
 	}
 	return response{ID: req.ID, Result: raw}
+}
+
+// invoke runs the handler, under a deadline watchdog when the request
+// carries a time budget. If the budget expires the call is shed: the
+// response goes out (and into the dedup cache) as ErrDeadline while the
+// orphaned handler finishes on its own goroutine with its result
+// discarded. This is the server half of backpressure — a stalled
+// handler cannot pin the connection (or the session's dedup lock, which
+// respond holds across execution) past the client's patience.
+func (s *Server) invoke(h Handler, req *request) (any, error) {
+	if req.DeadlineMS == 0 {
+		return h(req.Args)
+	}
+	type outcome struct {
+		result any
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := h(req.Args)
+		done <- outcome{r, err}
+	}()
+	timer := time.NewTimer(time.Duration(req.DeadlineMS) * time.Millisecond)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.result, out.err
+	case <-timer.C:
+		s.tel.sheds.Inc()
+		return nil, ErrDeadline
+	}
 }
 
 // Close stops accepting and tears down all live connections.
@@ -595,7 +642,10 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		c.redials++
 		c.tel.redials.Inc()
 	}
-	frame, err := json.Marshal(request{Session: c.session, ID: id, Method: method, Args: args})
+	frame, err := json.Marshal(request{
+		Session: c.session, ID: id, Method: method, Args: args,
+		DeadlineMS: uint64(c.opts.Timeout / time.Millisecond),
+	})
 	if err != nil {
 		return err
 	}
@@ -605,7 +655,7 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 	}
 	if err := writeFrame(c.conn, frame); err != nil {
 		c.dropConnLocked()
-		return err
+		return deadlineOr(err)
 	}
 	c.tel.txBytes.Add(uint64(len(frame)) + 4)
 	respFrame, err := readFrame(c.conn)
@@ -617,7 +667,7 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 			// treat it as corruption so the call retries on a fresh conn.
 			return ErrCorruptResponse
 		}
-		return err
+		return deadlineOr(err)
 	}
 	c.tel.rxBytes.Add(uint64(len(respFrame)) + 4)
 	var resp response
@@ -630,6 +680,12 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		return fmt.Errorf("%w: response id %d for request %d", ErrCorruptResponse, resp.ID, id)
 	}
 	if resp.Error != "" {
+		if resp.Error == ErrDeadline.Error() {
+			// The server's watchdog shed the handler: surface the typed
+			// deadline rather than an opaque RemoteError so callers can
+			// distinguish "too slow" from "rejected".
+			return fmt.Errorf("%w: server shed %s", ErrDeadline, method)
+		}
 		return &RemoteError{Method: method, Msg: resp.Error}
 	}
 	if reply != nil && resp.Result != nil {
@@ -638,6 +694,17 @@ func (c *Client) attemptLocked(id uint64, method string, args json.RawMessage, r
 		}
 	}
 	return nil
+}
+
+// deadlineOr types a transport error: connection-deadline expiries become
+// ErrDeadline (still carrying the underlying net error's text), anything
+// else passes through unchanged.
+func deadlineOr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrDeadline, err)
+	}
+	return err
 }
 
 // dropConnLocked discards the connection after a transport error.

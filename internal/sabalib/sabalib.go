@@ -30,28 +30,40 @@ import (
 
 // libMetrics holds the connection manager's instruments.
 type libMetrics struct {
+	reg             *telemetry.Registry
 	degradedEntries *telemetry.Counter // transitions into fair-share fallback
 	queuedOps       *telemetry.Counter // operations queued while degraded
 	replayedOps     *telemetry.Counter // queued operations the reconciler landed
 	droppedOps      *telemetry.Counter // replays the controller rejected terminally
 	droppedObs      *telemetry.Counter // slowdown observations dropped while degraded
+	rejectedOps     *telemetry.Counter // sabalib.admission_rejected (all reasons)
 	modeTransitions *telemetry.Counter // sabalib.mode_transitions (all mode changes)
 	modeTo          [modeCount]*telemetry.Counter
 }
 
 func newLibMetrics(reg *telemetry.Registry) libMetrics {
 	m := libMetrics{
+		reg:             reg,
 		degradedEntries: reg.Counter("sabalib.degraded_entries"),
 		queuedOps:       reg.Counter("sabalib.queued_ops"),
 		replayedOps:     reg.Counter("sabalib.replayed_ops"),
 		droppedOps:      reg.Counter("sabalib.dropped_ops"),
 		droppedObs:      reg.Counter("sabalib.dropped_observations"),
+		rejectedOps:     reg.Counter("sabalib.admission_rejected"),
 		modeTransitions: reg.Counter("sabalib.mode_transitions"),
 	}
 	for mode := Mode(0); mode < modeCount; mode++ {
 		m.modeTo[mode] = reg.Counter(telemetry.Label("sabalib.mode_transitions", "to", mode.String()))
 	}
 	return m
+}
+
+// rejected counts one admission rejection under its reason label. The
+// registry's Counter is get-or-create, so unforeseen reasons (new
+// controller rungs) show up without a sabalib release.
+func (m *libMetrics) rejected(reason string) {
+	m.rejectedOps.Inc()
+	m.reg.Counter(telemetry.Label("sabalib.admission_rejected", "reason", reason)).Inc()
 }
 
 // Transport abstracts how the connection manager reaches the controller:
@@ -65,6 +77,16 @@ type Transport interface {
 	PL(id controller.AppID) (int, error)
 	ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error)
 	Close() error
+}
+
+// TenantTransport is the optional Transport extension for the tenant
+// guarantee layer: registering tenants with guaranteed minimums and
+// registering applications under them. Both standard transports
+// implement it; whether the far end does depends on the deployment
+// (Mesh answers controller.ErrNoTenants).
+type TenantTransport interface {
+	RegisterTenant(name string, min float64) (controller.TenantID, error)
+	RegisterIn(tenant controller.TenantID, name string) (controller.AppID, int, error)
 }
 
 // RPCTransport reaches a controller service over TCP.
@@ -129,6 +151,28 @@ func (t *RPCTransport) PL(id controller.AppID) (int, error) {
 	return reply.PL, nil
 }
 
+// RegisterTenant implements TenantTransport.
+func (t *RPCTransport) RegisterTenant(name string, min float64) (controller.TenantID, error) {
+	var reply controller.TenantRegisterReply
+	err := t.client.Call(controller.MethodTenantRegister,
+		controller.TenantRegisterArgs{Name: name, Min: min}, &reply)
+	if err != nil {
+		return 0, err
+	}
+	return reply.Tenant, nil
+}
+
+// RegisterIn implements TenantTransport.
+func (t *RPCTransport) RegisterIn(tenant controller.TenantID, name string) (controller.AppID, int, error) {
+	var reply controller.RegisterReply
+	err := t.client.Call(controller.MethodAppRegisterIn,
+		controller.RegisterInArgs{Tenant: tenant, Name: name}, &reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	return reply.App, reply.PL, nil
+}
+
 // ObserveSlowdown implements Transport.
 func (t *RPCTransport) ObserveSlowdown(id controller.AppID, bwFraction, observed float64) (bool, error) {
 	var reply controller.ObserveReply
@@ -171,6 +215,26 @@ func (t *DirectTransport) ConnDestroy(cid controller.ConnID) error {
 // PL implements Transport.
 func (t *DirectTransport) PL(id controller.AppID) (int, error) { return t.API.PL(id) }
 
+// RegisterTenant implements TenantTransport. A deployment without the
+// guarantee layer (Mesh) returns controller.ErrNoTenants, mirroring
+// what the RPC service answers.
+func (t *DirectTransport) RegisterTenant(name string, min float64) (controller.TenantID, error) {
+	tr, ok := t.API.(controller.TenantRegistrar)
+	if !ok {
+		return 0, controller.ErrNoTenants
+	}
+	return tr.RegisterTenant(name, min)
+}
+
+// RegisterIn implements TenantTransport.
+func (t *DirectTransport) RegisterIn(tenant controller.TenantID, name string) (controller.AppID, int, error) {
+	tr, ok := t.API.(controller.TenantRegistrar)
+	if !ok {
+		return 0, 0, controller.ErrNoTenants
+	}
+	return tr.RegisterIn(tenant, name)
+}
+
 // ObserveSlowdown implements Transport. A deployment without runtime
 // feedback (Mesh) returns controller.ErrNoObserver, mirroring what the
 // RPC service answers.
@@ -184,6 +248,12 @@ func (t *DirectTransport) ObserveSlowdown(id controller.AppID, bwFraction, obser
 
 // Close implements Transport.
 func (t *DirectTransport) Close() error { return nil }
+
+// Both standard transports carry the tenant extension.
+var (
+	_ TenantTransport = (*RPCTransport)(nil)
+	_ TenantTransport = (*DirectTransport)(nil)
+)
 
 // Conn is a Saba-managed connection: the application-visible handle plus
 // the Service Level (PL) the connection manager stamped on it. While the
@@ -230,6 +300,7 @@ type Library struct {
 	opts       Options
 	app        controller.AppID
 	appName    string
+	tenant     controller.TenantID // 0 = untenanted
 	pl         int
 	registered bool
 	conns      map[controller.ConnID]*Conn
@@ -293,9 +364,49 @@ var (
 )
 
 // unreachableLocked reports whether err should trigger degradation
-// rather than surfacing.
+// rather than surfacing. Admission rejections never qualify: the
+// controller answered — with a "no" — so queueing the operation as a
+// degraded fallback would re-submit work the controller just shed.
 func (l *Library) unreachableLocked(err error) bool {
 	return l.opts.Degrade && rpc.Retryable(err)
+}
+
+// noteRejectionLocked classifies an admission rejection (typed, or
+// string-flattened across the RPC boundary) and counts it under
+// sabalib.admission_rejected with its reason label — a separate ledger
+// from the degraded-fallback counters, since a rejection is the
+// controller shedding load, not the library losing the controller.
+// Reports whether err was a rejection.
+func (l *Library) noteRejectionLocked(err error) bool {
+	if re, ok := controller.AsRejected(err); ok {
+		l.tel.rejected(re.Reason)
+		return true
+	}
+	if controller.IsInfeasible(err) {
+		l.tel.rejected("infeasible")
+		return true
+	}
+	return false
+}
+
+// RetryAfter extracts the controller's advisory backoff from an
+// admission-rejected error, in whatever form it reached the caller
+// (typed locally, string-flattened over RPC). Callers that fail fast on
+// rejection use it to schedule the re-attempt instead of hammering an
+// overloaded controller.
+func RetryAfter(err error) (time.Duration, bool) {
+	if re, ok := controller.AsRejected(err); ok {
+		return re.RetryAfter, true
+	}
+	return 0, false
+}
+
+// IsRejected reports whether err is a controller admission rejection
+// (rate-limited or shed), as opposed to an unreachable controller or a
+// permanent failure.
+func IsRejected(err error) bool {
+	_, ok := controller.AsRejected(err)
+	return ok
 }
 
 // Register performs saba_app_register (Fig. 7 ①-③): it announces the
@@ -304,6 +415,61 @@ func (l *Library) unreachableLocked(err error) bool {
 // locally at the fallback PL; the reconciler completes the registration
 // in the background.
 func (l *Library) Register(appName string) error {
+	return l.registerAs(0, appName)
+}
+
+// RegisterTenant admits (idempotently, by name) a tenant with a
+// guaranteed minimum share on the controller. It is a synchronous
+// control decision and is never queued for replay: an infeasible or
+// rate-limited guarantee surfaces typed (see IsRejected / RetryAfter),
+// and an unreachable controller surfaces the transport error — a
+// locally-faked admission would be a promise nobody is backing.
+func (l *Library) RegisterTenant(name string, min float64) (controller.TenantID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.transport == nil {
+		return 0, controller.ErrNoTenants
+	}
+	tt, ok := l.transport.(TenantTransport)
+	if !ok {
+		return 0, controller.ErrNoTenants
+	}
+	tid, err := tt.RegisterTenant(name, min)
+	if err != nil {
+		l.noteRejectionLocked(err)
+		return 0, fmt.Errorf("sabalib: register tenant %s: %w", name, err)
+	}
+	return tid, nil
+}
+
+// RegisterUnder performs saba_app_register under a tenant, so the
+// application's allocation counts toward the tenant's guaranteed
+// minimum. Degradation semantics match Register: an unreachable
+// controller leaves the application running at the fallback PL and the
+// reconciler replays the tenant-scoped registration.
+func (l *Library) RegisterUnder(tenant controller.TenantID, appName string) error {
+	if tenant == 0 {
+		return l.registerAs(0, appName)
+	}
+	if l.transport == nil {
+		return controller.ErrNoTenants
+	}
+	if _, ok := l.transport.(TenantTransport); !ok {
+		return controller.ErrNoTenants
+	}
+	return l.registerAs(tenant, appName)
+}
+
+// transportRegister issues the right registration call for the tenant
+// binding.
+func (l *Library) transportRegister(tenant controller.TenantID, name string) (controller.AppID, int, error) {
+	if tenant != 0 {
+		return l.transport.(TenantTransport).RegisterIn(tenant, name)
+	}
+	return l.transport.Register(name)
+}
+
+func (l *Library) registerAs(tenant controller.TenantID, appName string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.registered {
@@ -317,15 +483,17 @@ func (l *Library) Register(appName string) error {
 		l.registered = true
 		return nil
 	}
-	id, pl, err := l.transport.Register(appName)
+	id, pl, err := l.transportRegister(tenant, appName)
 	if err == nil {
 		l.app = id
 		l.appName = appName
+		l.tenant = tenant
 		l.pl = pl
 		l.registered = true
 		return nil
 	}
 	if !l.unreachableLocked(err) {
+		l.noteRejectionLocked(err)
 		return fmt.Errorf("sabalib: register %s: %w", appName, err)
 	}
 	l.app = 0
@@ -484,6 +652,10 @@ func (l *Library) ConnCreate(src, dst topology.NodeID) (*Conn, error) {
 			l.enterDegradedLocked()
 			return l.localConnLocked(src, dst), nil
 		}
+		// A rejection fails fast and typed — it is never converted into a
+		// degraded local connection, because the controller explicitly
+		// declined the work (RetryAfter recovers the advisory backoff).
+		l.noteRejectionLocked(err)
 		return nil, fmt.Errorf("sabalib: conn_create: %w", err)
 	}
 	c := &Conn{ID: cid, Src: src, Dst: dst, SL: l.pl, lib: l}
@@ -654,12 +826,13 @@ func (l *Library) reconcile() {
 // reconcileStep attempts one full replay sweep. It returns true once
 // everything is drained and the library has left degraded mode.
 func (l *Library) reconcileStep() bool {
-	// 1. Registration first: replayed conns need the app ID.
+	// 1. Registration first: replayed conns need the app ID. The replay
+	// keeps the tenant binding the application registered under.
 	l.mu.Lock()
-	pendingReg, name := l.pendingReg, l.appName
+	pendingReg, name, tenant := l.pendingReg, l.appName, l.tenant
 	l.mu.Unlock()
 	if pendingReg {
-		id, pl, err := l.transport.Register(name)
+		id, pl, err := l.transportRegister(tenant, name)
 		if err != nil {
 			return false // still unreachable (or rejected): keep trying
 		}
@@ -701,7 +874,10 @@ func (l *Library) reconcileStep() bool {
 				l.mu.Unlock()
 				return false
 			}
-			// Terminal rejection (e.g. unroutable): drop the op.
+			// Terminal rejection (e.g. unroutable): drop the op. An
+			// admission rejection is additionally counted under its own
+			// ledger, distinct from the generic replay drop.
+			l.noteRejectionLocked(err)
 			l.pendingConns = l.pendingConns[1:]
 			delete(l.conns, c.ID)
 			c.closed = true

@@ -1,0 +1,169 @@
+package sabalib
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"saba/internal/controller"
+	"saba/internal/netsim"
+	"saba/internal/profiler"
+	"saba/internal/telemetry"
+	"saba/internal/topology"
+)
+
+// rigAdmitted builds a centralized controller with admission control on
+// for in-process (DirectTransport) tenant tests.
+func rigAdmitted(t *testing.T, adm controller.AdmissionConfig) (*controller.Centralized, *topology.Topology) {
+	t.Helper()
+	top, err := topology.NewSingleSwitch(topology.SingleSwitchConfig{Hosts: 8, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(top)
+	wfq := netsim.NewWFQ(net)
+	tab := profiler.NewTable()
+	tab.Put(profiler.Entry{Name: "LR", Degree: 2, Coeffs: []float64{5.2, -6.0, 1.8}})
+	tab.Put(profiler.Entry{Name: "PR", Degree: 2, Coeffs: []float64{1.5, -0.6, 0.1}})
+	ctrl, err := controller.NewCentralized(controller.Config{
+		Topology: top, Table: tab, Enforcer: wfq, PLs: 16, Seed: 1,
+		Admission: adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, top
+}
+
+func TestTenantLifecycleOverRPC(t *testing.T) {
+	// Tenant registration and tenant-scoped app registration across real
+	// sockets: the guarantee must land controller-side and the app must
+	// count toward it.
+	addr, _, _ := rigService(t)
+	tr, err := DialController(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New(tr)
+	defer lib.Close()
+
+	tid, err := lib.RegisterTenant("latency-tier", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid == 0 {
+		t.Fatal("RegisterTenant returned the reserved untenanted ID")
+	}
+	// Idempotent replay across the wire: same name+min, same ID.
+	again, err := lib.RegisterTenant("latency-tier", 0.3)
+	if err != nil || again != tid {
+		t.Fatalf("replayed RegisterTenant = %d,%v, want %d,nil", again, err, tid)
+	}
+	if _, err := lib.RegisterTenant("latency-tier", 0.5); err == nil {
+		t.Error("conflicting guarantee accepted over RPC")
+	}
+	if err := lib.RegisterUnder(tid, "LR"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.App(); err != nil {
+		t.Fatalf("App() after RegisterUnder: %v", err)
+	}
+}
+
+func TestRegisterTenantInfeasibleCounted(t *testing.T) {
+	ctrl, _ := rigAdmitted(t, controller.AdmissionConfig{})
+	reg := telemetry.NewRegistry()
+	lib := NewWithOptions(&DirectTransport{API: ctrl}, Options{Telemetry: reg})
+	defer lib.Close()
+
+	if _, err := lib.RegisterTenant("big", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	_, err := lib.RegisterTenant("greedy", 0.6)
+	if err == nil {
+		t.Fatal("over-cap guarantee accepted")
+	}
+	if !controller.IsInfeasible(err) {
+		t.Errorf("infeasible rejection lost its type: %v", err)
+	}
+	if got := reg.Counter("sabalib.admission_rejected").Value(); got != 1 {
+		t.Errorf("admission_rejected = %d, want 1", got)
+	}
+	label := telemetry.Label("sabalib.admission_rejected", "reason", "infeasible")
+	if got := reg.Counter(label).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", label, got)
+	}
+}
+
+func TestRejectedConnCreateFailsFastNotDegraded(t *testing.T) {
+	// A rate-limited ConnCreate must surface typed with the controller's
+	// advisory backoff and must NOT be queued as a degraded fallback —
+	// the two ledgers (admission_rejected vs queued_ops) stay disjoint.
+	ctrl, top := rigAdmitted(t, controller.AdmissionConfig{
+		Enabled:     true,
+		TenantRate:  0.001, // no refill during the test
+		TenantBurst: 1,
+		RetryAfter:  70 * time.Millisecond,
+	})
+	hosts := top.Hosts()
+	reg := telemetry.NewRegistry()
+	lib := NewWithOptions(&DirectTransport{API: ctrl}, Options{
+		Degrade:   true, // degradation armed, must still not swallow rejections
+		Telemetry: reg,
+	})
+	defer lib.Close()
+
+	tid, err := lib.RegisterTenant("busy", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.RegisterUnder(tid, "LR"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.ConnCreate(hosts[0], hosts[1]); err != nil {
+		t.Fatalf("within-burst create rejected: %v", err)
+	}
+	_, err = lib.ConnCreate(hosts[2], hosts[3])
+	if err == nil {
+		t.Fatal("over-budget create succeeded")
+	}
+	if !IsRejected(err) {
+		t.Fatalf("rejection lost its type through the library: %v", err)
+	}
+	if after, ok := RetryAfter(err); !ok || after != 70*time.Millisecond {
+		t.Errorf("RetryAfter = %v,%v, want 70ms,true", after, ok)
+	}
+	if lib.Degraded() {
+		t.Error("rejection flipped the library into degraded mode")
+	}
+	if lib.PendingOps() != 0 {
+		t.Errorf("PendingOps = %d, want 0 (rejections are not queued)", lib.PendingOps())
+	}
+	label := telemetry.Label("sabalib.admission_rejected", "reason", "tenant_rate")
+	if got := reg.Counter(label).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", label, got)
+	}
+	if got := reg.Counter("sabalib.queued_ops").Value(); got != 0 {
+		t.Errorf("queued_ops = %d, want 0", got)
+	}
+}
+
+func TestTenantCallsWithoutTenantLayer(t *testing.T) {
+	// A deployment without the guarantee layer (here: a bare API hidden
+	// behind the same wrapper trick noObserverAPI uses) answers
+	// ErrNoTenants for the whole tenant surface.
+	ctrl, _ := rigAdmitted(t, controller.AdmissionConfig{})
+	lib := New(&DirectTransport{API: noObserverAPI{API: ctrl}})
+	defer lib.Close()
+
+	if _, err := lib.RegisterTenant("acme", 0.1); !errors.Is(err, controller.ErrNoTenants) {
+		t.Errorf("RegisterTenant = %v, want ErrNoTenants", err)
+	}
+	if err := lib.RegisterUnder(7, "LR"); !errors.Is(err, controller.ErrNoTenants) {
+		t.Errorf("RegisterUnder = %v, want ErrNoTenants", err)
+	}
+	// RegisterUnder(0) is plain registration: no tenant layer needed.
+	if err := lib.RegisterUnder(0, "LR"); err != nil {
+		t.Errorf("untenanted RegisterUnder failed: %v", err)
+	}
+}

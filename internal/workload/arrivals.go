@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalConfig parameterizes the open-loop arrival-storm generator
+// (see arrivals.go package notes below). The zero value selects a
+// 1000 conn/s Poisson storm over 8 tenants for 10 seconds of virtual
+// time — the "thousands of short connections per second" regime the
+// overload study drives the controller with.
+type ArrivalConfig struct {
+	// Rate is the mean arrival rate in connections per second. The
+	// process is open-loop: arrivals keep coming at this rate no matter
+	// how the controller is doing, which is exactly what distinguishes
+	// an overload storm from a closed-loop benchmark that politely slows
+	// down when the server does. 0 selects 1000.
+	Rate float64
+	// Duration is the virtual-time horizon of the storm. 0 selects 10s.
+	Duration time.Duration
+	// Tenants is the tenant population arrivals are drawn from. 0
+	// selects 8.
+	Tenants int
+	// ZipfS is the Zipf skew exponent (>1): tenant 0 is the most
+	// popular, mirroring the few-hot-tenants shape of real clusters. 0
+	// selects 1.2.
+	ZipfS float64
+	// ZipfV is the Zipf value parameter (>=1). 0 selects 1.
+	ZipfV float64
+	// MeanHold is the mean of the exponential connection hold time —
+	// short-lived connections stress admission, not steady-state
+	// enforcement. 0 selects 50ms.
+	MeanHold time.Duration
+	// Hosts is the host population for endpoint selection. 0 selects 8.
+	Hosts int
+	// Seed makes the storm deterministic and replayable: the same seed
+	// yields the same arrival sequence, which the crash-recovery test
+	// depends on.
+	Seed int64
+}
+
+func (c *ArrivalConfig) fill() error {
+	if c.Rate == 0 {
+		c.Rate = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfV == 0 {
+		c.ZipfV = 1
+	}
+	if c.MeanHold == 0 {
+		c.MeanHold = 50 * time.Millisecond
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.Rate < 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("workload: arrival rate %g must be positive finite", c.Rate)
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("workload: storm duration %v negative", c.Duration)
+	}
+	if c.Tenants < 1 {
+		return fmt.Errorf("workload: tenant population %d < 1", c.Tenants)
+	}
+	if c.ZipfS <= 1 || c.ZipfV < 1 {
+		return fmt.Errorf("workload: Zipf parameters s=%g v=%g (need s>1, v>=1)", c.ZipfS, c.ZipfV)
+	}
+	if c.MeanHold <= 0 {
+		return fmt.Errorf("workload: mean hold %v must be positive", c.MeanHold)
+	}
+	if c.Hosts < 2 {
+		return fmt.Errorf("workload: host population %d < 2", c.Hosts)
+	}
+	return nil
+}
+
+// Arrival is one open-loop connection request.
+type Arrival struct {
+	At     time.Duration // virtual time since storm start
+	Tenant int           // 0-based tenant index; 0 is the Zipf-hottest
+	Hold   time.Duration // how long the connection stays open
+	Src    int           // host index
+	Dst    int           // host index, != Src
+}
+
+// Storm is an open-loop Poisson arrival process with Zipf tenant
+// popularity and exponential connection holds, generated lazily on a
+// virtual clock. It never blocks and never reacts to the consumer:
+// offered load is a property of the storm, not of the system under
+// test.
+type Storm struct {
+	cfg  ArrivalConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	now  time.Duration
+}
+
+// NewStorm validates the config and builds a deterministic generator.
+func NewStorm(cfg ArrivalConfig) (*Storm, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Storm{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Tenants-1)),
+	}, nil
+}
+
+// Next returns the next arrival, or ok=false once the storm's horizon
+// is exhausted.
+func (s *Storm) Next() (Arrival, bool) {
+	dt := time.Duration(s.rng.ExpFloat64() / s.cfg.Rate * float64(time.Second))
+	if dt < 1 { // quantize sub-nanosecond gaps at extreme rates
+		dt = 1
+	}
+	s.now += dt
+	if s.now > s.cfg.Duration {
+		return Arrival{}, false
+	}
+	hold := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.MeanHold))
+	if hold < 1 {
+		hold = 1
+	}
+	src := s.rng.Intn(s.cfg.Hosts)
+	dst := s.rng.Intn(s.cfg.Hosts - 1)
+	if dst >= src {
+		dst++
+	}
+	return Arrival{
+		At:     s.now,
+		Tenant: int(s.zipf.Uint64()),
+		Hold:   hold,
+		Src:    src,
+		Dst:    dst,
+	}, true
+}
+
+// Generate materializes the whole storm. Convenience for tests and
+// drivers that want to replay the same schedule twice (crash recovery);
+// large storms should prefer the lazy Next.
+func (s *Storm) Generate() []Arrival {
+	var out []Arrival
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestStormDeterministic(t *testing.T) {
+	cfg := ArrivalConfig{Rate: 500, Duration: 2 * time.Second, Seed: 42}
+	a, err := NewStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Generate(), b.Generate()
+	if len(as) == 0 {
+		t.Fatal("empty storm")
+	}
+	if len(as) != len(bs) {
+		t.Fatalf("replay length %d != %d", len(bs), len(as))
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+	// A different seed must not reproduce the schedule.
+	cfg.Seed = 43
+	c, _ := NewStorm(cfg)
+	cs := c.Generate()
+	if len(cs) == len(as) {
+		same := true
+		for i := range as {
+			if as[i] != cs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced an identical storm")
+		}
+	}
+}
+
+func TestStormOpenLoopRate(t *testing.T) {
+	// Over a long horizon the empirical rate must track the configured
+	// one — the generator is the offered load, nothing throttles it.
+	s, err := NewStorm(ArrivalConfig{Rate: 2000, Duration: 20 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(s.Generate())
+	want := 2000.0 * 20
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Errorf("generated %d arrivals over 20s at 2000/s, want ~%g (±5%%)", n, want)
+	}
+}
+
+func TestStormZipfSkewAndHolds(t *testing.T) {
+	cfg := ArrivalConfig{
+		Rate: 5000, Duration: 10 * time.Second,
+		Tenants: 16, MeanHold: 40 * time.Millisecond, Seed: 3,
+	}
+	s, err := NewStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Tenants)
+	var holdSum time.Duration
+	var n int
+	prev := time.Duration(-1)
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		if a.At <= prev {
+			t.Fatalf("arrivals not strictly ordered: %v after %v", a.At, prev)
+		}
+		prev = a.At
+		if a.Tenant < 0 || a.Tenant >= cfg.Tenants {
+			t.Fatalf("tenant %d out of range", a.Tenant)
+		}
+		if a.Src == a.Dst || a.Src < 0 || a.Dst < 0 || a.Src >= 8 || a.Dst >= 8 {
+			t.Fatalf("bad endpoints %d->%d", a.Src, a.Dst)
+		}
+		if a.Hold <= 0 {
+			t.Fatalf("non-positive hold %v", a.Hold)
+		}
+		counts[a.Tenant]++
+		holdSum += a.Hold
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty storm")
+	}
+	// Zipf popularity: the hottest tenant dominates the coldest.
+	if counts[0] <= counts[cfg.Tenants-1]*4 {
+		t.Errorf("Zipf skew too flat: hot=%d cold=%d", counts[0], counts[cfg.Tenants-1])
+	}
+	mean := holdSum / time.Duration(n)
+	if math.Abs(float64(mean-cfg.MeanHold))/float64(cfg.MeanHold) > 0.1 {
+		t.Errorf("mean hold = %v, want ~%v (±10%%)", mean, cfg.MeanHold)
+	}
+}
+
+func TestStormConfigValidation(t *testing.T) {
+	bad := []ArrivalConfig{
+		{Rate: -5},
+		{Rate: math.NaN()},
+		{Tenants: -1},
+		{ZipfS: 0.5},
+		{ZipfV: 0.2},
+		{MeanHold: -time.Second},
+		{Hosts: 1},
+		{Duration: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStorm(cfg); err == nil {
+			t.Errorf("bad arrival config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewStorm(ArrivalConfig{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
